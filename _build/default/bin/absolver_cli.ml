@@ -1,0 +1,240 @@
+(* Stand-alone ABSOLVER executable (the paper's Sec. 4 "stand-alone
+   executable" whose input layer is the extended-DIMACS parser).
+
+     absolver solve FILE [--all-models] [--bool-solver lsat|cdcl] ...
+     absolver convert MODEL.mdl [--output ok] [-o FILE]
+     absolver gen fischer N | sudoku NAME | steering [-o FILE]
+     absolver circuit FILE [-o FILE.dot]
+*)
+
+module A = Absolver_core
+module M = Absolver_model
+module F = Absolver_smtlib.Fischer
+module S = Absolver_encodings.Sudoku
+module P = Absolver_encodings.Puzzles
+module Q = Absolver_numeric.Rational
+open Cmdliner
+
+let read_problem path =
+  match A.Dimacs_ext.parse_file path with
+  | Ok p -> Ok p
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let registry_of_name = function
+  | "lsat" -> Ok A.Registry.default
+  | "cdcl" -> Ok A.Registry.with_chaff
+  | other -> Error (Printf.sprintf "unknown Boolean solver %S (lsat|cdcl)" other)
+
+let write_or_print output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Problem in extended-DIMACS format.")
+  in
+  let all_models =
+    Arg.(value & flag & info [ "all-models" ] ~doc:"Enumerate every solution (LSAT mode).")
+  in
+  let limit =
+    Arg.(value & opt int 0 & info [ "limit" ] ~docv:"N"
+           ~doc:"Stop after N solutions in --all-models mode (0 = no limit).")
+  in
+  let bool_solver =
+    Arg.(value & opt string "lsat" & info [ "bool-solver" ] ~docv:"NAME"
+           ~doc:"Boolean solver: lsat (incremental all-solutions) or cdcl (restarting zChaff-like).")
+  in
+  let minimize =
+    Arg.(value & flag & info [ "minimize-conflicts" ]
+           ~doc:"Deletion-filter linear conflict sets to minimal cores.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print statistics.") in
+  let run file all_models limit bool_solver minimize verbose =
+    match (read_problem file, registry_of_name bool_solver) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+    | Ok problem, Ok registry ->
+      let options =
+        { A.Engine.default_options with A.Engine.minimize_conflicts = minimize }
+      in
+      if all_models then begin
+        let limit = if limit <= 0 then max_int else limit in
+        match A.Engine.all_models ~registry ~options ~limit problem with
+        | Error e ->
+          prerr_endline ("error: " ^ e);
+          1
+        | Ok (models, stats) ->
+          Printf.printf "%d solution(s)\n" (List.length models);
+          List.iteri
+            (fun i sol ->
+              Format.printf "@[<v>-- solution %d:@,%a@]@." (i + 1)
+                (A.Solution.pp problem) sol)
+            models;
+          if verbose then Format.printf "%a@." A.Engine.pp_run_stats stats;
+          0
+      end
+      else begin
+        let result, stats = A.Engine.solve ~registry ~options problem in
+        Format.printf "%a@." (A.Engine.pp_result problem) result;
+        if verbose then Format.printf "%a@." A.Engine.pp_run_stats stats;
+        match result with
+        | A.Engine.R_sat _ -> 0
+        | A.Engine.R_unsat -> 20
+        | A.Engine.R_unknown _ -> 30
+      end
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Decide an AB-problem (extended DIMACS).")
+    Term.(const run $ file $ all_models $ limit $ bool_solver $ minimize $ verbose)
+
+(* ---- convert ---- *)
+
+let convert_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL"
+           ~doc:"Simulink-like textual model (see Simulink_text).")
+  in
+  let output_sig =
+    Arg.(value & opt string "" & info [ "output-signal" ] ~docv:"NAME"
+           ~doc:"Outport to analyse (default: the first one).")
+  in
+  let witness =
+    Arg.(value & flag & info [ "witness" ]
+           ~doc:"Assert the output itself instead of its negation.")
+  in
+  let emit_lustre =
+    Arg.(value & flag & info [ "lustre" ] ~doc:"Print the LUSTRE-like intermediate form instead.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE") in
+  let run file output_sig witness emit_lustre out =
+    match M.Simulink_text.parse_file file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok (name, diagram) -> (
+      match M.Lustre.of_diagram ~name diagram with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok node ->
+        if emit_lustre then begin
+          write_or_print out (M.Lustre.to_string node);
+          0
+        end
+        else begin
+          let output_sig =
+            if output_sig <> "" then output_sig
+            else
+              match node.M.Lustre.outputs with
+              | o :: _ -> o
+              | [] -> ""
+          in
+          let goal = if witness then `Find_witness else `Find_violation in
+          match M.Convert.node_to_ab ~goal ~output:output_sig node with
+          | Error e ->
+            prerr_endline e;
+            1
+          | Ok problem ->
+            write_or_print out (A.Dimacs_ext.to_string problem);
+            0
+        end)
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a Simulink-like model to ABSOLVER input (Fig. 3 work-flow).")
+    Term.(const run $ file $ output_sig $ witness $ emit_lustre $ out)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let what =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND"
+           ~doc:"fischer | sudoku | steering | sudoku-baseline")
+  in
+  let param =
+    Arg.(value & pos 1 string "" & info [] ~docv:"PARAM"
+           ~doc:"fischer: process count; sudoku: instance name.")
+  in
+  let rounds = Arg.(value & opt int 6 & info [ "rounds" ] ~docv:"K") in
+  let smt =
+    Arg.(value & flag & info [ "smt" ] ~doc:"For fischer: emit SMT-LIB 1.2 text instead.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE") in
+  let run what param rounds smt out =
+    let emit problem =
+      write_or_print out (A.Dimacs_ext.to_string problem);
+      0
+    in
+    match what with
+    | "fischer" -> (
+      match int_of_string_opt param with
+      | None ->
+        prerr_endline "fischer needs a process count";
+        1
+      | Some n ->
+        if smt then begin
+          write_or_print out (Absolver_smtlib.Ast.to_string (F.benchmark ~rounds ~n ()));
+          0
+        end
+        else (
+          match F.problem ~rounds ~n () with
+          | Ok p -> emit p
+          | Error e ->
+            prerr_endline e;
+            1))
+    | "sudoku" | "sudoku-baseline" -> (
+      match P.find param with
+      | None ->
+        Printf.eprintf "unknown puzzle %S; available:\n" param;
+        List.iter (fun (n, _) -> prerr_endline ("  " ^ n)) P.all;
+        1
+      | Some puzzle ->
+        emit
+          (if what = "sudoku" then S.absolver_problem puzzle
+           else S.baseline_problem puzzle))
+    | "steering" -> emit (M.Steering.problem ())
+    | other ->
+      Printf.eprintf "unknown generator %S\n" other;
+      1
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate benchmark instances in ABSOLVER's input format.")
+    Term.(const run $ what $ param $ rounds $ smt $ out)
+
+(* ---- circuit ---- *)
+
+let circuit_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"DOT") in
+  let run file out =
+    match read_problem file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok problem ->
+      let circuit = A.Ab_problem.to_circuit problem in
+      let name v = A.Ab_problem.arith_var_name problem v in
+      write_or_print out (Absolver_circuit.Circuit.to_dot ~arith_name:name circuit);
+      0
+  in
+  Cmd.v
+    (Cmd.info "circuit"
+       ~doc:"Render a problem's internal circuit representation (Fig. 5) as GraphViz.")
+    Term.(const run $ file $ out)
+
+let main =
+  let doc = "ABSOLVER: an extensible multi-domain constraint solver (DATE'07 reproduction)" in
+  Cmd.group
+    (Cmd.info "absolver" ~version:"1.0.0" ~doc)
+    [ solve_cmd; convert_cmd; gen_cmd; circuit_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/diagnosis_demo.ml: Absolver_core Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Float List Printf String

@@ -1,0 +1,1 @@
+examples/fischer_demo.ml: Absolver_core Absolver_numeric Absolver_smtlib Format Printf String Unix

@@ -1,0 +1,1 @@
+examples/fischer_demo.mli:

@@ -1,0 +1,1 @@
+examples/simulink_fig1.mli:

@@ -1,0 +1,1 @@
+examples/steering.ml: Absolver_core Absolver_model Absolver_nlp Format List Printf Unix

@@ -1,0 +1,1 @@
+examples/sudoku_demo.ml: Absolver_core Absolver_encodings Array Format List Option Printf Unix

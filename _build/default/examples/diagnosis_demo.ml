@@ -1,0 +1,85 @@
+(* Consistency-based diagnosis with ABSOLVER (paper Sec. 4's motivation
+   for all-solutions Boolean solvers, after Bauer's LSAT [2]).
+
+   The classic polybox circuit (Davis/Reiter/de Kleer):
+
+        a ──┬─[M1]── x ─┐
+        c ──┘           ├─[A1]── f
+        b ──┬─[M2]── y ─┘
+        d ──┘       y ──┐
+        c ──┬─[M3]── z ─├─[A2]── g
+        e ──┘           ┘
+
+   Inputs a=3, b=2, c=2, d=3, e=3. Expected outputs f = g = 12; observed
+   f = 10, g = 12. Which components can be broken?
+
+   Known answer: the minimal diagnoses are {M1}, {A1}, {M2,M3}, {M2,A2}. *)
+
+module A = Absolver_core
+module E = Absolver_nlp.Expr
+module L = Absolver_lp.Linexpr
+module T = Absolver_sat.Types
+module Q = Absolver_numeric.Rational
+
+let () =
+  let problem = A.Ab_problem.create () in
+  let var name = A.Ab_problem.intern_arith_var problem name in
+  let a = var "a" and b = var "b" and c = var "c" and d = var "d" and e = var "e" in
+  let x = var "x" and y = var "y" and z = var "z" in
+  let f = var "f" and g = var "g" in
+  List.iter
+    (fun v -> A.Ab_problem.set_bounds problem v ~lower:(Q.of_int (-100)) ~upper:(Q.of_int 100) ())
+    [ a; b; c; d; e; x; y; z; f; g ];
+  (* Boolean variables 0..4: health of M1 M2 M3 A1 A2 (true = abnormal).
+     Variables 5..9: behaviour constraints. *)
+  let h_m1 = 0 and h_m2 = 1 and h_m3 = 2 and h_a1 = 3 and h_a2 = 4 in
+  let behaviours =
+    [
+      (5, E.sub (E.var x) (E.mul (E.var a) (E.var c))); (* M1: x = a*c *)
+      (6, E.sub (E.var y) (E.mul (E.var b) (E.var d))); (* M2: y = b*d *)
+      (7, E.sub (E.var z) (E.mul (E.var c) (E.var e))); (* M3: z = c*e *)
+      (8, E.sub (E.var f) (E.add (E.var x) (E.var y))); (* A1: f = x+y *)
+      (9, E.sub (E.var g) (E.add (E.var y) (E.var z))); (* A2: g = y+z *)
+    ]
+  in
+  List.iter
+    (fun (bv, expr) ->
+      A.Ab_problem.define problem ~bool_var:bv ~domain:A.Ab_problem.Dreal
+        { E.expr; op = L.Eq; tag = bv })
+    behaviours;
+  (* Healthy => correct behaviour: (h \/ o). *)
+  List.iteri
+    (fun i (obv, _) -> A.Ab_problem.add_clause problem [ T.pos (h_m1 + i); T.pos obv ])
+    behaviours;
+  ignore (h_m2, h_m3, h_a1, h_a2);
+  (* Observations as definitional equalities asserted true. *)
+  let observe v value bv =
+    A.Ab_problem.define problem ~bool_var:bv ~domain:A.Ab_problem.Dreal
+      { E.expr = E.sub (E.var v) (E.of_int value); op = L.Eq; tag = bv };
+    A.Ab_problem.add_clause problem [ T.pos bv ]
+  in
+  observe a 3 10;
+  observe b 2 11;
+  observe c 2 12;
+  observe d 3 13;
+  observe e 3 14;
+  observe f 10 15;
+  observe g 12 16;
+  (* Diagnose. *)
+  let health_vars = [ h_m1; h_m2; h_m3; h_a1; h_a2 ] in
+  let names = [ "M1"; "M2"; "M3"; "A1"; "A2" ] in
+  Printf.printf "Observed f = 10 (expected 12), g = 12.\n";
+  Printf.printf "All-healthy consistent: %b\n\n"
+    (A.Diagnosis.healthy_consistent ~health_vars problem);
+  match A.Diagnosis.diagnoses ~health_vars problem with
+  | Error err -> print_endline ("diagnosis failed: " ^ err)
+  | Ok ds ->
+    Printf.printf "%d minimal diagnosis(es):\n" (List.length ds);
+    List.iter
+      (fun (diag : A.Diagnosis.t) ->
+        let comps = List.map (fun h -> List.nth names h) diag.A.Diagnosis.abnormal in
+        Printf.printf "  { %s }\n" (String.concat ", " comps);
+        (* Show the faulty component's actual value in the witness. *)
+        let sv v = A.Solution.float_env diag.A.Diagnosis.witness ~default:Float.nan v in
+        Printf.printf "    scenario: x=%g y=%g z=%g\n" (sv x) (sv y) (sv z))
+      ds

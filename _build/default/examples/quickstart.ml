@@ -1,0 +1,74 @@
+(* Quickstart: build an AB-problem through the native API (the paper's
+   "ABSOLVER may as well be used as a native library"), solve it, and
+   inspect the solution.
+
+   The problem: find a rectangle with perimeter at most 20, area at least
+   20, and either a width of at least 6 or a height of at least 6 --
+   a Boolean combination of linear and nonlinear constraints. *)
+
+module A = Absolver_core
+module Expr = Absolver_nlp.Expr
+module Linexpr = Absolver_lp.Linexpr
+module Types = Absolver_sat.Types
+module Q = Absolver_numeric.Rational
+
+let () =
+  let problem = A.Ab_problem.create () in
+  let w = A.Ab_problem.intern_arith_var problem "width" in
+  let h = A.Ab_problem.intern_arith_var problem "height" in
+  A.Ab_problem.set_bounds problem w ~lower:Q.zero ~upper:(Q.of_int 100) ();
+  A.Ab_problem.set_bounds problem h ~lower:Q.zero ~upper:(Q.of_int 100) ();
+  (* Boolean variable 0: perimeter <= 20 (linear). *)
+  A.Ab_problem.define problem ~bool_var:0 ~domain:A.Ab_problem.Dreal
+    {
+      Expr.expr =
+        Expr.sub
+          (Expr.mul (Expr.of_int 2) (Expr.add (Expr.var w) (Expr.var h)))
+          (Expr.of_int 20);
+      op = Linexpr.Le;
+      tag = 0;
+    };
+  (* Boolean variable 1: area >= 20 (nonlinear: product of variables). *)
+  A.Ab_problem.define problem ~bool_var:1 ~domain:A.Ab_problem.Dreal
+    {
+      Expr.expr = Expr.sub (Expr.mul (Expr.var w) (Expr.var h)) (Expr.of_int 20);
+      op = Linexpr.Ge;
+      tag = 1;
+    };
+  (* Boolean variables 2 and 3: width >= 6, height >= 6. *)
+  A.Ab_problem.define problem ~bool_var:2 ~domain:A.Ab_problem.Dreal
+    { Expr.expr = Expr.sub (Expr.var w) (Expr.of_int 6); op = Linexpr.Ge; tag = 2 };
+  A.Ab_problem.define problem ~bool_var:3 ~domain:A.Ab_problem.Dreal
+    { Expr.expr = Expr.sub (Expr.var h) (Expr.of_int 6); op = Linexpr.Ge; tag = 3 };
+  (* CNF: 1 and 2 and (3 or 4) in DIMACS terms. *)
+  A.Ab_problem.add_clause problem [ Types.pos 0 ];
+  A.Ab_problem.add_clause problem [ Types.pos 1 ];
+  A.Ab_problem.add_clause problem [ Types.pos 2; Types.pos 3 ];
+
+  print_endline "Problem in ABSOLVER's input language (Fig. 2 format):";
+  print_string (A.Dimacs_ext.to_string problem);
+  print_newline ();
+
+  (match A.Engine.solve problem with
+  | A.Engine.R_sat solution, stats ->
+    Format.printf "Result: sat@.%a@." (A.Solution.pp problem) solution;
+    Format.printf "Engine: %a@." A.Engine.pp_run_stats stats;
+    (match A.Solution.check problem solution with
+    | Ok () -> print_endline "Solution re-verified against the problem."
+    | Error e -> print_endline ("VERIFICATION FAILED: " ^ e))
+  | A.Engine.R_unsat, _ -> print_endline "Result: unsat (unexpected!)"
+  | A.Engine.R_unknown why, _ -> print_endline ("Result: unknown - " ^ why));
+
+  (* The 3-valued circuit view (paper Fig. 5): evaluate under a partial
+     assignment. *)
+  let circuit = A.Ab_problem.to_circuit problem in
+  let value =
+    Absolver_circuit.Circuit.eval
+      ~bool_env:(fun v ->
+        if v = 0 then Absolver_circuit.Tribool.True else Absolver_circuit.Tribool.Unknown)
+      ~arith_env:(fun _ -> None)
+      circuit
+  in
+  Format.printf "Circuit output under a partial assignment: %a (size %d gates)@."
+    Absolver_circuit.Tribool.pp value
+    (Absolver_circuit.Circuit.size circuit)

@@ -1,0 +1,1 @@
+lib/absolver/ab_problem.ml: Absolver_circuit Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Array Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/absolver/ab_problem.mli: Absolver_circuit Absolver_nlp Absolver_numeric Absolver_sat Format

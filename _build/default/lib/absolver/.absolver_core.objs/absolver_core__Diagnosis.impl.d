@@ -1,0 +1,1 @@
+lib/absolver/diagnosis.ml: Absolver_sat Array Engine Hashtbl List Solution

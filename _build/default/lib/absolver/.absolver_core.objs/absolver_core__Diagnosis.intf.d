@@ -1,0 +1,1 @@
+lib/absolver/diagnosis.mli: Ab_problem Absolver_sat Engine Registry Solution

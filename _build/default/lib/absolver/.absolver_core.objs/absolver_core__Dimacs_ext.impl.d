@@ -1,0 +1,1 @@
+lib/absolver/dimacs_ext.ml: Ab_problem Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/absolver/dimacs_ext.mli: Ab_problem Absolver_nlp

@@ -1,0 +1,1 @@
+lib/absolver/engine.ml: Ab_problem Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Array Either Float Format Fun Hashtbl Interval List Option Printf Registry Solution Unix

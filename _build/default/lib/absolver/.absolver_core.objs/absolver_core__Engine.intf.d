@@ -1,0 +1,1 @@
+lib/absolver/engine.mli: Ab_problem Absolver_lp Absolver_numeric Absolver_sat Format Registry Solution Stdlib

@@ -1,0 +1,1 @@
+lib/absolver/registry.mli: Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat

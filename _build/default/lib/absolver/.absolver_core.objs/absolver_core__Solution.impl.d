@@ -1,0 +1,1 @@
+lib/absolver/solution.ml: Ab_problem Absolver_nlp Absolver_numeric Absolver_sat Array Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/absolver/solution.mli: Ab_problem Absolver_numeric Format

@@ -1,0 +1,64 @@
+module Types = Absolver_sat.Types
+
+type t = { abnormal : Types.var list; witness : Solution.t }
+
+let abnormal_of health_vars (sol : Solution.t) =
+  List.filter (fun h -> sol.Solution.bools.(h)) health_vars
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let minimize candidates =
+  (* Keep subset-minimal abnormal sets; prefer the earliest witness. *)
+  List.filter
+    (fun d ->
+      not
+        (List.exists
+           (fun d' -> d' != d && subset d'.abnormal d.abnormal
+                      && List.length d'.abnormal < List.length d.abnormal)
+           candidates))
+    candidates
+
+let dedup candidates =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let key = List.sort compare d.abnormal in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    candidates
+
+let diagnoses ?registry ?options ?(limit = 4096) ~health_vars problem =
+  let options =
+    match options with
+    | Some o -> o
+    | None ->
+      (* Prefer healthy components in the Boolean search so small
+         diagnoses surface first. *)
+      { Engine.default_options with Engine.default_phase = false }
+  in
+  (* Enumerate feasible health assignments: projection onto the health
+     variables makes the engine block whole fault hypotheses at a time. *)
+  match Engine.all_models ~projection:health_vars ?registry ~options ~limit problem with
+  | Error e -> Error e
+  | Ok (solutions, _) ->
+    let candidates =
+      List.map
+        (fun sol -> { abnormal = abnormal_of health_vars sol; witness = sol })
+        solutions
+    in
+    let minimal =
+      minimize (dedup candidates)
+      |> List.sort (fun a b ->
+           compare
+             (List.length a.abnormal, a.abnormal)
+             (List.length b.abnormal, b.abnormal))
+    in
+    Ok minimal
+
+let healthy_consistent ?registry ~health_vars problem =
+  match diagnoses ?registry ~limit:64 ~health_vars problem with
+  | Ok ds -> List.exists (fun d -> d.abnormal = []) ds
+  | Error _ -> false

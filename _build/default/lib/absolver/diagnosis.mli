@@ -1,0 +1,40 @@
+(** Consistency-based diagnosis on AB-problems.
+
+    The paper singles this application out as the reason ABSOLVER supports
+    all-solutions Boolean solvers: "the use of LSAT is desirable for
+    applications such as consistency-based diagnosis, where more than one
+    Boolean solution may be required to reason about the failure state of
+    systems" (Sec. 4, citing [2]).
+
+    Encoding convention (Reiter-style, weak fault model): each component
+    has a {e health variable} whose [true] value means the component is
+    {b abnormal}; the component's behavioural constraint [o] (a defined
+    Boolean variable) is linked by a clause [(h \/ o)] — healthy implies
+    correct behaviour, abnormal leaves it open. Observations are asserted
+    as unit clauses/definitions.
+
+    A {e diagnosis} is a set of components whose abnormality is consistent
+    with the observations; reported diagnoses are subset-minimal. *)
+
+module Types = Absolver_sat.Types
+
+type t = {
+  abnormal : Types.var list; (** health variables set to abnormal *)
+  witness : Solution.t; (** one feasible scenario under this diagnosis *)
+}
+
+val diagnoses :
+  ?registry:Registry.t ->
+  ?options:Engine.options ->
+  ?limit:int ->
+  health_vars:Types.var list ->
+  Ab_problem.t ->
+  (t list, string) result
+(** All subset-minimal diagnoses, each with a witness scenario. [limit]
+    bounds the number of health-variable assignments explored
+    (default 4096). *)
+
+val healthy_consistent :
+  ?registry:Registry.t -> health_vars:Types.var list -> Ab_problem.t -> bool
+(** True iff the all-healthy assignment is consistent with the
+    observations (no fault detected). *)

@@ -1,0 +1,381 @@
+module Q = Absolver_numeric.Rational
+module Expr = Absolver_nlp.Expr
+module Types = Absolver_sat.Types
+module Linexpr = Absolver_lp.Linexpr
+
+(* ------------------------------------------------------------------ *)
+(* Lexer for arithmetic expressions and relations.                     *)
+
+type token =
+  | T_num of Q.t
+  | T_ident of string
+  | T_plus
+  | T_minus
+  | T_star
+  | T_slash
+  | T_caret
+  | T_lparen
+  | T_rparen
+  | T_cmp of Linexpr.op
+  | T_eof
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '+' then (push T_plus; incr i)
+    else if c = '-' then (push T_minus; incr i)
+    else if c = '*' then (push T_star; incr i)
+    else if c = '/' then (push T_slash; incr i)
+    else if c = '^' then (push T_caret; incr i)
+    else if c = '(' then (push T_lparen; incr i)
+    else if c = ')' then (push T_rparen; incr i)
+    else if c = '<' then
+      if !i + 1 < n && s.[!i + 1] = '=' then (push (T_cmp Linexpr.Le); i := !i + 2)
+      else (push (T_cmp Linexpr.Lt); incr i)
+    else if c = '>' then
+      if !i + 1 < n && s.[!i + 1] = '=' then (push (T_cmp Linexpr.Ge); i := !i + 2)
+      else (push (T_cmp Linexpr.Gt); incr i)
+    else if c = '=' then
+      if !i + 1 < n && s.[!i + 1] = '=' then (push (T_cmp Linexpr.Eq); i := !i + 2)
+      else (push (T_cmp Linexpr.Eq); incr i)
+    else if (c >= '0' && c <= '9') || c = '.' then begin
+      let start = !i in
+      let seen_e = ref false in
+      let continue = ref true in
+      while !continue && !i < n do
+        let d = s.[!i] in
+        if (d >= '0' && d <= '9') || d = '.' then incr i
+        else if (d = 'e' || d = 'E') && not !seen_e
+                && !i + 1 < n
+                && (let nx = s.[!i + 1] in
+                    (nx >= '0' && nx <= '9') || nx = '-' || nx = '+')
+        then begin
+          seen_e := true;
+          i := !i + 2
+        end
+        else continue := false
+      done;
+      let text = String.sub s start (!i - start) in
+      match Q.of_decimal_string text with
+      | q -> push (T_num q)
+      | exception Invalid_argument _ -> fail "malformed number %S" text
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let d = s.[!i] in
+        (d >= 'a' && d <= 'z')
+        || (d >= 'A' && d <= 'Z')
+        || (d >= '0' && d <= '9')
+        || d = '_' || d = '.' || d = '\''
+      do
+        incr i
+      done;
+      push (T_ident (String.sub s start (!i - start)))
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev (T_eof :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser.                                           *)
+
+type parser_state = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> T_eof
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail "expected %s" msg
+
+let functions = [ "sqrt"; "exp"; "log"; "sin"; "cos" ]
+
+let rec parse_sum problem st =
+  let lhs = parse_product problem st in
+  let rec loop acc =
+    match peek st with
+    | T_plus ->
+      advance st;
+      loop (Expr.add acc (parse_product problem st))
+    | T_minus ->
+      advance st;
+      loop (Expr.sub acc (parse_product problem st))
+    | T_num _ | T_ident _ | T_star | T_slash | T_caret | T_lparen | T_rparen
+    | T_cmp _ | T_eof ->
+      acc
+  in
+  loop lhs
+
+and parse_product problem st =
+  let lhs = parse_factor problem st in
+  let rec loop acc =
+    match peek st with
+    | T_star ->
+      advance st;
+      loop (Expr.mul acc (parse_factor problem st))
+    | T_slash ->
+      advance st;
+      loop (Expr.div acc (parse_factor problem st))
+    | T_num _ | T_ident _ | T_plus | T_minus | T_caret | T_lparen | T_rparen
+    | T_cmp _ | T_eof ->
+      acc
+  in
+  loop lhs
+
+and parse_factor problem st =
+  match peek st with
+  | T_minus ->
+    advance st;
+    Expr.neg (parse_factor problem st)
+  | T_plus ->
+    advance st;
+    parse_factor problem st
+  | T_num _ | T_ident _ | T_lparen -> parse_power problem st
+  | T_star | T_slash | T_caret | T_rparen | T_cmp _ | T_eof ->
+    fail "expected a factor"
+
+and parse_power problem st =
+  let base = parse_atom problem st in
+  match peek st with
+  | T_caret -> (
+    advance st;
+    match peek st with
+    | T_num q when Q.is_integer q ->
+      advance st;
+      Expr.pow base (Absolver_numeric.Bigint.to_int (Q.num q))
+    | T_minus -> (
+      advance st;
+      match peek st with
+      | T_num q when Q.is_integer q ->
+        advance st;
+        Expr.pow base (-Absolver_numeric.Bigint.to_int (Q.num q))
+      | _ -> fail "expected integer exponent after '^-'")
+    | _ -> fail "expected integer exponent after '^'")
+  | _ -> base
+
+and parse_atom problem st =
+  match peek st with
+  | T_num q ->
+    advance st;
+    Expr.const q
+  | T_lparen ->
+    advance st;
+    let e = parse_sum problem st in
+    expect st T_rparen "')'";
+    e
+  | T_ident name when List.mem name functions ->
+    advance st;
+    expect st T_lparen (Printf.sprintf "'(' after %s" name);
+    let arg = parse_sum problem st in
+    expect st T_rparen "')'";
+    (match name with
+    | "sqrt" -> Expr.sqrt arg
+    | "exp" -> Expr.exp arg
+    | "log" -> Expr.log arg
+    | "sin" -> Expr.sin arg
+    | "cos" -> Expr.cos arg
+    | _ -> assert false)
+  | T_ident name ->
+    advance st;
+    Expr.var (Ab_problem.intern_arith_var problem name)
+  | T_plus | T_minus | T_star | T_slash | T_caret | T_rparen | T_cmp _ | T_eof
+    ->
+    fail "expected a number, variable or '('"
+
+let parse_expr problem text =
+  match
+    let st = { toks = tokenize text } in
+    let e = parse_sum problem st in
+    if peek st <> T_eof then fail "trailing tokens after expression";
+    e
+  with
+  | e -> Ok e
+  | exception Parse_error msg -> Error msg
+
+let parse_rel_exn problem text =
+  let st = { toks = tokenize text } in
+  let lhs = parse_sum problem st in
+  let op =
+    match peek st with
+    | T_cmp op ->
+      advance st;
+      op
+    | _ -> fail "expected a comparison operator"
+  in
+  let rhs = parse_sum problem st in
+  if peek st <> T_eof then fail "trailing tokens after relation";
+  { Expr.expr = Expr.sub lhs rhs; op; tag = 0 }
+
+let parse_rel problem text =
+  match parse_rel_exn problem text with
+  | r -> Ok r
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* File-level parsing.                                                 *)
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_string text =
+  let problem = Ab_problem.create () in
+  let error = ref None in
+  let set_error line_no msg =
+    if !error = None then
+      error := Some (Printf.sprintf "line %d: %s" line_no msg)
+  in
+  let current = ref [] in
+  let handle_def line_no rest =
+    (* rest = "int 1 i >= 0" *)
+    match split_ws rest with
+    | domain_s :: var_s :: _ -> (
+      let domain =
+        match domain_s with
+        | "int" -> Some Ab_problem.Dint
+        | "real" -> Some Ab_problem.Dreal
+        | _ -> None
+      in
+      match (domain, int_of_string_opt var_s) with
+      | Some domain, Some dimacs_var when dimacs_var > 0 -> (
+        (* Everything after the variable token is the relation. *)
+        let prefix_len =
+          (* find position after the 2nd token in the original string *)
+          let rec skip i remaining =
+            if remaining = 0 then i
+            else if i >= String.length rest then i
+            else if rest.[i] = ' ' || rest.[i] = '\t' then
+              let rec eat j =
+                if j < String.length rest && (rest.[j] = ' ' || rest.[j] = '\t')
+                then eat (j + 1)
+                else j
+              in
+              skip (eat i) (remaining - 1)
+            else skip (i + 1) remaining
+          in
+          let rec eat j =
+            if j < String.length rest && (rest.[j] = ' ' || rest.[j] = '\t') then
+              eat (j + 1)
+            else j
+          in
+          skip (eat 0) 2
+        in
+        let rel_text = String.sub rest prefix_len (String.length rest - prefix_len) in
+        match parse_rel problem rel_text with
+        | Ok rel ->
+          Ab_problem.define problem ~bool_var:(dimacs_var - 1) ~domain rel
+        | Error msg -> set_error line_no msg)
+      | _ -> set_error line_no "malformed def line")
+    | _ -> set_error line_no "malformed def line"
+  in
+  let handle_bound line_no rest =
+    match split_ws rest with
+    | [ name; lo_s; hi_s ] -> (
+      let v = Ab_problem.intern_arith_var problem name in
+      let parse_opt s =
+        if s = "_" then Ok None
+        else
+          match Q.of_decimal_string s with
+          | q -> Ok (Some q)
+          | exception Invalid_argument m -> Error m
+      in
+      match (parse_opt lo_s, parse_opt hi_s) with
+      | Ok lo, Ok hi -> Ab_problem.set_bounds problem v ?lower:lo ?upper:hi ()
+      | Error m, _ | _, Error m -> set_error line_no m)
+    | _ -> set_error line_no "malformed bound line"
+  in
+  let handle_line line_no line =
+    let line = String.trim line in
+    if line = "" then ()
+    else if String.length line >= 1 && line.[0] = 'c' then begin
+      let body = String.sub line 1 (String.length line - 1) |> String.trim in
+      if String.length body >= 4 && String.sub body 0 4 = "def " then
+        handle_def line_no (String.sub body 4 (String.length body - 4))
+      else if String.length body >= 6 && String.sub body 0 6 = "bound " then
+        handle_bound line_no (String.sub body 6 (String.length body - 6))
+      else () (* plain comment *)
+    end
+    else if line.[0] = 'p' then begin
+      match split_ws line with
+      | [ "p"; "cnf"; v; _c ] -> (
+        match int_of_string_opt v with
+        | Some v -> Ab_problem.ensure_bool_vars problem v
+        | None -> set_error line_no "malformed problem line")
+      | _ -> set_error line_no "malformed problem line"
+    end
+    else
+      List.iter
+        (fun tok ->
+          match int_of_string_opt tok with
+          | None -> set_error line_no (Printf.sprintf "bad literal %S" tok)
+          | Some 0 ->
+            Ab_problem.add_clause problem (List.rev !current);
+            current := []
+          | Some lit -> current := Types.of_dimacs lit :: !current)
+        (split_ws line)
+  in
+  List.iteri (fun i l -> handle_line (i + 1) l) (String.split_on_char '\n' text);
+  if !current <> [] then Ab_problem.add_clause problem (List.rev !current);
+  match !error with
+  | Some msg -> Error msg
+  | None -> (
+    match Ab_problem.validate problem with
+    | Ok () -> Ok problem
+    | Error msg -> Error msg)
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    parse_string content
+
+let to_string problem =
+  let buf = Buffer.create 1024 in
+  let clauses = Ab_problem.clauses problem in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n"
+       (Ab_problem.num_bool_vars problem)
+       (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l -> Buffer.add_string buf (string_of_int (Types.to_dimacs l) ^ " "))
+        clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  let name v = Ab_problem.arith_var_name problem v in
+  List.iter
+    (fun (d : Ab_problem.def) ->
+      Buffer.add_string buf
+        (Format.asprintf "c def %a %d %s %a 0\n" Ab_problem.pp_domain d.domain
+           (d.bool_var + 1)
+           (Expr.to_string ~name d.rel.Expr.expr)
+           Linexpr.pp_op d.rel.Expr.op))
+    (Ab_problem.defs problem);
+  List.iter
+    (fun (v, (lo, hi)) ->
+      let s = function None -> "_" | Some q -> Q.to_string q in
+      Buffer.add_string buf
+        (Printf.sprintf "c bound %s %s %s\n" (name v) (s lo) (s hi)))
+    (Ab_problem.bounds problem);
+  Buffer.contents buf
+
+let write_file path problem =
+  let oc = open_out path in
+  output_string oc (to_string problem);
+  close_out oc

@@ -1,0 +1,33 @@
+(** ABSOLVER's input language (paper Sec. 1.1, Fig. 2): standard DIMACS
+    CNF, with arithmetic constraint definitions carried in comment lines
+
+    {v
+    c def int 1 i >= 0
+    c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
+    v}
+
+    so that any Boolean solver unaware of the extension still accepts the
+    file. Two further comment forms are ours (documented extensions):
+
+    {v
+    c bound x -7.0 7.0    (unconditional range of an arithmetic variable)
+    c name 3 stable       (optional human name for a Boolean variable)
+    v}
+
+    Expressions use [+ - * / ^] with the usual precedence, parentheses,
+    decimal constants, and the function symbols [sqrt exp log sin cos]
+    (the operator extension Sec. 2 mentions). Comparators: [< > <= >= =]. *)
+
+val parse_string : string -> (Ab_problem.t, string) result
+val parse_file : string -> (Ab_problem.t, string) result
+val to_string : Ab_problem.t -> string
+val write_file : string -> Ab_problem.t -> unit
+
+val parse_expr :
+  Ab_problem.t -> string -> (Absolver_nlp.Expr.t, string) result
+(** Parse a single arithmetic expression, interning its variables into the
+    problem (exposed for tests and the CLI). *)
+
+val parse_rel :
+  Ab_problem.t -> string -> (Absolver_nlp.Expr.rel, string) result
+(** Parse ["lhs op rhs"] into the normalized relation [lhs - rhs op 0]. *)

@@ -1,0 +1,646 @@
+module Q = Absolver_numeric.Rational
+module I = Absolver_numeric.Interval
+module Types = Absolver_sat.Types
+module Cdcl = Absolver_sat.Cdcl
+module Expr = Absolver_nlp.Expr
+module Box = Absolver_nlp.Box
+module Linexpr = Absolver_lp.Linexpr
+module Conflict = Absolver_lp.Conflict
+
+type options = {
+  minimize_conflicts : bool;
+  max_bool_models : int;
+  eq_split_limit : int;
+  sat_max_conflicts : int;
+  max_unknown_models : int;
+  default_phase : bool;
+  use_linear_relaxation : bool;
+}
+
+let default_options =
+  {
+    minimize_conflicts = false;
+    max_bool_models = 2_000_000;
+    eq_split_limit = 12;
+    sat_max_conflicts = 50_000_000;
+    max_unknown_models = 500;
+    default_phase = true;
+    use_linear_relaxation = true;
+  }
+
+type result = R_sat of Solution.t | R_unsat | R_unknown of string
+
+let pp_result problem fmt = function
+  | R_sat s -> Format.fprintf fmt "sat@,%a" (Solution.pp problem) s
+  | R_unsat -> Format.pp_print_string fmt "unsat"
+  | R_unknown why -> Format.fprintf fmt "unknown (%s)" why
+
+type run_stats = {
+  mutable bool_models : int;
+  mutable linear_checks : int;
+  mutable linear_conflicts : int;
+  mutable nonlinear_calls : int;
+  mutable blocking_clauses : int;
+  mutable eq_branches : int;
+  mutable wall_seconds : float;
+}
+
+let mk_stats () =
+  {
+    bool_models = 0;
+    linear_checks = 0;
+    linear_conflicts = 0;
+    nonlinear_calls = 0;
+    blocking_clauses = 0;
+    eq_branches = 0;
+    wall_seconds = 0.0;
+  }
+
+let pp_run_stats fmt s =
+  Format.fprintf fmt
+    "models=%d lin-checks=%d lin-conflicts=%d nl-calls=%d blocked=%d eq-branches=%d time=%.3fs"
+    s.bool_models s.linear_checks s.linear_conflicts s.nonlinear_calls
+    s.blocking_clauses s.eq_branches s.wall_seconds
+
+(* Outcome of checking one Boolean model arithmetically. *)
+type model_check =
+  | M_sat of Solution.t
+  | M_conflict of Types.lit list (* blocking clause *)
+  | M_unknown of string
+
+(* All sign combinations for the branched (negated equation) definitions:
+   each choice picks one relation from each group. *)
+let rec combinations = function
+  | [] -> [ [] ]
+  | group :: rest ->
+    let tails = combinations rest in
+    List.concat_map (fun rel -> List.map (fun t -> rel :: t) tails) group
+
+let initial_box problem =
+  let n = Ab_problem.num_arith_vars problem in
+  let box = Box.create n in
+  List.iter
+    (fun (v, (lo, hi)) -> Box.set box v (I.of_rational_bounds lo hi))
+    (Ab_problem.bounds problem);
+  box
+
+(* Build the blocking clause that forbids the delta-valuation selected by
+   [model] on the definition variables listed in [tags]. *)
+let blocking_of_tags model tags =
+  tags
+  |> List.filter (fun tag -> tag >= 0)
+  |> List.sort_uniq compare
+  |> List.map (fun v -> if model.(v) then Types.neg_of_var v else Types.pos v)
+
+(* Linear relaxation: replace each maximal nonlinear subterm by an
+   auxiliary variable bounded by the subterm's interval range over the
+   problem box.  Structurally identical subterms share their auxiliary
+   variable, so e.g. [yaw - f(v) >= 0.4] and [yaw - f(v) <= -0.4] become
+   jointly LP-infeasible with the two-literal core {over, under} -- the
+   layering that lets the cheap solver prune before the expensive one
+   runs. *)
+module Relax = struct
+  type t = {
+    mutable next_aux : int;
+    table : (string, int) Hashtbl.t;
+    mutable aux_bounds : Linexpr.cons list;
+    box : Box.t;
+  }
+
+  let create ~first_aux ~box =
+    { next_aux = first_aux; table = Hashtbl.create 16; aux_bounds = []; box }
+
+  let aux_for st (e : Expr.t) =
+    let key = Expr.to_string e in
+    match Hashtbl.find_opt st.table key with
+    | Some v -> v
+    | None ->
+      let v = st.next_aux in
+      st.next_aux <- v + 1;
+      Hashtbl.add st.table key v;
+      let range = Expr.eval_interval (Box.env st.box) e in
+      let open Absolver_numeric in
+      (if (not (Interval.is_empty range)) && Float.is_finite range.Interval.lo
+       then
+         st.aux_bounds <-
+           {
+             Linexpr.expr =
+               Linexpr.add_term
+                 (Linexpr.constant (Q.neg (Q.of_float range.Interval.lo)))
+                 Q.one v;
+             op = Linexpr.Ge;
+             tag = Ab_problem.bounds_tag;
+           }
+           :: st.aux_bounds);
+      (if (not (Interval.is_empty range)) && Float.is_finite range.Interval.hi
+       then
+         st.aux_bounds <-
+           {
+             Linexpr.expr =
+               Linexpr.add_term
+                 (Linexpr.constant (Q.neg (Q.of_float range.Interval.hi)))
+                 Q.one v;
+             op = Linexpr.Le;
+             tag = Ab_problem.bounds_tag;
+           }
+           :: st.aux_bounds);
+      v
+
+  let rec linexpr st (e : Expr.t) : Linexpr.t =
+    match Expr.linearize e with
+    | Some le -> le
+    | None -> (
+      match e with
+      | Expr.Add (a, b) -> Linexpr.add (linexpr st a) (linexpr st b)
+      | Expr.Sub (a, b) -> Linexpr.sub (linexpr st a) (linexpr st b)
+      | Expr.Neg a -> Linexpr.neg (linexpr st a)
+      | Expr.Mul (a, b) -> (
+        match (Expr.linearize a, Expr.linearize b) with
+        | Some la, _ when Linexpr.is_constant la ->
+          Linexpr.scale (Linexpr.const la) (linexpr st b)
+        | _, Some lb when Linexpr.is_constant lb ->
+          Linexpr.scale (Linexpr.const lb) (linexpr st a)
+        | _ -> Linexpr.var (aux_for st e))
+      | Expr.Div (a, b) -> (
+        match Expr.linearize b with
+        | Some lb
+          when Linexpr.is_constant lb && not (Q.is_zero (Linexpr.const lb)) ->
+          Linexpr.scale (Q.inv (Linexpr.const lb)) (linexpr st a)
+        | _ -> Linexpr.var (aux_for st e))
+      | Expr.Const _ | Expr.Var _ | Expr.Pow _ | Expr.Sqrt _ | Expr.Exp _
+      | Expr.Log _ | Expr.Sin _ | Expr.Cos _ ->
+        Linexpr.var (aux_for st e))
+end
+
+let check_model ~registry ~options ~stats problem (model : bool array) =
+  let defs = Ab_problem.defs problem in
+  let bound_rels = Ab_problem.bound_rels problem in
+  let int_vars =
+    List.concat_map
+      (fun (d : Ab_problem.def) ->
+        if d.domain = Ab_problem.Dint then Expr.vars d.rel.Expr.expr else [])
+      defs
+    |> List.sort_uniq compare
+  in
+  (* Split definitions into fixed relations and branching groups: a true
+     variable contributes all of its constraints; a false variable demands
+     that at least one constraint of its conjunction fail, which (together
+     with the Eq split of Sec. 1) yields a disjunctive branching group. *)
+  let fixed, groups =
+    List.fold_left
+      (fun (fixed, groups) v ->
+        let rels =
+          List.map (fun (d : Ab_problem.def) -> d.rel) (Ab_problem.find_defs problem v)
+        in
+        if model.(v) then (rels @ fixed, groups)
+        else
+          match List.concat_map Expr.negate_rel rels with
+          | [ r ] -> (r :: fixed, groups)
+          | rs -> (fixed, rs :: groups))
+      ([], [])
+      (Ab_problem.defined_vars problem)
+  in
+  if List.length groups > options.eq_split_limit then
+    M_unknown
+      (Printf.sprintf "more than %d negated equations in one Boolean model"
+         options.eq_split_limit)
+  else begin
+    let all_combos = combinations groups in
+    let cores = ref [] in
+    let unknown = ref None in
+    let solution = ref None in
+    let nvars = Ab_problem.num_arith_vars problem in
+    let try_combo combo =
+      stats.eq_branches <- stats.eq_branches + 1;
+      let rels = fixed @ combo @ bound_rels in
+      let linear, nonlinear =
+        List.partition_map
+          (fun (r : Expr.rel) ->
+            match Expr.linearize r.Expr.expr with
+            | Some le -> Either.Left { Linexpr.expr = le; op = r.Expr.op; tag = r.Expr.tag }
+            | None -> Either.Right r)
+          rels
+      in
+      (* Linear filter, including relaxations of the nonlinear part. *)
+      stats.linear_checks <- stats.linear_checks + 1;
+      let lsolver =
+        match registry.Registry.linear with
+        | s :: _ -> s
+        | [] -> failwith "no linear solver registered"
+      in
+      let lp_input =
+        if options.use_linear_relaxation && nonlinear <> [] then begin
+          let st = Relax.create ~first_aux:nvars ~box:(initial_box problem) in
+          let relaxed =
+            List.map
+              (fun (r : Expr.rel) ->
+                {
+                  Linexpr.expr = Relax.linexpr st r.Expr.expr;
+                  op = r.Expr.op;
+                  tag = r.Expr.tag;
+                })
+              nonlinear
+          in
+          linear @ relaxed @ st.Relax.aux_bounds
+        end
+        else linear
+      in
+      match lsolver.Registry.ls_solve ~int_vars lp_input with
+      | Registry.L_unsat tags ->
+        stats.linear_conflicts <- stats.linear_conflicts + 1;
+        let tags =
+          if options.minimize_conflicts then Conflict.minimal_core linear tags
+          else tags
+        in
+        cores := tags :: !cores
+      | Registry.L_sat lin_model ->
+        if nonlinear = [] then begin
+          let arith = Array.make nvars None in
+          List.iter
+            (fun (v, q) -> if v < nvars then arith.(v) <- Some (Solution.Exact q))
+            lin_model;
+          solution :=
+            Some (Solution.make ~bools:(Array.copy model) ~arith ~certified:true)
+        end
+        else begin
+          (* Nonlinear step over the full relation system so shared
+             variables stay consistent. *)
+          stats.nonlinear_calls <- stats.nonlinear_calls + 1;
+          let box = initial_box problem in
+          (* The paper's solver-list semantics: try each registered solver
+             until one produces a decent result. *)
+          let rec try_solvers = function
+            | [] -> Registry.N_unknown
+            | (s : Registry.nonlinear_solver) :: rest -> (
+              match s.Registry.ns_solve ~nvars ~box rels with
+              | Registry.N_unknown -> try_solvers rest
+              | verdict -> verdict)
+          in
+          let nl_vars =
+            List.concat_map (fun (r : Expr.rel) -> Expr.vars r.Expr.expr) nonlinear
+            |> List.sort_uniq compare
+          in
+          let witness p certified =
+            (* Integer variables appearing in nonlinear constraints: snap
+               near-integral witness coordinates when the snapped point
+               still satisfies everything. *)
+            let p =
+              let snapped = Array.copy p in
+              let changed = ref false in
+              List.iter
+                (fun v ->
+                  if List.mem v nl_vars then begin
+                    let r = Float.round snapped.(v) in
+                    if Float.abs (snapped.(v) -. r) > 0.0 && Float.abs (snapped.(v) -. r) < 1e-6
+                    then begin
+                      snapped.(v) <- r;
+                      changed := true
+                    end
+                  end)
+                int_vars;
+              if
+                !changed
+                && List.for_all
+                     (fun r -> Expr.holds_float ~tol:1e-9 (fun v -> snapped.(v)) r)
+                     rels
+              then snapped
+              else p
+            in
+            (* The witness pins the nonlinear variables; re-solve the
+               linear subsystem exactly with the shared variables fixed so
+               purely-linear (and integer) variables get exact values. *)
+            let fix_tag = -3 in
+            let fixes =
+              List.filter_map
+                (fun v ->
+                  let touched =
+                    List.exists
+                      (fun (c : Linexpr.cons) -> List.mem v (Linexpr.vars c.Linexpr.expr))
+                      linear
+                  in
+                  if touched then
+                    Some
+                      {
+                        Linexpr.expr =
+                          Linexpr.add_term
+                            (Linexpr.constant (Q.neg (Q.of_float p.(v))))
+                            Q.one v;
+                        op = Linexpr.Eq;
+                        tag = fix_tag;
+                      }
+                  else None)
+                nl_vars
+            in
+            let exact_part =
+              match lsolver.Registry.ls_solve ~int_vars (fixes @ linear) with
+              | Registry.L_sat m -> Some m
+              | Registry.L_unsat _ -> None
+            in
+            let arith = Array.make nvars None in
+            (match exact_part with
+            | Some m ->
+              List.iter
+                (fun (v, q) -> if v < nvars then arith.(v) <- Some (Solution.Exact q))
+                m;
+              List.iter (fun v -> arith.(v) <- Some (Solution.Approx p.(v))) nl_vars
+            | None ->
+              (* Fall back to the raw witness for every variable. *)
+              Array.iteri (fun v _ -> arith.(v) <- Some (Solution.Approx p.(v))) arith);
+            solution :=
+              Some
+                (Solution.make ~bools:(Array.copy model) ~arith
+                   ~certified:(certified && exact_part <> None))
+          in
+          match try_solvers registry.Registry.nonlinear with
+          | Registry.N_sat p -> witness p true
+          | Registry.N_approx p -> witness p false
+          | Registry.N_unsat ->
+            (* Conservative core: every definition participating in this
+               subsystem. *)
+            let tags =
+              List.filter_map
+                (fun (r : Expr.rel) -> if r.Expr.tag >= 0 then Some r.Expr.tag else None)
+                rels
+            in
+            cores := tags :: !cores
+          | Registry.N_unknown -> unknown := Some "nonlinear solver gave up"
+        end
+    in
+    let rec run = function
+      | [] -> ()
+      | combo :: rest ->
+        if !solution = None && !unknown = None then begin
+          try_combo combo;
+          run rest
+        end
+    in
+    run all_combos;
+    match (!solution, !unknown) with
+    | Some s, _ -> M_sat s
+    | None, Some why -> M_unknown why
+    | None, None ->
+      let union = List.sort_uniq compare (List.concat !cores) in
+      M_conflict (blocking_of_tags model union)
+  end
+
+(* Enumerate Boolean models according to the configured strategy, invoking
+   [on_model]; the callback's verdict drives blocking. *)
+let enumerate ?projection:projection_override ~registry ~options ~stats problem
+    ~on_feasible =
+  let num_vars = Ab_problem.num_bool_vars problem in
+  let clauses = Ab_problem.clauses problem in
+  let strategy =
+    match registry.Registry.boolean with
+    | s :: _ -> s.Registry.bs_strategy
+    | [] -> Registry.Lsat_incremental
+  in
+  let had_unknown = ref None in
+  let unknown_count = ref 0 in
+  let finished = ref false in
+  let result = ref R_unsat in
+  (* Blocking projection: the declared meaningful variables, defaulting to
+     every variable.  Same projection => same arithmetic subsystem, so
+     blocking the projection is sound and skips auxiliary-variable
+     permutations of the same delta-valuation. *)
+  let projection =
+    match projection_override with
+    | Some vs -> vs
+    | None -> (
+      match Ab_problem.projection problem with
+      | Some vs -> vs
+      | None -> List.init num_vars Fun.id)
+  in
+  let block_projection solver_model =
+    List.map
+      (fun v -> if solver_model.(v) then Types.neg_of_var v else Types.pos v)
+      projection
+  in
+  let handle_model solver_model add_blocking =
+    stats.bool_models <- stats.bool_models + 1;
+    if stats.bool_models > options.max_bool_models then begin
+      had_unknown := Some "Boolean model budget exhausted";
+      finished := true
+    end
+    else
+      match check_model ~registry ~options ~stats problem solver_model with
+      | M_sat sol -> (
+        match on_feasible sol with
+        | `Stop ->
+          result := R_sat sol;
+          finished := true
+        | `Continue ->
+          result := R_sat sol;
+          let block = block_projection solver_model in
+          stats.blocking_clauses <- stats.blocking_clauses + 1;
+          if block = [] then finished := true else add_blocking block)
+      | M_conflict [] ->
+        (* Arithmetic conflict independent of the Boolean valuation. *)
+        result := (match !result with R_sat _ as s -> s | _ -> R_unsat);
+        finished := true
+      | M_conflict block ->
+        stats.blocking_clauses <- stats.blocking_clauses + 1;
+        add_blocking block
+      | M_unknown why ->
+        had_unknown := Some why;
+        incr unknown_count;
+        if !unknown_count > options.max_unknown_models then finished := true
+        else begin
+          (* Block this delta-valuation so the search can look for a
+             decidable one; the result can no longer be a definitive
+             UNSAT. *)
+          let block = block_projection solver_model in
+          stats.blocking_clauses <- stats.blocking_clauses + 1;
+          if block = [] then finished := true else add_blocking block
+        end
+  in
+  (match strategy with
+  | Registry.Lsat_incremental ->
+    let solver = Cdcl.create () in
+    Cdcl.set_default_phase solver options.default_phase;
+    Cdcl.ensure_vars solver num_vars;
+    List.iter (Cdcl.add_clause solver) clauses;
+    let rec loop () =
+      if not !finished then
+        match Cdcl.solve ~max_conflicts:options.sat_max_conflicts solver with
+        | Types.Unsat -> ()
+        | Types.Unknown -> had_unknown := Some "SAT conflict budget exhausted"
+        | Types.Sat ->
+          let model = Cdcl.model solver in
+          handle_model model (fun block -> Cdcl.add_clause solver block);
+          loop ()
+    in
+    loop ()
+  | Registry.Chaff_restarting ->
+    let blocked = ref [] in
+    let rec loop () =
+      if not !finished then begin
+        (* External restart: rebuild the entire solver, as the paper
+           describes for black-box single-solution solvers. *)
+        let solver = Cdcl.create () in
+        Cdcl.set_default_phase solver options.default_phase;
+        Cdcl.ensure_vars solver num_vars;
+        List.iter (Cdcl.add_clause solver) clauses;
+        List.iter (Cdcl.add_clause solver) !blocked;
+        match Cdcl.solve ~max_conflicts:options.sat_max_conflicts solver with
+        | Types.Unsat -> ()
+        | Types.Unknown -> had_unknown := Some "SAT conflict budget exhausted"
+        | Types.Sat ->
+          let model = Cdcl.model solver in
+          handle_model model (fun block -> blocked := block :: !blocked);
+          loop ()
+      end
+    in
+    loop ());
+  match (!result, !had_unknown) with
+  | R_sat _, _ -> !result
+  | _, Some why -> R_unknown why
+  | r, None -> r
+
+let solve ?(registry = Registry.default) ?(options = default_options) problem =
+  let stats = mk_stats () in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    enumerate ~registry ~options ~stats problem ~on_feasible:(fun _ -> `Stop)
+  in
+  stats.wall_seconds <- Unix.gettimeofday () -. t0;
+  (result, stats)
+
+let all_models ?projection ?(registry = Registry.default)
+    ?(options = default_options) ?(limit = max_int) problem =
+  let stats = mk_stats () in
+  let t0 = Unix.gettimeofday () in
+  let acc = ref [] in
+  let n = ref 0 in
+  let result =
+    enumerate ?projection ~registry ~options ~stats problem
+      ~on_feasible:(fun sol ->
+        acc := sol :: !acc;
+        incr n;
+        if !n >= limit then `Stop else `Continue)
+  in
+  stats.wall_seconds <- Unix.gettimeofday () -. t0;
+  match result with
+  | R_unknown why when !acc = [] -> Error why
+  | R_unknown why when !n < limit -> Error why
+  | R_sat _ | R_unsat | R_unknown _ -> Ok (List.rev !acc, stats)
+
+let count_models ?registry ?options problem =
+  match all_models ?registry ?options problem with
+  | Ok (models, _) -> Ok (List.length models)
+  | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Optimization modulo the Boolean structure (linear problems).        *)
+
+type opt_outcome =
+  | Opt_best of Q.t * Solution.t
+  | Opt_unbounded
+  | Opt_unsat
+  | Opt_unknown of string
+
+exception Opt_stop of opt_outcome
+
+let optimize ?(registry = Registry.default) ?(options = default_options)
+    ?(limit = 10_000) ~objective direction problem =
+  let nonlinear =
+    List.filter
+      (fun (d : Ab_problem.def) -> not (Expr.is_linear d.rel.Expr.expr))
+      (Ab_problem.defs problem)
+  in
+  if nonlinear <> [] then
+    Opt_unknown
+      (Printf.sprintf "%d nonlinear definition(s): optimization is linear-only"
+         (List.length nonlinear))
+  else begin
+    let stats = mk_stats () in
+    let best = ref None in
+    let nvars = Ab_problem.num_arith_vars problem in
+    let bound_cons =
+      List.filter_map
+        (fun (r : Expr.rel) ->
+          Option.map
+            (fun le -> { Linexpr.expr = le; op = r.Expr.op; tag = r.Expr.tag })
+            (Expr.linearize r.Expr.expr))
+        (Ab_problem.bound_rels problem)
+    in
+    let optimize_valuation (sol : Solution.t) =
+      (* Rebuild this delta-valuation's linear system and optimize it. *)
+      let simplex = Absolver_lp.Simplex.create () in
+      Absolver_lp.Simplex.ensure_vars simplex nvars;
+      let add (r : Expr.rel) =
+        match Expr.linearize r.Expr.expr with
+        | None -> ()
+        | Some le ->
+          ignore
+            (Absolver_lp.Simplex.assert_cons simplex
+               { Linexpr.expr = le; op = r.Expr.op; tag = r.Expr.tag })
+      in
+      List.iter
+        (fun (c : Linexpr.cons) -> ignore (Absolver_lp.Simplex.assert_cons simplex c))
+        bound_cons;
+      List.iter
+        (fun v ->
+          let rels =
+            List.map (fun (d : Ab_problem.def) -> d.rel) (Ab_problem.find_defs problem v)
+          in
+          if sol.Solution.bools.(v) then List.iter add rels
+          else
+            (* Disjunctive negations (negated equalities / conjunctions):
+               optimize within the branch the witness satisfies. *)
+            let fenv av = Solution.float_env sol ~default:0.0 av in
+            List.iter
+              (fun r ->
+                match Expr.negate_rel r with
+                | [ nr ] -> add nr
+                | nrs -> (
+                  match
+                    List.find_opt (fun nr -> Expr.holds_float ~tol:1e-9 fenv nr) nrs
+                  with
+                  | Some nr -> add nr
+                  | None -> ( match nrs with nr :: _ -> add nr | [] -> ())))
+              rels)
+        (Ab_problem.defined_vars problem);
+      let obj =
+        match direction with
+        | `Maximize -> objective
+        | `Minimize -> Linexpr.neg objective
+      in
+      match Absolver_lp.Simplex.maximize simplex obj with
+      | Absolver_lp.Simplex.O_infeasible _ -> ()
+      | Absolver_lp.Simplex.O_unbounded -> raise (Opt_stop Opt_unbounded)
+      | Absolver_lp.Simplex.O_optimal (value, model) ->
+        let value = Absolver_numeric.Delta_rational.r value in
+        let value = match direction with `Maximize -> value | `Minimize -> Q.neg value in
+        let better =
+          match !best with
+          | None -> true
+          | Some (v, _) -> (
+            match direction with
+            | `Maximize -> Q.gt value v
+            | `Minimize -> Q.lt value v)
+        in
+        if better then begin
+          let arith = Array.make nvars None in
+          List.iter
+            (fun (v, q) -> if v < nvars then arith.(v) <- Some (Solution.Exact q))
+            model;
+          best :=
+            Some
+              ( value,
+                Solution.make ~bools:(Array.copy sol.Solution.bools) ~arith
+                  ~certified:true )
+        end
+    in
+    match
+      enumerate ~registry ~options ~stats problem ~on_feasible:(fun sol ->
+          optimize_valuation sol;
+          if stats.bool_models >= limit then `Stop else `Continue)
+    with
+    | exception Opt_stop o -> o
+    | R_unknown why when !best = None -> Opt_unknown why
+    | R_unsat when !best = None -> Opt_unsat
+    | R_sat _ | R_unsat | R_unknown _ -> (
+      match !best with
+      | Some (v, sol) -> Opt_best (v, sol)
+      | None -> Opt_unsat)
+  end

@@ -1,0 +1,99 @@
+(** ABSOLVER's control loop (paper Sec. 4).
+
+    The engine queries a Boolean solver for one model (or enumerates all
+    of them), induces the delta-valuation of the defined arithmetic
+    constraints, builds the arithmetic subsystem — splitting negated
+    equations into their [<] and [>] branches as in Sec. 1 — checks the
+    linear part with the linear solver, feeds the smallest conflicting
+    subset back to the SAT solver as a blocking clause on infeasibility,
+    and calls the nonlinear solver whenever the circuit's output pin is
+    still [?]. Iteration continues until a solution is found or all
+    Boolean assignments are exhausted. *)
+
+module Types = Absolver_sat.Types
+
+type options = {
+  minimize_conflicts : bool;
+      (** Post-process linear conflict sets with deletion filtering
+          (guaranteed-minimal hints; ablation switch). *)
+  max_bool_models : int; (** Safety cap on examined Boolean models. *)
+  eq_split_limit : int;
+      (** Maximum number of negated equations branched per model. *)
+  sat_max_conflicts : int;
+  max_unknown_models : int;
+      (** Give up after this many Boolean models whose arithmetic part
+          could not be decided. *)
+  default_phase : bool;
+      (** Initial polarity of the Boolean solver's decisions; [true] makes
+          early models assert constraints positively, which arithmetic
+          subsystems tend to tolerate better. *)
+  use_linear_relaxation : bool;
+      (** Relax nonlinear constraints into the linear check by replacing
+          maximal nonlinear subterms with interval-bounded auxiliary
+          variables: blatantly contradictory delta-valuations then die in
+          the cheap solver with small cores (ablation switch). *)
+}
+
+val default_options : options
+
+type result =
+  | R_sat of Solution.t
+  | R_unsat
+  | R_unknown of string (** why the engine could not decide *)
+
+val pp_result : Ab_problem.t -> Format.formatter -> result -> unit
+
+type run_stats = {
+  mutable bool_models : int; (** Boolean models examined *)
+  mutable linear_checks : int;
+  mutable linear_conflicts : int;
+  mutable nonlinear_calls : int;
+  mutable blocking_clauses : int;
+  mutable eq_branches : int;
+  mutable wall_seconds : float;
+}
+
+val pp_run_stats : Format.formatter -> run_stats -> unit
+
+val solve :
+  ?registry:Registry.t -> ?options:options -> Ab_problem.t -> result * run_stats
+
+val all_models :
+  ?projection:Types.var list ->
+  ?registry:Registry.t ->
+  ?options:options ->
+  ?limit:int ->
+  Ab_problem.t ->
+  (Solution.t list * run_stats, string) Stdlib.result
+(** Every arithmetically-feasible Boolean model, each with a witness —
+    the LSAT-powered mode the paper recommends for consistency-based
+    diagnosis and test-case generation (Sec. 4, Sec. 6). *)
+
+val count_models : ?registry:Registry.t -> ?options:options -> Ab_problem.t -> (int, string) Stdlib.result
+
+(** {1 Optimization modulo the Boolean structure}
+
+    An OMT-flavoured extension: maximize a linear objective over {e all}
+    arithmetically feasible delta-valuations of a (linear) AB-problem —
+    the Boolean solver enumerates the disjuncts, the simplex optimizer
+    solves each polytope, and the best vertex wins. *)
+
+type opt_outcome =
+  | Opt_best of Absolver_numeric.Rational.t * Solution.t
+      (** optimal value and an attaining solution *)
+  | Opt_unbounded
+  | Opt_unsat
+  | Opt_unknown of string
+
+val optimize :
+  ?registry:Registry.t ->
+  ?options:options ->
+  ?limit:int ->
+  objective:Absolver_lp.Linexpr.t ->
+  [ `Maximize | `Minimize ] ->
+  Ab_problem.t ->
+  opt_outcome
+(** Rejects problems with nonlinear definitions ([Opt_unknown]); [limit]
+    caps the number of delta-valuations explored (default 10000). Negated
+    equalities are disjunctive; they are optimized within the branch the
+    enumeration witness satisfies. *)

@@ -1,0 +1,69 @@
+module Q = Absolver_numeric.Rational
+module Types = Absolver_sat.Types
+module Expr = Absolver_nlp.Expr
+module Linexpr = Absolver_lp.Linexpr
+module Simplex = Absolver_lp.Simplex
+module Branch_prune = Absolver_nlp.Branch_prune
+
+type bool_strategy = Lsat_incremental | Chaff_restarting
+
+type bool_solver = { bs_name : string; bs_strategy : bool_strategy }
+
+type linear_verdict = L_sat of (int * Q.t) list | L_unsat of int list
+
+type linear_solver = {
+  ls_name : string;
+  ls_solve : int_vars:int list -> Linexpr.cons list -> linear_verdict;
+}
+
+type nonlinear_verdict =
+  | N_sat of float array
+  | N_approx of float array
+  | N_unsat
+  | N_unknown
+
+type nonlinear_solver = {
+  ns_name : string;
+  ns_solve :
+    nvars:int -> box:Absolver_nlp.Box.t -> Expr.rel list -> nonlinear_verdict;
+}
+
+type t = {
+  boolean : bool_solver list;
+  linear : linear_solver list;
+  nonlinear : nonlinear_solver list;
+}
+
+let cdcl_solver = { bs_name = "cdcl (zChaff-like)"; bs_strategy = Chaff_restarting }
+let lsat_solver = { bs_name = "lsat (all-solutions)"; bs_strategy = Lsat_incremental }
+
+let simplex_solver =
+  {
+    ls_name = "simplex (COIN-like)";
+    ls_solve =
+      (fun ~int_vars constraints ->
+        match Simplex.solve_system ~int_vars constraints with
+        | Simplex.Sat model -> L_sat model
+        | Simplex.Unsat tags -> L_unsat tags);
+  }
+
+let branch_prune_solver ?(config = Branch_prune.default_config) () =
+  {
+    ns_name = "branch-and-prune (IPOPT-like)";
+    ns_solve =
+      (fun ~nvars ~box rels ->
+        match Branch_prune.solve ~config ~nvars ~box rels with
+        | Branch_prune.Sat p, _ -> N_sat p
+        | Branch_prune.Approx_sat p, _ -> N_approx p
+        | Branch_prune.Unsat, _ -> N_unsat
+        | Branch_prune.Unknown, _ -> N_unknown);
+  }
+
+let default =
+  {
+    boolean = [ lsat_solver ];
+    linear = [ simplex_solver ];
+    nonlinear = [ branch_prune_solver () ];
+  }
+
+let with_chaff = { default with boolean = [ cdcl_solver ] }

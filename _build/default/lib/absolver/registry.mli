@@ -1,0 +1,69 @@
+(** The solver registry — ABSOLVER's extensibility point (Sec. 4).
+
+    "At each of those steps a list of solvers is used, if more than one
+    solver is enabled for some domain and the preceding solvers thereof
+    failed to provide a decent result." Each domain is a list of named
+    solvers tried in order; users plug in their own by providing the
+    closures, which is how the paper's "reuse of expert knowledge" is
+    realized. The defaults wire in this repository's own substrates
+    (CDCL / all-SAT enumeration, exact simplex, branch-and-prune). *)
+
+module Q = Absolver_numeric.Rational
+module Types = Absolver_sat.Types
+module Expr = Absolver_nlp.Expr
+module Linexpr = Absolver_lp.Linexpr
+
+(** How Boolean models are enumerated. [Lsat_incremental] keeps a single
+    solver instance and blocks models with added clauses (LSAT [2]);
+    [Chaff_restarting] restarts a fresh solver per model, the behaviour
+    the paper describes for black-box solvers like zChaff. *)
+type bool_strategy = Lsat_incremental | Chaff_restarting
+
+type bool_solver = { bs_name : string; bs_strategy : bool_strategy }
+
+type linear_verdict =
+  | L_sat of (int * Q.t) list (** values for the structural variables *)
+  | L_unsat of int list (** tags of an inconsistent subset *)
+
+type linear_solver = {
+  ls_name : string;
+  ls_solve : int_vars:int list -> Linexpr.cons list -> linear_verdict;
+}
+
+type nonlinear_verdict =
+  | N_sat of float array (** certified witness (indexed by arith var) *)
+  | N_approx of float array (** tolerance-level witness *)
+  | N_unsat
+  | N_unknown
+
+type nonlinear_solver = {
+  ns_name : string;
+  ns_solve :
+    nvars:int -> box:Absolver_nlp.Box.t -> Expr.rel list -> nonlinear_verdict;
+}
+
+type t = {
+  boolean : bool_solver list;
+  linear : linear_solver list;
+  nonlinear : nonlinear_solver list;
+}
+
+val cdcl_solver : bool_solver
+(** zChaff stand-in: restarting enumeration. *)
+
+val lsat_solver : bool_solver
+(** LSAT stand-in: incremental enumeration. *)
+
+val simplex_solver : linear_solver
+(** COIN stand-in: exact rational simplex with branch-and-bound for
+    integer variables. *)
+
+val branch_prune_solver : ?config:Absolver_nlp.Branch_prune.config -> unit -> nonlinear_solver
+(** IPOPT stand-in: interval branch-and-prune. *)
+
+val default : t
+(** LSAT + simplex + branch-and-prune (the combination used for Tables 1
+    and 3 of the paper, modulo substitutions). *)
+
+val with_chaff : t
+(** zChaff-style restarting Boolean enumeration (Table 1's combination). *)

@@ -1,0 +1,107 @@
+module Q = Absolver_numeric.Rational
+module Expr = Absolver_nlp.Expr
+module Types = Absolver_sat.Types
+
+type arith_value = Exact of Q.t | Approx of float
+
+let value_to_float = function Exact q -> Q.to_float q | Approx f -> f
+
+let pp_arith_value fmt = function
+  | Exact q -> Q.pp fmt q
+  | Approx f -> Format.fprintf fmt "~%.9g" f
+
+type t = {
+  bools : bool array;
+  arith : arith_value option array;
+  certified : bool;
+}
+
+let make ~bools ~arith ~certified = { bools; arith; certified }
+
+let arith_env t v =
+  if v < 0 || v >= Array.length t.arith then None
+  else match t.arith.(v) with Some (Exact q) -> Some q | Some (Approx _) | None -> None
+
+let float_env t ~default v =
+  if v < 0 || v >= Array.length t.arith then default
+  else match t.arith.(v) with Some av -> value_to_float av | None -> default
+
+let check problem t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Clauses. *)
+  List.iteri
+    (fun i clause ->
+      let sat =
+        List.exists
+          (fun l ->
+            let v = Types.var_of l in
+            v < Array.length t.bools && t.bools.(v) = Types.is_pos l)
+          clause
+      in
+      if not sat then err "clause %d not satisfied" (i + 1))
+    (Ab_problem.clauses problem);
+  (* Definitions: delta(a) <=> alpha(v_a). *)
+  let fenv v = float_env t ~default:0.0 v in
+  List.iter
+    (fun bv ->
+      let ds = Ab_problem.find_defs problem bv in
+      let rels = List.map (fun (d : Ab_problem.def) -> d.rel) ds in
+      let alpha = t.bools.(bv) in
+      let sat =
+        if alpha then List.for_all (fun r -> Expr.holds_float ~tol:1e-6 fenv r) rels
+        else
+          List.exists
+            (fun r ->
+              List.exists (fun nr -> Expr.holds_float ~tol:1e-6 fenv nr) (Expr.negate_rel r))
+            rels
+      in
+      if not sat then
+        err "definition of variable %d violated (alpha = %b)" (bv + 1) alpha;
+      List.iter
+        (fun (d : Ab_problem.def) ->
+          if d.domain = Ab_problem.Dint then
+            List.iter
+              (fun v ->
+                let x = fenv v in
+                if Float.abs (x -. Float.round x) > 1e-6 then
+                  err "integer variable %s has non-integral value %g"
+                    (Ab_problem.arith_var_name problem v)
+                    x)
+              (Expr.vars d.rel.Expr.expr))
+        ds)
+    (Ab_problem.defined_vars problem);
+  (* Bounds. *)
+  List.iter
+    (fun (v, (lo, hi)) ->
+      let x = fenv v in
+      (match lo with
+      | Some q when x < Q.to_float q -. 1e-9 ->
+        err "lower bound of %s violated" (Ab_problem.arith_var_name problem v)
+      | Some _ | None -> ());
+      match hi with
+      | Some q when x > Q.to_float q +. 1e-9 ->
+        err "upper bound of %s violated" (Ab_problem.arith_var_name problem v)
+      | Some _ | None -> ())
+    (Ab_problem.bounds problem);
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+let pp problem fmt t =
+  Format.fprintf fmt "@[<v>booleans:";
+  Array.iteri
+    (fun v b -> Format.fprintf fmt " %s%d" (if b then "" else "-") (v + 1))
+    t.bools;
+  Format.fprintf fmt "@,arithmetic:";
+  Array.iteri
+    (fun v av ->
+      match av with
+      | None -> ()
+      | Some av ->
+        Format.fprintf fmt " %s=%a"
+          (Ab_problem.arith_var_name problem v)
+          pp_arith_value av)
+    t.arith;
+  Format.fprintf fmt "@,%s@]"
+    (if t.certified then "(certified)" else "(approximate)")

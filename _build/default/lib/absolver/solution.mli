@@ -1,0 +1,35 @@
+(** Solutions of AB-problems: a Boolean assignment plus values for the
+    arithmetic variables. Linear-only problems yield exact rational
+    values; problems with a nonlinear part yield floating witnesses from
+    the branch-and-prune solver (IPOPT-style). *)
+
+module Q = Absolver_numeric.Rational
+
+type arith_value = Exact of Q.t | Approx of float
+
+val value_to_float : arith_value -> float
+val pp_arith_value : Format.formatter -> arith_value -> unit
+
+type t = {
+  bools : bool array; (** indexed by Boolean variable *)
+  arith : arith_value option array; (** indexed by arithmetic variable *)
+  certified : bool;
+      (** [true] when every arithmetic constraint was rigorously certified
+          (exact rationals or interval certificates); [false] for
+          tolerance-level feasibility. *)
+}
+
+val make : bools:bool array -> arith:arith_value option array -> certified:bool -> t
+
+val arith_env : t -> int -> Q.t option
+(** Exact view (approximate values are excluded). *)
+
+val float_env : t -> default:float -> int -> float
+
+val check :
+  Ab_problem.t -> t -> (unit, string) result
+(** Re-verify the solution against the problem: every clause satisfied,
+    every definition's delta-equivalence respected (within tolerance for
+    approximate values), every bound respected. *)
+
+val pp : Ab_problem.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Absolver_core Absolver_nlp Format List

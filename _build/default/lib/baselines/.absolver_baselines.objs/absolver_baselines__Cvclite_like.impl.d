@@ -1,0 +1,1 @@
+lib/baselines/cvclite_like.ml: Budget Dpllt

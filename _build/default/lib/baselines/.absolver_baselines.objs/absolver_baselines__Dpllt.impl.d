@@ -1,0 +1,1 @@
+lib/baselines/dpllt.ml: Absolver_core Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Array Budget Common Fun List Option Printf Unix

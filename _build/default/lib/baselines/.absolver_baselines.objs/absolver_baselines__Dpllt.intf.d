@@ -1,0 +1,1 @@
+lib/baselines/dpllt.mli: Absolver_core Budget Common

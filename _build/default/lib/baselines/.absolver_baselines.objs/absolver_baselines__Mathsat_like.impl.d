@@ -1,0 +1,1 @@
+lib/baselines/mathsat_like.ml: Dpllt

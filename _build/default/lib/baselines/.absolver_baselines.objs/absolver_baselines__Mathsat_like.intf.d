@@ -1,0 +1,1 @@
+lib/baselines/mathsat_like.mli: Absolver_core Common

@@ -1,0 +1,12 @@
+exception Simulated_out_of_memory
+
+type t = { limit : int; mutable used : int }
+
+let create ~limit = { limit; used = 0 }
+
+let alloc t n =
+  t.used <- t.used + n;
+  if t.used > t.limit then raise Simulated_out_of_memory
+
+let allocated t = t.used
+let limit t = t.limit

@@ -1,0 +1,20 @@
+(** Word-budget memory accounting for the CVC-Lite-like baseline.
+
+    The paper's Table 3 reports CVC Lite aborting out-of-memory on every
+    Sudoku instance. Exhausting a real machine to reproduce a 2004
+    allocator's behaviour would be antisocial; instead the baseline meters
+    the cells its never-freed term database would allocate and raises
+    {!Simulated_out_of_memory} when a budget is exceeded (see DESIGN.md
+    §3, substitution 5). *)
+
+exception Simulated_out_of_memory
+
+type t
+
+val create : limit:int -> t
+val alloc : t -> int -> unit
+(** @raise Simulated_out_of_memory when cumulative allocation passes the
+    limit. *)
+
+val allocated : t -> int
+val limit : t -> int

@@ -1,0 +1,29 @@
+module Expr = Absolver_nlp.Expr
+
+type result =
+  | B_sat of Absolver_core.Solution.t
+  | B_unsat
+  | B_rejected of string
+  | B_out_of_memory
+  | B_unknown of string
+
+let result_name = function
+  | B_sat _ -> "sat"
+  | B_unsat -> "unsat"
+  | B_rejected _ -> "rejected"
+  | B_out_of_memory -> "out-of-memory"
+  | B_unknown _ -> "unknown"
+
+let pp_result fmt r =
+  match r with
+  | B_rejected why -> Format.fprintf fmt "rejected (%s)" why
+  | B_unknown why -> Format.fprintf fmt "unknown (%s)" why
+  | B_sat _ | B_unsat | B_out_of_memory ->
+    Format.pp_print_string fmt (result_name r)
+
+let nonlinear_defs problem =
+  List.length
+    (List.filter
+       (fun (d : Absolver_core.Ab_problem.def) ->
+         not (Expr.is_linear d.rel.Expr.expr))
+       (Absolver_core.Ab_problem.defs problem))

@@ -1,0 +1,17 @@
+(** Shared result vocabulary of the comparison baselines. *)
+
+type result =
+  | B_sat of Absolver_core.Solution.t
+  | B_unsat
+  | B_rejected of string
+      (** The solver does not accept the input — e.g. nonlinear arithmetic
+          (paper Sec. 5.1: "both CVC Lite and MathSAT rejected the
+          problems due to the nonlinear arithmetic inequalities"). *)
+  | B_out_of_memory
+  | B_unknown of string
+
+val pp_result : Format.formatter -> result -> unit
+val result_name : result -> string
+
+val nonlinear_defs : Absolver_core.Ab_problem.t -> int
+(** Number of definitions outside linear arithmetic. *)

@@ -1,0 +1,22 @@
+(** A CVC-Lite-like cooperating validity checker [1].
+
+    Same lazy Boolean/linear cooperation as {!Mathsat_like}, but with the
+    original's appetite: a never-freed term database is charged for every
+    case split and assertion, and integer variables are expanded eagerly.
+    On the Sudoku instances of Table 3 this exhausts the (simulated)
+    memory budget, reproducing the paper's "–*" out-of-memory entries;
+    on the small FISCHER instances it stays comfortably within budget.
+
+    Nonlinear definitions are rejected, as the paper reports (Sec. 5.1). *)
+
+val name : string
+
+val default_memory_budget : int
+(** Cells; roughly models a mid-2000s 1 GB workstation. *)
+
+val solve :
+  ?memory_budget:int ->
+  ?max_conflicts:int ->
+  ?deadline_seconds:float ->
+  Absolver_core.Ab_problem.t ->
+  Common.result

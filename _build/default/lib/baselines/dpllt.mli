@@ -1,0 +1,16 @@
+(** Shared DPLL(T) core of the two comparison baselines: CDCL with an
+    incremental exact simplex attached through the theory-callback
+    interface, consistency checked at every propagation fixpoint, theory
+    conflicts learnt as clauses.
+
+    The optional [meter] charges a never-freed term database for every
+    case split, asserted constraint and integer expansion — the
+    CVC-Lite-like memory behaviour; without it the core is the
+    MathSAT-like configuration. *)
+
+val solve :
+  ?meter:Budget.t ->
+  ?max_conflicts:int ->
+  ?deadline_seconds:float ->
+  Absolver_core.Ab_problem.t ->
+  Common.result

@@ -1,0 +1,22 @@
+(** A MathSAT-like Boolean+linear solver [3]: lazy DPLL(T) with the
+    linear solver tightly integrated into the CDCL loop (see {!Dpllt}).
+
+    This is the comparison point of the paper's Tables 2 and 3. The
+    "tight integration" the paper credits for MathSAT's speed (Sec. 5.2)
+    is real here: bounds are asserted into an incremental simplex as the
+    SAT trail grows, consistency is checked at every unit-propagation
+    fixpoint, and theory conflicts are learnt as clauses — instead of
+    ABSOLVER's enumerate-a-full-model-then-check loop.
+
+    Faithful limitations of the original are kept: nonlinear definitions
+    are rejected, and integrality is only enforced by a from-scratch
+    branch-and-bound at full Boolean assignments (the slow path of
+    Table 3). *)
+
+val name : string
+
+val solve :
+  ?max_conflicts:int ->
+  ?deadline_seconds:float ->
+  Absolver_core.Ab_problem.t ->
+  Common.result

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Absolver_lp Absolver_nlp Absolver_numeric Array Buffer Format Hashtbl List Option Printf String Tribool

@@ -1,0 +1,1 @@
+lib/circuit/circuit.mli: Absolver_lp Absolver_nlp Absolver_numeric Tribool

@@ -1,0 +1,1 @@
+lib/circuit/tribool.ml: Format List

@@ -1,0 +1,141 @@
+module Q = Absolver_numeric.Rational
+module Expr = Absolver_nlp.Expr
+module Linexpr = Absolver_lp.Linexpr
+
+type gate =
+  | G_input of int
+  | G_const of bool
+  | G_not of node
+  | G_and of node list
+  | G_or of node list
+  | G_cmp of Expr.t * Linexpr.op
+
+and node = { id : int; gate : gate }
+
+type builder = {
+  mutable next_id : int;
+  mutable nodes : node list; (* newest first *)
+  (* Hash-consing on a structural key of the gate (children by id). *)
+  table : (string, node) Hashtbl.t;
+}
+
+type t = { output : node; all : node array }
+
+let builder () = { next_id = 0; nodes = []; table = Hashtbl.create 64 }
+
+let key_of_gate = function
+  | G_input v -> "i" ^ string_of_int v
+  | G_const b -> if b then "t" else "f"
+  | G_not n -> "n" ^ string_of_int n.id
+  | G_and ns -> "a" ^ String.concat "," (List.map (fun n -> string_of_int n.id) ns)
+  | G_or ns -> "o" ^ String.concat "," (List.map (fun n -> string_of_int n.id) ns)
+  | G_cmp (e, op) ->
+    Format.asprintf "c%a|%s" Linexpr.pp_op op (Expr.to_string e)
+
+let mk b gate =
+  let key = key_of_gate gate in
+  match Hashtbl.find_opt b.table key with
+  | Some n -> n
+  | None ->
+    let n = { id = b.next_id; gate } in
+    b.next_id <- n.id + 1;
+    b.nodes <- n :: b.nodes;
+    Hashtbl.add b.table key n;
+    n
+
+let input b v = mk b (G_input v)
+let const b v = mk b (G_const v)
+let not_ b n = mk b (G_not n)
+
+let and_ b ns =
+  match ns with [ n ] -> n | [] -> const b true | _ -> mk b (G_and ns)
+
+let or_ b ns =
+  match ns with [ n ] -> n | [] -> const b false | _ -> mk b (G_or ns)
+
+let cmp b e op = mk b (G_cmp (e, op))
+
+let seal b ~output = { output; all = Array.of_list (List.rev b.nodes) }
+
+let output t = t.output
+let size t = Array.length t.all
+
+let boolean_inputs t =
+  Array.to_list t.all
+  |> List.filter_map (fun n -> match n.gate with G_input v -> Some v | _ -> None)
+  |> List.sort_uniq compare
+
+let arithmetic_vars t =
+  Array.to_list t.all
+  |> List.concat_map (fun n ->
+       match n.gate with G_cmp (e, _) -> Expr.vars e | _ -> [])
+  |> List.sort_uniq compare
+
+let comparisons t =
+  Array.to_list t.all
+  |> List.filter_map (fun n ->
+       match n.gate with G_cmp (e, op) -> Some (n, e, op) | _ -> None)
+
+let eval_cmp arith_env e op =
+  let env v = arith_env v in
+  let all_known = List.for_all (fun v -> env v <> None) (Expr.vars e) in
+  if not all_known then Tribool.Unknown
+  else
+    match Expr.eval_exact (fun v -> Option.get (env v)) e with
+    | None -> Tribool.Unknown (* outside the rationals: defer to solvers *)
+    | Some q -> (
+      let s = Q.sign q in
+      Tribool.of_bool
+        (match op with
+        | Linexpr.Le -> s <= 0
+        | Linexpr.Lt -> s < 0
+        | Linexpr.Ge -> s >= 0
+        | Linexpr.Gt -> s > 0
+        | Linexpr.Eq -> s = 0))
+
+let rec eval_node ~bool_env ~arith_env n =
+  match n.gate with
+  | G_input v -> bool_env v
+  | G_const b -> Tribool.of_bool b
+  | G_not m -> Tribool.not_ (eval_node ~bool_env ~arith_env m)
+  | G_and ms -> Tribool.and_list (List.map (eval_node ~bool_env ~arith_env) ms)
+  | G_or ms -> Tribool.or_list (List.map (eval_node ~bool_env ~arith_env) ms)
+  | G_cmp (e, op) -> eval_cmp arith_env e op
+
+let eval ~bool_env ~arith_env t = eval_node ~bool_env ~arith_env t.output
+
+let to_dot ?(bool_name = fun v -> Printf.sprintf "b%d" v)
+    ?(arith_name = fun v -> Printf.sprintf "x%d" v) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph circuit {\n  rankdir=LR;\n";
+  let edge src dst =
+    Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" src dst)
+  in
+  Array.iter
+    (fun n ->
+      let label, shape =
+        match n.gate with
+        | G_input v -> (bool_name v, "circle")
+        | G_const b -> ((if b then "tt" else "ff"), "plaintext")
+        | G_not _ -> ("NOT", "invtriangle")
+        | G_and _ -> ("AND", "trapezium")
+        | G_or _ -> ("OR", "house")
+        | G_cmp (e, op) ->
+          ( Format.asprintf "%s %a 0" (Expr.to_string ~name:arith_name e)
+              Linexpr.pp_op op,
+            "box" )
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" n.id
+           (String.concat "\\\"" (String.split_on_char '"' label))
+           shape);
+      match n.gate with
+      | G_input _ | G_const _ | G_cmp _ -> ()
+      | G_not m -> edge m.id n.id
+      | G_and ms | G_or ms -> List.iter (fun m -> edge m.id n.id) ms)
+    t.all;
+  Buffer.add_string buf
+    (Printf.sprintf "  out [label=\"output\", shape=doublecircle];\n  n%d -> out;\n"
+       t.output.id);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** ABSOLVER's core data structure (paper Sec. 4, Fig. 5): an integrated
+    circuit in which Boolean and arithmetic operations are gates taking
+    one input (negation), a pair (arithmetic comparison) or arbitrarily
+    many inputs (conjunction/disjunction). Boolean variables are the input
+    pins; the single output pin carries the formula's truth value in
+    3-valued logic — [?] signalling that further solver treatment is
+    needed. *)
+
+module Q = Absolver_numeric.Rational
+module Expr = Absolver_nlp.Expr
+
+type gate =
+  | G_input of int (** Boolean input pin (variable index). *)
+  | G_const of bool
+  | G_not of node
+  | G_and of node list
+  | G_or of node list
+  | G_cmp of Expr.t * Absolver_lp.Linexpr.op
+      (** Arithmetic comparison gate [e op 0]; its inputs are the
+          arithmetic variables of [e]. *)
+
+and node = private { id : int; gate : gate }
+
+type t
+(** A circuit: shared nodes plus a distinguished output pin. *)
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : unit -> builder
+val input : builder -> int -> node
+val const : builder -> bool -> node
+val not_ : builder -> node -> node
+val and_ : builder -> node list -> node
+val or_ : builder -> node list -> node
+val cmp : builder -> Expr.t -> Absolver_lp.Linexpr.op -> node
+val seal : builder -> output:node -> t
+
+(** {1 Observation} *)
+
+val output : t -> node
+val size : t -> int
+(** Number of distinct gates (nodes are hash-consed per builder). *)
+
+val boolean_inputs : t -> int list
+val arithmetic_vars : t -> int list
+val comparisons : t -> (node * Expr.t * Absolver_lp.Linexpr.op) list
+
+(** {1 Evaluation} *)
+
+val eval :
+  bool_env:(int -> Tribool.t) -> arith_env:(int -> Q.t option) -> t -> Tribool.t
+(** 3-valued evaluation under partial assignments: an unassigned Boolean
+    pin or a comparison over unassigned arithmetic variables contributes
+    [?]. *)
+
+val eval_node :
+  bool_env:(int -> Tribool.t) -> arith_env:(int -> Q.t option) -> node -> Tribool.t
+
+(** {1 Export} *)
+
+val to_dot : ?bool_name:(int -> string) -> ?arith_name:(int -> string) -> t -> string
+(** GraphViz rendering of the internal representation (cf. paper Fig. 5). *)

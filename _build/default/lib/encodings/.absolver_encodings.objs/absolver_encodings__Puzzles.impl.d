@@ -1,0 +1,1 @@
+lib/encodings/puzzles.ml: Array Fun Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/encodings/puzzles.mli: Sudoku

@@ -1,0 +1,1 @@
+lib/encodings/sudoku.ml: Absolver_core Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Array Char Float Format Hashtbl List Printf Seq String

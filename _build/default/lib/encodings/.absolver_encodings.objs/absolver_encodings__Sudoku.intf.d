@@ -1,0 +1,1 @@
+lib/encodings/sudoku.mli: Absolver_core Format

@@ -1,0 +1,98 @@
+(* Deterministic pseudo-random stream (xorshift64-star), seeded from a name. *)
+type rng = { mutable state : int64 }
+
+let rng_of_name name =
+  let h = Hashtbl.hash name in
+  { state = Int64.of_int ((h * 2654435761) lor 1) }
+
+let next rng =
+  let open Int64 in
+  let x = rng.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  rng.state <- x;
+  to_int (logand x 0x3FFFFFFFFFFFFFFFL)
+
+let rand_int rng n = next rng mod n
+
+(* Canonical complete grid: row r, col c -> ((r*3 + r/3 + c) mod 9) + 1. *)
+let base_grid () =
+  Array.init 9 (fun r -> Array.init 9 (fun c -> ((((r * 3) + (r / 3) + c) mod 9) + 1)))
+
+(* Validity-preserving transformations. *)
+let permute_digits rng g =
+  let perm = Array.init 10 Fun.id in
+  for i = 9 downto 2 do
+    let j = 1 + rand_int rng i in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  Array.map (Array.map (fun d -> perm.(d))) g
+
+let swap_rows g r1 r2 =
+  let t = g.(r1) in
+  g.(r1) <- g.(r2);
+  g.(r2) <- t
+
+let transpose g = Array.init 9 (fun r -> Array.init 9 (fun c -> g.(c).(r)))
+
+let shuffle rng g =
+  let g = ref (permute_digits rng g) in
+  (* Swap rows within bands, then bands themselves; transpose to mix
+     columns the same way on the next iteration. *)
+  for _ = 1 to 4 do
+    for band = 0 to 2 do
+      let r1 = (3 * band) + rand_int rng 3 and r2 = (3 * band) + rand_int rng 3 in
+      swap_rows !g r1 r2
+    done;
+    let b1 = rand_int rng 3 and b2 = rand_int rng 3 in
+    for i = 0 to 2 do
+      swap_rows !g ((3 * b1) + i) ((3 * b2) + i)
+    done;
+    g := transpose !g
+  done;
+  !g
+
+let solved_grid_of ~name = shuffle (rng_of_name name) (base_grid ())
+
+let generate ~name ~clues =
+  let grid = solved_grid_of ~name in
+  let rng = rng_of_name (name ^ "/mask") in
+  let order = Array.init 81 Fun.id in
+  for i = 80 downto 1 do
+    let j = rand_int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  let puzzle = Array.map Array.copy grid in
+  let removed = ref 0 in
+  Array.iter
+    (fun cell ->
+      if !removed < 81 - clues then begin
+        puzzle.(cell / 9).(cell mod 9) <- 0;
+        incr removed
+      end)
+    order;
+  puzzle
+
+let hard name = (name, generate ~name ~clues:26)
+let easy name = (name, generate ~name ~clues:46)
+
+let all =
+  [
+    hard "2006_05_23_hard";
+    hard "2006_05_24_hard";
+    hard "2006_05_25_hard";
+    hard "2006_05_26_hard";
+    hard "2006_05_27_hard";
+    hard "2006_05_28_hard";
+    easy "2006_05_29_easy";
+    hard "2006_05_29_hard";
+    easy "2006_05_30_easy";
+    hard "2006_05_30_hard";
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,22 @@
+(** The Sudoku instance bank for Table 3.
+
+    The paper's puzzles came from the daily column of http://sudoku.zeit.de
+    (issues 2006-05-23 .. 2006-05-30) and are not redistributable from a
+    sealed environment; this bank regenerates a matching set — the same
+    names, the same hard/easy split — by deterministic construction: a
+    canonical valid grid is shuffled with validity-preserving symmetries
+    (digit relabelling, line swaps within bands, band swaps, transposition)
+    seeded from the instance name, then clues are removed ("hard" keeps 26
+    clues, "easy" keeps 46). Every instance is solvable by construction;
+    uniqueness of the solution is not required by the benchmark. *)
+
+val all : (string * Sudoku.puzzle) list
+(** The ten Table 3 instances, in the paper's row order. *)
+
+val find : string -> Sudoku.puzzle option
+
+val generate : name:string -> clues:int -> Sudoku.puzzle
+(** Deterministic generation for additional instances. *)
+
+val solved_grid_of : name:string -> Sudoku.puzzle
+(** The underlying complete grid (useful in tests). *)

@@ -1,0 +1,1 @@
+lib/lp/conflict.ml: Linexpr List Simplex

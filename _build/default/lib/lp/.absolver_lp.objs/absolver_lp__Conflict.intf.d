@@ -1,0 +1,1 @@
+lib/lp/conflict.mli: Linexpr

@@ -1,0 +1,1 @@
+lib/lp/linexpr.ml: Absolver_numeric Format Int List Map Option Printf

@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Absolver_numeric Array Buffer Fun Hashtbl Int Linexpr List Map Option

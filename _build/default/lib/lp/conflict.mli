@@ -1,0 +1,19 @@
+(** Minimization of infeasible constraint sets.
+
+    The paper's control loop feeds "the smallest conflicting subset" of an
+    infeasible linear system back to the SAT solver as a hint (Sec. 4).
+    The simplex explanation is already irredundant in most cases; this
+    module applies deletion filtering on top to guarantee a minimal
+    (irreducible) infeasible subsystem, and is the subject of one of the
+    ablation benchmarks. *)
+
+val is_infeasible : Linexpr.cons list -> bool
+
+val minimize : Linexpr.cons list -> Linexpr.cons list
+(** [minimize cs] returns a minimal infeasible subset of [cs].
+    @raise Invalid_argument if [cs] is feasible. *)
+
+val minimal_core : Linexpr.cons list -> int list -> int list
+(** [minimal_core all tags] minimizes the sub-system of [all] selected by
+    [tags] (each constraint's [tag] field), returning the surviving tags.
+    Constraints whose tags are not in [tags] are ignored entirely. *)

@@ -1,0 +1,624 @@
+module Q = Absolver_numeric.Rational
+module DR = Absolver_numeric.Delta_rational
+module IM = Map.Make (Int)
+
+type bound = { value : DR.t; tag : int }
+
+type t = {
+  mutable nvars : int;
+  (* [rows.(v) = Some m] iff [v] is basic, with [v = sum m(j) * x_j] over
+     nonbasic variables. *)
+  mutable rows : Q.t IM.t option array;
+  mutable lower : bound option array;
+  mutable upper : bound option array;
+  mutable beta : DR.t array;
+  defs : (string, int) Hashtbl.t; (* canonical expression -> slack var *)
+  mutable trail : (int * bound_kind * bound option) list list;
+  mutable pivots : int;
+}
+
+and bound_kind = Lower | Upper
+
+type result = Feasible | Infeasible of int list
+
+let create () =
+  {
+    nvars = 0;
+    rows = Array.make 16 None;
+    lower = Array.make 16 None;
+    upper = Array.make 16 None;
+    beta = Array.make 16 DR.zero;
+    defs = Hashtbl.create 16;
+    trail = [];
+    pivots = 0;
+  }
+
+let grow t n =
+  let cap = Array.length t.rows in
+  if n > cap then begin
+    let c = max n (2 * cap) in
+    let ext a fill =
+      let b = Array.make c fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.rows <- ext t.rows None;
+    t.lower <- ext t.lower None;
+    t.upper <- ext t.upper None;
+    t.beta <- ext t.beta DR.zero
+  end
+
+let new_var t =
+  let v = t.nvars in
+  grow t (v + 1);
+  t.nvars <- v + 1;
+  v
+
+let ensure_vars t n = while t.nvars < n do ignore (new_var t) done
+let is_basic t v = t.rows.(v) <> None
+let value t v = t.beta.(v)
+let num_pivots t = t.pivots
+
+(* Replace basic variables in a term map by their defining rows. *)
+let expand t terms =
+  IM.fold
+    (fun v q acc ->
+      match t.rows.(v) with
+      | None ->
+        IM.update v
+          (fun cur ->
+            let s = Q.add (Option.value ~default:Q.zero cur) q in
+            if Q.is_zero s then None else Some s)
+          acc
+      | Some row ->
+        IM.fold
+          (fun j c acc ->
+            IM.update j
+              (fun cur ->
+                let s = Q.add (Option.value ~default:Q.zero cur) (Q.mul q c) in
+                if Q.is_zero s then None else Some s)
+              acc)
+          row acc)
+    terms IM.empty
+
+let eval_row t row =
+  IM.fold (fun v q acc -> DR.add acc (DR.scale q t.beta.(v))) row DR.zero
+
+let canonical_key terms =
+  let buf = Buffer.create 64 in
+  IM.iter
+    (fun v q ->
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Q.to_string q);
+      Buffer.add_char buf ';')
+    terms;
+  Buffer.contents buf
+
+let define t expr =
+  let terms =
+    List.fold_left (fun acc (v, q) -> IM.add v q acc) IM.empty (Linexpr.coeffs expr)
+  in
+  match IM.bindings terms with
+  | [ (v, q) ] when Q.equal q Q.one ->
+    ensure_vars t (v + 1);
+    v
+  | bindings ->
+    List.iter (fun (v, _) -> ensure_vars t (v + 1)) bindings;
+    let key = canonical_key terms in
+    (match Hashtbl.find_opt t.defs key with
+    | Some s -> s
+    | None ->
+      let s = new_var t in
+      let row = expand t terms in
+      t.rows.(s) <- Some row;
+      t.beta.(s) <- eval_row t row;
+      Hashtbl.add t.defs key s;
+      s)
+
+(* Adjust a nonbasic variable and propagate through dependent rows. *)
+let update t x v =
+  let theta = DR.sub v t.beta.(x) in
+  t.beta.(x) <- v;
+  for b = 0 to t.nvars - 1 do
+    match t.rows.(b) with
+    | None -> ()
+    | Some row -> (
+      match IM.find_opt x row with
+      | None -> ()
+      | Some c -> t.beta.(b) <- DR.add t.beta.(b) (DR.scale c theta))
+  done
+
+let record t var kind old =
+  match t.trail with
+  | [] -> () (* no open frame: permanent assertion *)
+  | frame :: rest -> t.trail <- ((var, kind, old) :: frame) :: rest
+
+let assert_bound t ~tag x kind value =
+  match kind with
+  | Lower -> (
+    let current = t.lower.(x) in
+    let subsumed =
+      match current with Some b -> DR.leq value b.value | None -> false
+    in
+    if subsumed then Feasible
+    else
+      match t.upper.(x) with
+      | Some ub when DR.lt ub.value value -> Infeasible [ tag; ub.tag ]
+      | _ ->
+        record t x Lower current;
+        t.lower.(x) <- Some { value; tag };
+        if (not (is_basic t x)) && DR.lt t.beta.(x) value then update t x value;
+        Feasible)
+  | Upper -> (
+    let current = t.upper.(x) in
+    let subsumed =
+      match current with Some b -> DR.leq b.value value | None -> false
+    in
+    if subsumed then Feasible
+    else
+      match t.lower.(x) with
+      | Some lb when DR.lt value lb.value -> Infeasible [ tag; lb.tag ]
+      | _ ->
+        record t x Upper current;
+        t.upper.(x) <- Some { value; tag };
+        if (not (is_basic t x)) && DR.lt value t.beta.(x) then update t x value;
+        Feasible)
+
+let assert_cons t (c : Linexpr.cons) =
+  let x = define t (Linexpr.drop_const c.expr) in
+  let rhs = Q.neg (Linexpr.const c.expr) in
+  (* expr op 0  <=>  (expr - const) op -const *)
+  match c.op with
+  | Linexpr.Le -> assert_bound t ~tag:c.tag x Upper (DR.of_rational rhs)
+  | Linexpr.Lt ->
+    assert_bound t ~tag:c.tag x Upper (DR.make rhs Q.minus_one)
+  | Linexpr.Ge -> assert_bound t ~tag:c.tag x Lower (DR.of_rational rhs)
+  | Linexpr.Gt -> assert_bound t ~tag:c.tag x Lower (DR.make rhs Q.one)
+  | Linexpr.Eq -> (
+    match assert_bound t ~tag:c.tag x Lower (DR.of_rational rhs) with
+    | Infeasible _ as r -> r
+    | Feasible -> assert_bound t ~tag:c.tag x Upper (DR.of_rational rhs))
+
+(* Pivot basic x with nonbasic y (coefficient a = row(x)(y) <> 0). *)
+let pivot t x y =
+  t.pivots <- t.pivots + 1;
+  let row_x = match t.rows.(x) with Some r -> r | None -> assert false in
+  let a = IM.find y row_x in
+  let inv_a = Q.inv a in
+  (* y = (1/a) * x - sum_{j<>y} (a_j/a) * x_j *)
+  let row_y =
+    IM.fold
+      (fun j c acc ->
+        if j = y then acc else IM.add j (Q.neg (Q.mul c inv_a)) acc)
+      row_x
+      (IM.singleton x inv_a)
+  in
+  t.rows.(x) <- None;
+  t.rows.(y) <- Some row_y;
+  (* Substitute y in all other rows. *)
+  for z = 0 to t.nvars - 1 do
+    if z <> y then
+      match t.rows.(z) with
+      | None -> ()
+      | Some row -> (
+        match IM.find_opt y row with
+        | None -> ()
+        | Some c ->
+          let without_y = IM.remove y row in
+          let merged =
+            IM.fold
+              (fun j q acc ->
+                IM.update j
+                  (fun cur ->
+                    let s = Q.add (Option.value ~default:Q.zero cur) (Q.mul c q) in
+                    if Q.is_zero s then None else Some s)
+                  acc)
+              row_y without_y
+          in
+          t.rows.(z) <- Some merged)
+  done
+
+let pivot_and_update t x y v =
+  let row_x = match t.rows.(x) with Some r -> r | None -> assert false in
+  let a = IM.find y row_x in
+  let theta = DR.scale (Q.inv a) (DR.sub v t.beta.(x)) in
+  t.beta.(x) <- v;
+  t.beta.(y) <- DR.add t.beta.(y) theta;
+  for z = 0 to t.nvars - 1 do
+    if z <> x then
+      match t.rows.(z) with
+      | None -> ()
+      | Some row -> (
+        match IM.find_opt y row with
+        | None -> ()
+        | Some c -> t.beta.(z) <- DR.add t.beta.(z) (DR.scale c theta))
+  done;
+  pivot t x y
+
+let below_lower t v =
+  match t.lower.(v) with Some b -> DR.lt t.beta.(v) b.value | None -> false
+
+let above_upper t v =
+  match t.upper.(v) with Some b -> DR.lt b.value t.beta.(v) | None -> false
+
+let lower_tag t v = match t.lower.(v) with Some b -> b.tag | None -> assert false
+let upper_tag t v = match t.upper.(v) with Some b -> b.tag | None -> assert false
+
+let can_increase t v =
+  match t.upper.(v) with Some b -> DR.lt t.beta.(v) b.value | None -> true
+
+let can_decrease t v =
+  match t.lower.(v) with Some b -> DR.lt b.value t.beta.(v) | None -> true
+
+exception Found of int
+
+let check t =
+  let rec loop () =
+    (* Bland's rule: smallest-index violated basic variable. *)
+    let violated =
+      try
+        for v = 0 to t.nvars - 1 do
+          if is_basic t v && (below_lower t v || above_upper t v) then
+            raise (Found v)
+        done;
+        None
+      with Found v -> Some v
+    in
+    match violated with
+    | None -> Feasible
+    | Some x ->
+      let row = match t.rows.(x) with Some r -> r | None -> assert false in
+      if below_lower t x then begin
+        (* Need to increase x. *)
+        let pivot_var =
+          IM.fold
+            (fun y a acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if
+                  (Q.sign a > 0 && can_increase t y)
+                  || (Q.sign a < 0 && can_decrease t y)
+                then Some y
+                else None)
+            row None
+        in
+        match pivot_var with
+        | Some y ->
+          let target = (Option.get t.lower.(x)).value in
+          pivot_and_update t x y target;
+          loop ()
+        | None ->
+          let conflict =
+            IM.fold
+              (fun y a acc ->
+                if Q.sign a > 0 then upper_tag t y :: acc
+                else lower_tag t y :: acc)
+              row
+              [ lower_tag t x ]
+          in
+          Infeasible (List.sort_uniq compare conflict)
+      end
+      else begin
+        (* Need to decrease x. *)
+        let pivot_var =
+          IM.fold
+            (fun y a acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if
+                  (Q.sign a < 0 && can_increase t y)
+                  || (Q.sign a > 0 && can_decrease t y)
+                then Some y
+                else None)
+            row None
+        in
+        match pivot_var with
+        | Some y ->
+          let target = (Option.get t.upper.(x)).value in
+          pivot_and_update t x y target;
+          loop ()
+        | None ->
+          let conflict =
+            IM.fold
+              (fun y a acc ->
+                if Q.sign a > 0 then lower_tag t y :: acc
+                else upper_tag t y :: acc)
+              row
+              [ upper_tag t x ]
+          in
+          Infeasible (List.sort_uniq compare conflict)
+      end
+  in
+  loop ()
+
+let push t = t.trail <- [] :: t.trail
+
+let pop t =
+  match t.trail with
+  | [] -> invalid_arg "Simplex.pop: no open frame"
+  | frame :: rest ->
+    t.trail <- rest;
+    List.iter
+      (fun (v, kind, old) ->
+        match kind with
+        | Lower -> t.lower.(v) <- old
+        | Upper -> t.upper.(v) <- old)
+      frame
+
+let concrete_model t ~vars =
+  (* Collect the orderings the concrete delta must preserve. *)
+  let pairs = ref [] in
+  for v = 0 to t.nvars - 1 do
+    (match t.lower.(v) with
+    | Some b -> pairs := (b.value, t.beta.(v)) :: !pairs
+    | None -> ());
+    match t.upper.(v) with
+    | Some b -> pairs := (t.beta.(v), b.value) :: !pairs
+    | None -> ()
+  done;
+  let d = DR.concretize_delta !pairs in
+  List.map (fun v -> (v, DR.substitute d t.beta.(v))) vars
+
+(* ------------------------------------------------------------------ *)
+(* One-shot interface with optional integer branch-and-bound.          *)
+
+type verdict = Sat of (Linexpr.var * Q.t) list | Unsat of int list
+
+let branch_tag = -1
+
+let solve_system ?(int_vars = []) constraints =
+  (* Constant constraints never reach the tableau. *)
+  let const_conflict =
+    List.find_opt
+      (fun (c : Linexpr.cons) ->
+        Linexpr.is_constant c.expr && not (Linexpr.holds (fun _ -> Q.zero) c))
+      constraints
+  in
+  match const_conflict with
+  | Some c -> Unsat [ c.tag ]
+  | None ->
+    let constraints =
+      List.filter (fun (c : Linexpr.cons) -> not (Linexpr.is_constant c.expr)) constraints
+    in
+    let t = create () in
+    let structural =
+      List.sort_uniq compare (List.concat_map (fun (c : Linexpr.cons) -> Linexpr.vars c.expr) constraints)
+    in
+    (match structural with [] -> () | vs -> ensure_vars t (List.fold_left max 0 vs + 1));
+    let rec assert_all = function
+      | [] -> None
+      | c :: rest -> (
+        match assert_cons t c with
+        | Feasible -> assert_all rest
+        | Infeasible tags -> Some tags)
+    in
+    (match assert_all constraints with
+    | Some tags -> Unsat (List.filter (fun g -> g <> branch_tag) tags)
+    | None -> (
+      let budget = ref 200_000 in
+      (* Branch and bound on integer variables on top of rational check. *)
+      let rec bb () =
+        decr budget;
+        if !budget <= 0 then failwith "Simplex.solve_system: branch-and-bound budget exhausted";
+        match check t with
+        | Infeasible tags -> Unsat tags
+        | Feasible -> (
+          let model = concrete_model t ~vars:structural in
+          let fractional =
+            List.find_opt
+              (fun v ->
+                List.mem v int_vars
+                &&
+                match List.assoc_opt v model with
+                | Some q -> not (Q.is_integer q)
+                | None -> false)
+              structural
+          in
+          match fractional with
+          | None -> Sat model
+          | Some v ->
+            let q = List.assoc v model in
+            let lo = Q.of_bigint (Q.floor q) and hi = Q.of_bigint (Q.ceil q) in
+            push t;
+            let left =
+              match assert_bound t ~tag:branch_tag v Upper (DR.of_rational lo) with
+              | Feasible -> bb ()
+              | Infeasible tags -> Unsat tags
+            in
+            pop t;
+            (match left with
+            | Sat _ -> left
+            | Unsat tags_l -> (
+              push t;
+              let right =
+                match
+                  assert_bound t ~tag:branch_tag v Lower (DR.of_rational hi)
+                with
+                | Feasible -> bb ()
+                | Infeasible tags -> Unsat tags
+              in
+              pop t;
+              match right with
+              | Sat _ -> right
+              | Unsat tags_r ->
+                Unsat
+                  (List.sort_uniq compare
+                     (List.filter (fun g -> g <> branch_tag) (tags_l @ tags_r))))))
+      in
+      match bb () with
+      | Sat model -> Sat model
+      | Unsat tags -> Unsat (List.filter (fun g -> g <> branch_tag) tags)))
+
+(* ------------------------------------------------------------------ *)
+(* Primal simplex optimization over the bounded-variable tableau.      *)
+
+type opt_result =
+  | O_infeasible of int list
+  | O_unbounded
+  | O_optimal of DR.t * (Linexpr.var * Q.t) list
+
+let lower_value t v = Option.map (fun b -> b.value) t.lower.(v)
+let upper_value t v = Option.map (fun b -> b.value) t.upper.(v)
+
+(* Maximum admissible increase of beta(v) (None = unbounded). *)
+let headroom_up t v =
+  match upper_value t v with
+  | None -> None
+  | Some u -> Some (DR.sub u t.beta.(v))
+
+let headroom_down t v =
+  match lower_value t v with
+  | None -> None
+  | Some l -> Some (DR.sub t.beta.(v) l)
+
+let maximize t objective =
+  match check t with
+  | Infeasible tags -> O_infeasible tags
+  | Feasible ->
+    let z = define t (Linexpr.drop_const objective) in
+    (* [define] keeps beta consistent, but z may be nonbasic (objective is
+       a single variable): pivot it basic if it has a row; otherwise treat
+       the single variable directly through the same loop by noting that a
+       nonbasic z has the trivial row {z -> 1}. *)
+    let row_of_z () =
+      match t.rows.(z) with Some r -> r | None -> IM.singleton z Q.one
+    in
+    let rec loop iterations =
+      if iterations > 100_000 then O_unbounded (* defensive; Bland prevents this *)
+      else begin
+        let row = row_of_z () in
+        (* Entering variable: Bland's rule. *)
+        let entering =
+          IM.fold
+            (fun y a acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if y = z then None
+                else if Q.sign a > 0 && headroom_up t y <> Some DR.zero
+                        && (match headroom_up t y with Some h -> DR.compare h DR.zero > 0 | None -> true)
+                then Some (y, `Up, a)
+                else if Q.sign a < 0
+                        && (match headroom_down t y with Some h -> DR.compare h DR.zero > 0 | None -> true)
+                then Some (y, `Down, a)
+                else None)
+            row None
+        in
+        (* Nonbasic z: its own coefficient is 1, direction up. *)
+        let entering =
+          if t.rows.(z) = None then
+            match headroom_up t z with
+            | Some h when DR.compare h DR.zero <= 0 -> None
+            | _ -> Some (z, `Up, Q.one)
+          else entering
+        in
+        match entering with
+        | None ->
+          let pairs = ref [] in
+          for v = 0 to t.nvars - 1 do
+            (match t.lower.(v) with
+            | Some b -> pairs := (b.value, t.beta.(v)) :: !pairs
+            | None -> ());
+            match t.upper.(v) with
+            | Some b -> pairs := (t.beta.(v), b.value) :: !pairs
+            | None -> ()
+          done;
+          let d = DR.concretize_delta !pairs in
+          let model =
+            List.filter_map
+              (fun v ->
+                if t.rows.(v) = None || true then
+                  Some (v, DR.substitute d t.beta.(v))
+                else None)
+              (List.init t.nvars Fun.id)
+          in
+          O_optimal (DR.add t.beta.(z) (DR.of_rational (Linexpr.const objective)), model)
+        | Some (y, dir, obj_coeff) -> (
+          (* Ratio test: how far can y move before its own bound or a basic
+             variable's bound blocks. *)
+          let own_limit =
+            match dir with `Up -> headroom_up t y | `Down -> headroom_down t y
+          in
+          let blocking = ref None in
+          let limit = ref own_limit in
+          let consider cand_limit var target =
+            match cand_limit with
+            | None -> ()
+            | Some cl -> (
+              match !limit with
+              | Some cur when DR.compare cur cl <= 0 -> ()
+              | _ ->
+                limit := Some cl;
+                blocking := Some (var, target))
+          in
+          (* The objective variable itself may be bounded (a hash-consed
+             slack shared with a constraint): its upper bound blocks the
+             increase like any basic bound. *)
+          (if t.rows.(z) <> None then
+             match upper_value t z with
+             | None -> ()
+             | Some u ->
+               let a_abs = Q.abs obj_coeff in
+               let room = DR.sub u t.beta.(z) in
+               consider (Some (DR.scale (Q.inv a_abs) room)) z u);
+          for b = 0 to t.nvars - 1 do
+            if b <> z && b <> y then
+              match t.rows.(b) with
+              | None -> ()
+              | Some rowb -> (
+                match IM.find_opt y rowb with
+                | None -> ()
+                | Some coeff ->
+                  (* beta(b) changes by coeff * delta_y; delta_y is
+                     positive for `Up, negative for `Down. *)
+                  let effective = match dir with `Up -> Q.sign coeff | `Down -> -Q.sign coeff in
+                  if effective > 0 then begin
+                    (* b increases: blocked by upper(b). *)
+                    match upper_value t b with
+                    | None -> ()
+                    | Some u ->
+                      let room = DR.sub u t.beta.(b) in
+                      let cl = DR.scale (Q.inv (Q.abs coeff)) room in
+                      consider (Some cl) b u
+                  end
+                  else if effective < 0 then begin
+                    match lower_value t b with
+                    | None -> ()
+                    | Some l ->
+                      let room = DR.sub t.beta.(b) l in
+                      let cl = DR.scale (Q.inv (Q.abs coeff)) room in
+                      consider (Some cl) b l
+                  end)
+          done;
+          match (!limit, !blocking) with
+          | None, _ -> O_unbounded
+          | Some step, None ->
+            (* y's own bound blocks: move y there. *)
+            let target =
+              match dir with
+              | `Up -> DR.add t.beta.(y) step
+              | `Down -> DR.sub t.beta.(y) step
+            in
+            if y = z && t.rows.(z) = None then begin
+              update t z target;
+              loop (iterations + 1)
+            end
+            else begin
+              update t y target;
+              loop (iterations + 1)
+            end
+          | Some _, Some (b, target) ->
+            (* Basic b hits its bound first: pivot b out, y in. *)
+            pivot_and_update t b y target;
+            loop (iterations + 1))
+      end
+    in
+    loop 0
+
+let minimize_obj t objective =
+  match maximize t (Linexpr.neg objective) with
+  | O_optimal (v, model) -> O_optimal (DR.neg v, model)
+  | (O_infeasible _ | O_unbounded) as r -> r

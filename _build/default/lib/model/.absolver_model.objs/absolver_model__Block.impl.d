@@ -1,0 +1,1 @@
+lib/model/block.ml: Absolver_numeric Format

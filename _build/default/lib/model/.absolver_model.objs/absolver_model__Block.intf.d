@@ -1,0 +1,1 @@
+lib/model/block.mli: Absolver_numeric Format

@@ -1,0 +1,1 @@
+lib/model/convert.ml: Absolver_core Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Block Format Fun Hashtbl List Lustre Printf

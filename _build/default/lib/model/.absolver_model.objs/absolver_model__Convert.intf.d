@@ -1,0 +1,1 @@
+lib/model/convert.mli: Absolver_core Diagram Lustre Stdlib

@@ -1,0 +1,1 @@
+lib/model/diagram.ml: Array Block List Printf String

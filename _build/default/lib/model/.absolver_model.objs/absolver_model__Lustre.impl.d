@@ -1,0 +1,1 @@
+lib/model/lustre.ml: Absolver_numeric Block Buffer Diagram Format List Printf String

@@ -1,0 +1,1 @@
+lib/model/lustre.mli: Absolver_numeric Block Diagram Stdlib

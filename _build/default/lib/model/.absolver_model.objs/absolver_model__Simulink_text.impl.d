@@ -1,0 +1,1 @@
+lib/model/simulink_text.ml: Absolver_numeric Block Buffer Diagram List Printf String

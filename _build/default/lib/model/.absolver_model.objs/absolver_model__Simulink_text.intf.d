@@ -1,0 +1,1 @@
+lib/model/simulink_text.mli: Diagram

@@ -1,0 +1,1 @@
+lib/model/steering.ml: Absolver_core Absolver_numeric Block Convert Diagram List Lustre

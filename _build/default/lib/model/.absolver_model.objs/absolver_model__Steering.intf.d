@@ -1,0 +1,1 @@
+lib/model/steering.mli: Absolver_core Diagram Lustre

@@ -1,0 +1,1 @@
+lib/model/testgen.ml: Absolver_core Array Block Buffer Convert Diagram List Printf

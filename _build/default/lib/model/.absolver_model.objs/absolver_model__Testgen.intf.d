@@ -1,0 +1,1 @@
+lib/model/testgen.mli: Absolver_core Diagram

@@ -1,0 +1,50 @@
+(** The automated conversion work-flow of paper Fig. 3:
+    Simulink-like diagram → LUSTRE-like node → AB-problem in ABSOLVER's
+    input format.
+
+    Verification reading: for a Boolean outport [ok], [`Find_violation]
+    asserts [not ok] — a SAT answer is a counterexample to the property,
+    UNSAT proves it over the modelled input ranges. [`Find_witness]
+    asserts [ok] itself. *)
+
+type goal = [ `Find_violation | `Find_witness ]
+
+val node_to_ab :
+  ?goal:goal ->
+  output:string ->
+  Lustre.node ->
+  (Absolver_core.Ab_problem.t, string) Stdlib.result
+(** Extract the constraint problem for one output of a node: arithmetic
+    comparisons become definitional Boolean variables, the Boolean
+    structure is clausified (Tseitin), inport ranges become bounds. *)
+
+val diagram_to_ab :
+  ?goal:goal ->
+  ?name:string ->
+  output:string ->
+  Diagram.t ->
+  (Absolver_core.Ab_problem.t, string) Stdlib.result
+(** Full chain: {!Lustre.of_diagram} followed by {!node_to_ab}. *)
+
+(** {1 Bounded model checking}
+
+    Stateful models (with {!Block.B_delay} / LUSTRE [pre]) are analysed by
+    unrolling: each instant gets fresh inport variables ([name@t]) and its
+    own comparison atoms; delays read the previous instant (their initial
+    value at instant 0). [`Find_violation] asks whether the output can be
+    false at {e any} of the [steps] instants. *)
+
+val node_to_ab_bmc :
+  ?goal:goal ->
+  steps:int ->
+  output:string ->
+  Lustre.node ->
+  (Absolver_core.Ab_problem.t, string) Stdlib.result
+
+val diagram_to_ab_bmc :
+  ?goal:goal ->
+  ?name:string ->
+  steps:int ->
+  output:string ->
+  Diagram.t ->
+  (Absolver_core.Ab_problem.t, string) Stdlib.result

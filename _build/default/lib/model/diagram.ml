@@ -1,0 +1,136 @@
+type block_id = int
+
+type t = {
+  mutable blocks : Block.t array;
+  mutable n : int;
+  (* inputs.(id) = array of driving block ids, -1 if unconnected *)
+  mutable inputs : int array array;
+}
+
+let create () = { blocks = Array.make 16 Block.B_add; n = 0; inputs = Array.make 16 [||] }
+
+let add_block t b =
+  if t.n = Array.length t.blocks then begin
+    let nb = Array.make (2 * t.n) Block.B_add in
+    Array.blit t.blocks 0 nb 0 t.n;
+    t.blocks <- nb;
+    let ni = Array.make (2 * t.n) [||] in
+    Array.blit t.inputs 0 ni 0 t.n;
+    t.inputs <- ni
+  end;
+  let id = t.n in
+  t.blocks.(id) <- b;
+  t.inputs.(id) <- Array.make (Block.arity b) (-1);
+  t.n <- id + 1;
+  id
+
+let check_id t id name =
+  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Diagram.%s: unknown block %d" name id)
+
+let connect t ~src ~dst ~port =
+  check_id t src "connect";
+  check_id t dst "connect";
+  if port < 0 || port >= Array.length t.inputs.(dst) then
+    invalid_arg (Printf.sprintf "Diagram.connect: port %d out of range for block %d" port dst);
+  t.inputs.(dst).(port) <- src
+
+let block t id =
+  check_id t id "block";
+  t.blocks.(id)
+
+let blocks t = List.init t.n (fun i -> (i, t.blocks.(i)))
+
+let input_of t id port =
+  check_id t id "input_of";
+  if port < 0 || port >= Array.length t.inputs.(id) then None
+  else
+    let s = t.inputs.(id).(port) in
+    if s < 0 then None else Some s
+
+let num_blocks t = t.n
+
+let outports t =
+  List.filter_map
+    (fun (id, b) -> match b with Block.B_outport s -> Some (id, s) | _ -> None)
+    (blocks t)
+
+let topological_order t =
+  (* DFS with cycle detection. *)
+  let state = Array.make t.n `White in
+  let order = ref [] in
+  let rec visit id =
+    match state.(id) with
+    | `Black -> Ok ()
+    | `Gray -> Error (Printf.sprintf "combinational cycle through block %d" id)
+    | `White ->
+      state.(id) <- `Gray;
+      (* A delay's input is a state edge: it does not participate in the
+         combinational dependency order. *)
+      let is_delay =
+        match t.blocks.(id) with
+        | Block.B_delay _ -> true
+        | Block.B_inport _ | Block.B_const _ | Block.B_add | Block.B_sub
+        | Block.B_mul | Block.B_div | Block.B_gain _ | Block.B_sum _
+        | Block.B_math _ | Block.B_pow _ | Block.B_compare _ | Block.B_relop _
+        | Block.B_and _ | Block.B_or _ | Block.B_not | Block.B_outport _ ->
+          false
+      in
+      let rec kids i =
+        if is_delay || i >= Array.length t.inputs.(id) then Ok ()
+        else
+          let src = t.inputs.(id).(i) in
+          if src < 0 then kids (i + 1)
+          else match visit src with Ok () -> kids (i + 1) | Error _ as e -> e
+      in
+      (match kids 0 with
+      | Ok () ->
+        state.(id) <- `Black;
+        order := id :: !order;
+        Ok ()
+      | Error _ as e -> e)
+  in
+  let rec all i =
+    if i >= t.n then Ok ()
+    else match visit i with Ok () -> all (i + 1) | Error _ as e -> e
+  in
+  match all 0 with Ok () -> Ok (List.rev !order) | Error e -> Error e
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Connectivity. *)
+  for id = 0 to t.n - 1 do
+    Array.iteri
+      (fun port src ->
+        if src < 0 then err "block %d (%s): input %d unconnected" id (Block.name t.blocks.(id)) port)
+      t.inputs.(id)
+  done;
+  (* Types: propagate Boolean-ness along the topological order. *)
+  (match topological_order t with
+  | Error e -> err "%s" e
+  | Ok order ->
+    let boolean = Array.make t.n false in
+    List.iter
+      (fun id ->
+        let b = t.blocks.(id) in
+        boolean.(id) <- Block.is_boolean_output b;
+        let expect_bool =
+          match b with
+          | Block.B_and _ | Block.B_or _ | Block.B_not | Block.B_outport _ -> true
+          | Block.B_inport _ | Block.B_const _ | Block.B_add | Block.B_sub
+          | Block.B_mul | Block.B_div | Block.B_gain _ | Block.B_sum _
+          | Block.B_math _ | Block.B_pow _ | Block.B_compare _ | Block.B_relop _
+          | Block.B_delay _ ->
+            false
+        in
+        Array.iter
+          (fun src ->
+            if src >= 0 && boolean.(src) <> expect_bool then
+              err "block %d (%s): input type mismatch (from block %d)" id
+                (Block.name b) src)
+          t.inputs.(id))
+      order);
+  if outports t = [] then err "no outport";
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))

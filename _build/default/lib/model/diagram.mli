@@ -1,0 +1,28 @@
+(** Block diagrams: blocks wired output-to-input, as in a (combinational)
+    MATLAB/Simulink model. *)
+
+type block_id = int
+
+type t
+
+val create : unit -> t
+
+val add_block : t -> Block.t -> block_id
+
+val connect : t -> src:block_id -> dst:block_id -> port:int -> unit
+(** Wire the (single) output of [src] to input [port] of [dst] (0-based).
+    @raise Invalid_argument on unknown ids or port out of range. *)
+
+val block : t -> block_id -> Block.t
+val blocks : t -> (block_id * Block.t) list
+val input_of : t -> block_id -> int -> block_id option
+val num_blocks : t -> int
+
+val validate : t -> (unit, string) result
+(** Checks: every input port driven exactly once, no cycles, type
+    consistency (Boolean vs numeric signals), at least one outport. *)
+
+val outports : t -> (block_id * string) list
+
+val topological_order : t -> (block_id list, string) result
+(** Blocks in dependency order; [Error] on a combinational cycle. *)

@@ -1,0 +1,158 @@
+module Q = Absolver_numeric.Rational
+
+type ty = T_real | T_bool
+
+type expr =
+  | E_var of string
+  | E_const_q of Q.t
+  | E_const_b of bool
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+  | E_div of expr * expr
+  | E_pow of expr * int
+  | E_math of Block.math_fn * expr
+  | E_cmp of Block.comparison * expr * expr
+  | E_and of expr list
+  | E_or of expr list
+  | E_not of expr
+  | E_delay of Q.t * expr
+
+type input = {
+  in_name : string;
+  in_lo : Q.t option;
+  in_hi : Q.t option;
+  in_integer : bool;
+}
+
+type equation = { lhs : string; ty : ty; rhs : expr }
+
+type node = {
+  node_name : string;
+  inputs : input list;
+  outputs : string list;
+  equations : equation list;
+}
+
+let signal_name id = Printf.sprintf "sig_%d" id
+
+let of_diagram ~name d =
+  match Diagram.validate d with
+  | Error e -> Error e
+  | Ok () -> (
+    match Diagram.topological_order d with
+    | Error e -> Error e
+    | Ok order ->
+      let inputs = ref [] and eqs = ref [] and outs = ref [] in
+      let sig_of id =
+        match Diagram.block d id with
+        | Block.B_inport { name; _ } -> name
+        | _ -> signal_name id
+      in
+      let in_sig id port =
+        match Diagram.input_of d id port with
+        | Some src -> E_var (sig_of src)
+        | None -> assert false (* validated *)
+      in
+      List.iter
+        (fun id ->
+          let b = Diagram.block d id in
+          let ty = if Block.is_boolean_output b then T_bool else T_real in
+          let push rhs = eqs := { lhs = sig_of id; ty; rhs } :: !eqs in
+          match b with
+          | Block.B_inport { name; lo; hi; integer } ->
+            inputs := { in_name = name; in_lo = lo; in_hi = hi; in_integer = integer } :: !inputs
+          | Block.B_const q -> push (E_const_q q)
+          | Block.B_add -> push (E_add (in_sig id 0, in_sig id 1))
+          | Block.B_sub -> push (E_sub (in_sig id 0, in_sig id 1))
+          | Block.B_mul -> push (E_mul (in_sig id 0, in_sig id 1))
+          | Block.B_div -> push (E_div (in_sig id 0, in_sig id 1))
+          | Block.B_gain q -> push (E_mul (E_const_q q, in_sig id 0))
+          | Block.B_sum n ->
+            let rec build i acc =
+              if i >= n then acc else build (i + 1) (E_add (acc, in_sig id i))
+            in
+            push (build 1 (in_sig id 0))
+          | Block.B_math f -> push (E_math (f, in_sig id 0))
+          | Block.B_pow n -> push (E_pow (in_sig id 0, n))
+          | Block.B_compare (c, q) -> push (E_cmp (c, in_sig id 0, E_const_q q))
+          | Block.B_relop c -> push (E_cmp (c, in_sig id 0, in_sig id 1))
+          | Block.B_and n -> push (E_and (List.init n (in_sig id)))
+          | Block.B_or n -> push (E_or (List.init n (in_sig id)))
+          | Block.B_not -> push (E_not (in_sig id 0))
+          | Block.B_delay init -> push (E_delay (init, in_sig id 0))
+          | Block.B_outport out_name ->
+            eqs := { lhs = out_name; ty = T_bool; rhs = in_sig id 0 } :: !eqs;
+            outs := out_name :: !outs)
+        order;
+      Ok
+        {
+          node_name = name;
+          inputs = List.rev !inputs;
+          outputs = List.rev !outs;
+          equations = List.rev !eqs;
+        })
+
+let rec pp_expr fmt = function
+  | E_var s -> Format.pp_print_string fmt s
+  | E_const_q q -> Q.pp fmt q
+  | E_const_b b -> Format.pp_print_bool fmt b
+  | E_add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | E_sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+  | E_mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_expr a pp_expr b
+  | E_div (a, b) -> Format.fprintf fmt "(%a / %a)" pp_expr a pp_expr b
+  | E_pow (a, n) -> Format.fprintf fmt "(%a ^ %d)" pp_expr a n
+  | E_math (f, a) -> Format.fprintf fmt "%s(%a)" (Block.math_fn_to_string f) pp_expr a
+  | E_cmp (c, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (Block.comparison_to_string c) pp_expr b
+  | E_and es -> pp_nary fmt "and" es
+  | E_or es -> pp_nary fmt "or" es
+  | E_not a -> Format.fprintf fmt "not (%a)" pp_expr a
+  | E_delay (init, a) -> Format.fprintf fmt "(%a -> pre %a)" Q.pp init pp_expr a
+
+and pp_nary fmt op = function
+  | [] -> Format.pp_print_string fmt (if op = "and" then "true" else "false")
+  | [ e ] -> pp_expr fmt e
+  | e :: rest ->
+    Format.fprintf fmt "(%a" pp_expr e;
+    List.iter (fun e -> Format.fprintf fmt " %s %a" op pp_expr e) rest;
+    Format.fprintf fmt ")"
+
+let to_string node =
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "node %s (" node.node_name;
+  List.iteri
+    (fun i inp ->
+      Format.fprintf fmt "%s%s : real" (if i > 0 then "; " else "") inp.in_name)
+    node.inputs;
+  Format.fprintf fmt ")@.returns (%s);@."
+    (String.concat "; "
+       (List.map (fun o -> o ^ " : bool") node.outputs));
+  let locals =
+    List.filter
+      (fun eq -> not (List.mem eq.lhs node.outputs))
+      node.equations
+  in
+  if locals <> [] then begin
+    Format.fprintf fmt "var@.";
+    List.iter
+      (fun eq ->
+        Format.fprintf fmt "  %s : %s;@." eq.lhs
+          (match eq.ty with T_real -> "real" | T_bool -> "bool"))
+      locals
+  end;
+  Format.fprintf fmt "let@.";
+  List.iter
+    (fun eq -> Format.fprintf fmt "  %s = %a;@." eq.lhs pp_expr eq.rhs)
+    node.equations;
+  Format.fprintf fmt "tel@.";
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let signal_ty node s =
+  if List.exists (fun i -> i.in_name = s) node.inputs then Some T_real
+  else
+    List.find_map
+      (fun eq -> if eq.lhs = s then Some eq.ty else None)
+      node.equations

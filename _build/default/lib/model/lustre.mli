@@ -1,0 +1,54 @@
+(** A LUSTRE-like dataflow core language.
+
+    The paper's conversion work-flow (Fig. 3) goes
+    MATLAB/Simulink → SCADE/LUSTRE → multi-domain constraint problem;
+    SCADE's textual LUSTRE representation is "merely a matter of
+    convenience" there. This module is that intermediate step: every block
+    of a diagram becomes one equation of a node, from which
+    {!Convert.node_to_ab} extracts the AB-problem. *)
+
+module Q = Absolver_numeric.Rational
+
+type ty = T_real | T_bool
+
+type expr =
+  | E_var of string
+  | E_const_q of Q.t
+  | E_const_b of bool
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+  | E_div of expr * expr
+  | E_pow of expr * int
+  | E_math of Block.math_fn * expr
+  | E_cmp of Block.comparison * expr * expr
+  | E_and of expr list
+  | E_or of expr list
+  | E_not of expr
+  | E_delay of Q.t * expr
+      (** [init -> pre e]: the LUSTRE initialized-delay idiom. *)
+
+type input = {
+  in_name : string;
+  in_lo : Q.t option;
+  in_hi : Q.t option;
+  in_integer : bool;
+}
+
+type equation = { lhs : string; ty : ty; rhs : expr }
+
+type node = {
+  node_name : string;
+  inputs : input list;
+  outputs : string list; (** Boolean observation signals. *)
+  equations : equation list; (** In dependency order. *)
+}
+
+val of_diagram : name:string -> Diagram.t -> (node, string) Stdlib.result
+(** One equation per block ([sig_<id>] signal names; inports keep their
+    names). Validates the diagram first. *)
+
+val to_string : node -> string
+(** Textual LUSTRE-like rendering (node header, var section, equations). *)
+
+val signal_ty : node -> string -> ty option

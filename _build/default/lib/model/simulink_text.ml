@@ -1,0 +1,151 @@
+module Q = Absolver_numeric.Rational
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+exception Bad of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let parse_q line_no s =
+  match Q.of_decimal_string s with
+  | q -> q
+  | exception Invalid_argument _ -> failf "line %d: bad number %S" line_no s
+
+let parse_q_opt line_no s = if s = "_" then None else Some (parse_q line_no s)
+
+let parse_int line_no s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> failf "line %d: bad integer %S" line_no s
+
+let parse_block line_no tokens =
+  match tokens with
+  | [ "Inport"; name; lo; hi ] ->
+    Block.B_inport
+      { name; lo = parse_q_opt line_no lo; hi = parse_q_opt line_no hi; integer = false }
+  | [ "Inport"; name; lo; hi; "int" ] ->
+    Block.B_inport
+      { name; lo = parse_q_opt line_no lo; hi = parse_q_opt line_no hi; integer = true }
+  | [ "Const"; q ] -> Block.B_const (parse_q line_no q)
+  | [ "Add" ] -> Block.B_add
+  | [ "Sub" ] -> Block.B_sub
+  | [ "Mul" ] -> Block.B_mul
+  | [ "Div" ] -> Block.B_div
+  | [ "Not" ] -> Block.B_not
+  | [ "Gain"; q ] -> Block.B_gain (parse_q line_no q)
+  | [ "Sum"; n ] -> Block.B_sum (parse_int line_no n)
+  | [ "And"; n ] -> Block.B_and (parse_int line_no n)
+  | [ "Or"; n ] -> Block.B_or (parse_int line_no n)
+  | [ "Math"; f ] -> (
+    match Block.math_fn_of_string f with
+    | Some f -> Block.B_math f
+    | None -> failf "line %d: unknown math function %S" line_no f)
+  | [ "Pow"; n ] -> Block.B_pow (parse_int line_no n)
+  | [ "Compare"; op; q ] -> (
+    match Block.comparison_of_string op with
+    | Some c -> Block.B_compare (c, parse_q line_no q)
+    | None -> failf "line %d: unknown comparison %S" line_no op)
+  | [ "Relop"; op ] -> (
+    match Block.comparison_of_string op with
+    | Some c -> Block.B_relop c
+    | None -> failf "line %d: unknown comparison %S" line_no op)
+  | [ "Outport"; name ] -> Block.B_outport name
+  | [ "Delay"; init ] -> Block.B_delay (parse_q line_no init)
+  | kind :: _ -> failf "line %d: malformed %s block" line_no kind
+  | [] -> failf "line %d: empty block" line_no
+
+let parse_string text =
+  match
+    let name = ref "model" in
+    let diagram = Diagram.create () in
+    let wires = ref [] in
+    let handle line_no line =
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match split_ws line with
+      | [] -> ()
+      | [ "model"; n ] -> name := n
+      | "block" :: id :: rest ->
+        let id = parse_int line_no id in
+        if id <> Diagram.num_blocks diagram then
+          failf "line %d: block ids must be dense (expected %d, got %d)" line_no
+            (Diagram.num_blocks diagram) id;
+        ignore (Diagram.add_block diagram (parse_block line_no rest))
+      | [ "wire"; src; dst; port ] ->
+        wires :=
+          (parse_int line_no src, parse_int line_no dst, parse_int line_no port)
+          :: !wires
+      | tok :: _ -> failf "line %d: unknown directive %S" line_no tok
+    in
+    List.iteri (fun i l -> handle (i + 1) l) (String.split_on_char '\n' text);
+    List.iter
+      (fun (src, dst, port) ->
+        match Diagram.connect diagram ~src ~dst ~port with
+        | () -> ()
+        | exception Invalid_argument m -> raise (Bad m))
+      (List.rev !wires);
+    (!name, diagram)
+  with
+  | result -> Ok result
+  | exception Bad msg -> Error msg
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    parse_string content
+
+let to_string ~name d =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "model %s\n" name);
+  List.iter
+    (fun (id, b) ->
+      let body =
+        match b with
+        | Block.B_inport { name; lo; hi; integer } ->
+          let s = function None -> "_" | Some q -> Q.to_string q in
+          Printf.sprintf "Inport %s %s %s%s" name (s lo) (s hi)
+            (if integer then " int" else "")
+        | Block.B_const q -> "Const " ^ Q.to_string q
+        | Block.B_add -> "Add"
+        | Block.B_sub -> "Sub"
+        | Block.B_mul -> "Mul"
+        | Block.B_div -> "Div"
+        | Block.B_not -> "Not"
+        | Block.B_gain q -> "Gain " ^ Q.to_string q
+        | Block.B_sum n -> Printf.sprintf "Sum %d" n
+        | Block.B_and n -> Printf.sprintf "And %d" n
+        | Block.B_or n -> Printf.sprintf "Or %d" n
+        | Block.B_math f -> "Math " ^ Block.math_fn_to_string f
+        | Block.B_pow n -> Printf.sprintf "Pow %d" n
+        | Block.B_compare (c, q) ->
+          Printf.sprintf "Compare %s %s" (Block.comparison_to_string c) (Q.to_string q)
+        | Block.B_relop c -> "Relop " ^ Block.comparison_to_string c
+        | Block.B_outport n -> "Outport " ^ n
+        | Block.B_delay init -> "Delay " ^ Q.to_string init
+      in
+      Buffer.add_string buf (Printf.sprintf "block %d %s\n" id body))
+    (Diagram.blocks d);
+  List.iter
+    (fun (id, b) ->
+      for port = 0 to Block.arity b - 1 do
+        match Diagram.input_of d id port with
+        | Some src -> Buffer.add_string buf (Printf.sprintf "wire %d %d %d\n" src id port)
+        | None -> ()
+      done)
+    (Diagram.blocks d);
+  Buffer.contents buf
+
+let write_file path ~name d =
+  let oc = open_out path in
+  output_string oc (to_string ~name d);
+  close_out oc

@@ -1,0 +1,26 @@
+(** A plain-text serialization of block diagrams — the role the [.mdl]
+    text format plays for real Simulink models. One directive per line:
+
+    {v
+    model <name>
+    block <id> Inport <name> <lo|_> <hi|_> [int]
+    block <id> Const <number>
+    block <id> Add | Sub | Mul | Div | Not
+    block <id> Gain <number>
+    block <id> Sum <n> | And <n> | Or <n>
+    block <id> Math sqrt|exp|log|sin|cos
+    block <id> Pow <n>
+    block <id> Compare <op> <number>
+    block <id> Relop <op>
+    block <id> Outport <name>
+    wire <src-id> <dst-id> <port>
+    v}
+
+    Block ids must be declared densely from 0. [#] starts a comment. *)
+
+val parse_string : string -> (string * Diagram.t, string) result
+(** Returns the model name and the diagram. *)
+
+val parse_file : string -> (string * Diagram.t, string) result
+val to_string : name:string -> Diagram.t -> string
+val write_file : string -> name:string -> Diagram.t -> unit

@@ -1,0 +1,89 @@
+module A = Absolver_core
+
+type test_case = {
+  inputs : (string * float) list;
+  output_value : bool;
+  pattern : (int * bool) list;
+}
+
+type coverage = {
+  cases : test_case list;
+  patterns_total : int;
+  patterns_true : int;
+}
+
+let cases_for ~limit ~registry ~goal ~output d =
+  match Convert.diagram_to_ab ~goal ~output d with
+  | Error e -> Error e
+  | Ok problem -> (
+    match A.Engine.all_models ?registry ~limit problem with
+    | Error e -> Error e
+    | Ok (solutions, _) ->
+      let inport_names =
+        List.filter_map
+          (fun (_, b) ->
+            match b with
+            | Block.B_inport { name; _ } -> Some name
+            | Block.B_const _ | Block.B_add | Block.B_sub | Block.B_mul
+            | Block.B_div | Block.B_gain _ | Block.B_sum _ | Block.B_math _
+            | Block.B_pow _ | Block.B_compare _ | Block.B_relop _
+            | Block.B_and _ | Block.B_or _ | Block.B_not | Block.B_outport _
+            | Block.B_delay _ ->
+              None)
+          (Diagram.blocks d)
+      in
+      let case_of (sol : A.Solution.t) =
+        let inputs =
+          List.map
+            (fun name ->
+              match A.Ab_problem.arith_var_index problem name with
+              | Some v -> (name, A.Solution.float_env sol ~default:0.0 v)
+              | None -> (name, 0.0))
+            inport_names
+        in
+        let pattern =
+          List.map
+            (fun v -> (v, sol.A.Solution.bools.(v)))
+            (A.Ab_problem.defined_vars problem)
+        in
+        { inputs; output_value = goal = `Find_witness; pattern }
+      in
+      Ok (List.map case_of solutions))
+
+let generate ?(limit = 256) ?registry ~output d =
+  (* Cover both output polarities: patterns where the property holds and
+     patterns where it is violated. *)
+  match cases_for ~limit ~registry ~goal:`Find_witness ~output d with
+  | Error e -> Error e
+  | Ok pos -> (
+    let remaining = max 0 (limit - List.length pos) in
+    match
+      if remaining = 0 then Ok []
+      else cases_for ~limit:remaining ~registry ~goal:`Find_violation ~output d
+    with
+    | Error e -> Error e
+    | Ok neg ->
+      let cases = pos @ neg in
+      Ok
+        {
+          cases;
+          patterns_total = List.length cases;
+          patterns_true = List.length pos;
+        })
+
+let to_csv coverage =
+  match coverage.cases with
+  | [] -> "\n"
+  | first :: _ ->
+    let buf = Buffer.create 256 in
+    List.iter (fun (name, _) -> Buffer.add_string buf (name ^ ",")) first.inputs;
+    Buffer.add_string buf "expected_output\n";
+    List.iter
+      (fun case ->
+        List.iter
+          (fun (_, v) -> Buffer.add_string buf (Printf.sprintf "%.9g," v))
+          case.inputs;
+        Buffer.add_string buf (string_of_bool case.output_value);
+        Buffer.add_char buf '\n')
+      coverage.cases;
+    Buffer.contents buf

@@ -1,0 +1,36 @@
+(** Test-case generation — the future-work application of paper Sec. 6.
+
+    "Since ABSOLVER, internally, determines the solutions by computing all
+    possible assignments, common coverage metrics like path coverage can
+    be obtained for free." This module realizes that: for a model output,
+    every arithmetically feasible delta-valuation of the comparison atoms
+    is one {e activation pattern} of the model's decision structure
+    (a path through its logic), and the witness of each yields a concrete
+    input vector driving that pattern. *)
+
+type test_case = {
+  inputs : (string * float) list; (** one value per inport *)
+  output_value : bool; (** value of the chosen output under the pattern *)
+  pattern : (int * bool) list;
+      (** the delta-valuation: comparison atom -> truth value *)
+}
+
+type coverage = {
+  cases : test_case list;
+  patterns_total : int; (** feasible activation patterns found *)
+  patterns_true : int; (** patterns driving the output to true *)
+}
+
+val generate :
+  ?limit:int ->
+  ?registry:Absolver_core.Registry.t ->
+  output:string ->
+  Diagram.t ->
+  (coverage, string) result
+(** Enumerate feasible activation patterns of [output] (both polarities)
+    up to [limit] (default 256) and derive one concrete test vector per
+    pattern. *)
+
+val to_csv : coverage -> string
+(** Header line with input names and the expected output, one row per
+    test case — ready for a test bench. *)

@@ -1,0 +1,1 @@
+lib/nlp/box.ml: Absolver_numeric Array Float Format List

@@ -1,0 +1,1 @@
+lib/nlp/box.mli: Absolver_numeric Format

@@ -1,0 +1,1 @@
+lib/nlp/branch_prune.ml: Absolver_lp Absolver_numeric Array Box Expr Float Format Hc4 List Newton Random

@@ -1,0 +1,1 @@
+lib/nlp/branch_prune.mli: Box Expr Format

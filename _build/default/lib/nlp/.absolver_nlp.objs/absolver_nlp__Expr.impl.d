@@ -1,0 +1,1 @@
+lib/nlp/expr.ml: Absolver_lp Absolver_numeric Float Format List Option Printf Stdlib

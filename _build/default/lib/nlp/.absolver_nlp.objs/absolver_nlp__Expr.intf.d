@@ -1,0 +1,1 @@
+lib/nlp/expr.mli: Absolver_lp Absolver_numeric Format

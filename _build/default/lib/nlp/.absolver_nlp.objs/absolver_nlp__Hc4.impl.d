@@ -1,0 +1,1 @@
+lib/nlp/hc4.ml: Absolver_lp Absolver_numeric Array Box Expr Float List

@@ -1,0 +1,1 @@
+lib/nlp/hc4.mli: Absolver_numeric Box Expr

@@ -1,0 +1,1 @@
+lib/nlp/newton.ml: Absolver_numeric Expr Float

@@ -1,0 +1,1 @@
+lib/nlp/newton.mli: Absolver_numeric Expr

@@ -1,0 +1,145 @@
+module I = Absolver_numeric.Interval
+
+type outcome =
+  | Sat of float array
+  | Approx_sat of float array
+  | Unsat
+  | Unknown
+
+type config = {
+  eps : float;
+  tol : float;
+  max_nodes : int;
+  use_hc4 : bool;
+  use_newton : bool;
+  samples_per_node : int;
+  root_samples : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    eps = 1e-8;
+    tol = 1e-7;
+    max_nodes = 200_000;
+    use_hc4 = true;
+    use_newton = true;
+    samples_per_node = 4;
+    root_samples = 512;
+    seed = 0x5eed;
+  }
+
+type stats = { nodes : int; prunings : int; max_depth : int }
+
+let pp_outcome fmt = function
+  | Sat p ->
+    Format.fprintf fmt "sat (";
+    Array.iteri (fun i x -> Format.fprintf fmt "%s%g" (if i > 0 then ", " else "") x) p;
+    Format.fprintf fmt ")"
+  | Approx_sat p ->
+    Format.fprintf fmt "approx-sat (";
+    Array.iteri (fun i x -> Format.fprintf fmt "%s%g" (if i > 0 then ", " else "") x) p;
+    Format.fprintf fmt ")"
+  | Unsat -> Format.pp_print_string fmt "unsat"
+  | Unknown -> Format.pp_print_string fmt "unknown"
+
+(* Random points inside a box, for IPOPT-style local feasibility search.
+   Infinite box dimensions are sampled from a clamped window. *)
+let sample_point rng (b : Box.t) =
+  Array.map
+    (fun (iv : I.t) ->
+      if I.is_empty iv then 0.0
+      else
+        let lo = Float.max iv.I.lo (-1e6) and hi = Float.min iv.I.hi 1e6 in
+        if lo >= hi then I.mid iv
+        else lo +. (Random.State.float rng (hi -. lo)))
+    b
+
+(* Rigorous point certificate: interval evaluation at the degenerate box. *)
+let certified_at rels p =
+  List.for_all (fun rel -> Expr.certainly_holds (Box.point_env p) rel) rels
+
+let feasible_at ~tol rels p =
+  List.for_all (fun rel -> Expr.holds_float ~tol (fun v -> p.(v)) rel) rels
+
+(* Contract univariate equalities with interval Newton. *)
+let newton_pass box rels =
+  List.iter
+    (fun (rel : Expr.rel) ->
+      if rel.Expr.op = Absolver_lp.Linexpr.Eq then
+        match Expr.vars rel.Expr.expr with
+        | [ v ] ->
+          let x = Newton.contract rel.Expr.expr ~var:v (Box.get box v) in
+          Box.set box v x
+        | _ -> ())
+    rels
+
+exception Done of outcome
+
+let solve ?(config = default_config) ~nvars ~box rels =
+  let nodes = ref 0 and prunings = ref 0 and max_depth = ref 0 in
+  let candidate = ref None in
+  let note_candidate p =
+    if !candidate = None && feasible_at ~tol:config.tol rels p then
+      candidate := Some (Array.copy p)
+  in
+  let rng = Random.State.make [| config.seed |] in
+  let stack = ref [ (Box.copy box, 0) ] in
+  let outcome =
+    try
+      while !stack <> [] do
+        let b, depth =
+          match !stack with
+          | x :: rest ->
+            stack := rest;
+            x
+          | [] -> assert false
+        in
+        incr nodes;
+        if !nodes > config.max_nodes then
+          raise
+            (Done (match !candidate with Some p -> Approx_sat p | None -> Unknown));
+        if depth > !max_depth then max_depth := depth;
+        let alive =
+          if config.use_hc4 then Hc4.contract b rels else not (Box.is_empty b)
+        in
+        if not alive then incr prunings
+        else begin
+          if config.use_newton then newton_pass b rels;
+          if Box.is_empty b then incr prunings
+          else begin
+            (* Whole-box certificate first, then midpoint certificate. *)
+            let p = Box.midpoint b in
+            if List.for_all (fun rel -> Expr.certainly_holds (Box.env b) rel) rels
+            then raise (Done (Sat p));
+            if certified_at rels p then raise (Done (Sat p));
+            note_candidate p;
+            (* Local search: random samples within the contracted box; a
+               rigorously certified sample ends the search, a tolerance
+               sample is recorded as candidate. *)
+            let n_samples =
+              if depth = 0 then max config.root_samples config.samples_per_node
+              else config.samples_per_node
+            in
+            for _ = 1 to n_samples do
+              let sp = sample_point rng b in
+              if certified_at rels sp then raise (Done (Sat sp));
+              note_candidate sp
+            done;
+            if Box.max_width b > config.eps && nvars > 0 then begin
+              let v = Box.widest_var b in
+              match I.split (Box.get b v) with
+              | exception Invalid_argument _ -> ()
+              | left, right ->
+                let b_left = Box.copy b and b_right = Box.copy b in
+                Box.set b_left v left;
+                Box.set b_right v right;
+                stack := (b_left, depth + 1) :: (b_right, depth + 1) :: !stack
+            end
+          end
+        end
+      done;
+      match !candidate with Some p -> Approx_sat p | None -> Unsat
+    with Done o -> o
+  in
+  (outcome, { nodes = !nodes; prunings = !prunings; max_depth = !max_depth })

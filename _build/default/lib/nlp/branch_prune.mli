@@ -1,0 +1,47 @@
+(** Interval branch-and-prune: the nonlinear feasibility oracle.
+
+    This plays the role IPOPT [11] plays in the paper — deciding whether
+    the conjunction of nonlinear constraints selected by a Boolean
+    assignment is feasible, and producing a witness point. The paper's
+    choice (a local interior-point method) can only answer "here is an
+    approximately feasible point"; branch-and-prune answers that {e and}
+    can prove infeasibility by exhaustion, which Table 1's
+    [nonlinear_unsat] row needs (see DESIGN.md §3 for the substitution
+    argument).
+
+    Verdicts:
+    - [Sat p]: every constraint is rigorously certified at [p] by interval
+      evaluation;
+    - [Approx_sat p]: [p] satisfies every constraint within [tol]
+      (IPOPT-style tolerance answer; equalities usually land here);
+    - [Unsat]: the search space was exhausted — no box survived pruning;
+    - [Unknown]: node budget exhausted with no candidate point. *)
+
+type outcome =
+  | Sat of float array
+  | Approx_sat of float array
+  | Unsat
+  | Unknown
+
+type config = {
+  eps : float; (** boxes narrower than this are not split further *)
+  tol : float; (** feasibility tolerance for approximate answers *)
+  max_nodes : int;
+  use_hc4 : bool; (** ablation switch: contraction on/off *)
+  use_newton : bool; (** ablation switch: univariate interval Newton *)
+  samples_per_node : int;
+      (** random feasibility samples per box (IPOPT-style local search) *)
+  root_samples : int; (** multistart samples at the root box *)
+  seed : int; (** deterministic sampling seed *)
+}
+
+val default_config : config
+
+type stats = { nodes : int; prunings : int; max_depth : int }
+
+val solve :
+  ?config:config -> nvars:int -> box:Box.t -> Expr.rel list -> outcome * stats
+(** Decide feasibility of the conjunction over the box. Variables absent
+    from all constraints keep their box midpoint in witness points. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,20 @@
+(** HC4-revise: forward-backward interval constraint propagation.
+
+    For each constraint [e op 0], the forward phase computes interval
+    enclosures bottom-up; the backward phase intersects the root with the
+    relation's feasible set ([(-inf,0]], [[0,0]], ...) and projects the
+    restriction down to the variable leaves, narrowing the box. A fixpoint
+    loop over all constraints yields the contractor used by the
+    branch-and-prune solver. Removing HC4 (bisection only) is one of the
+    ablation benchmarks. *)
+
+module I = Absolver_numeric.Interval
+
+val revise : Box.t -> Expr.rel -> bool
+(** One forward-backward pass of a single constraint; narrows [box] in
+    place. Returns [false] iff the box became empty (the constraint cannot
+    hold anywhere in it). *)
+
+val contract : ?max_rounds:int -> Box.t -> Expr.rel list -> bool
+(** Fixpoint of {!revise} over all constraints. Returns [false] iff the
+    box became empty. *)

@@ -1,0 +1,20 @@
+(** Univariate interval Newton contraction.
+
+    For an equality constraint [f(x) = 0] mentioning a single variable,
+    the Newton operator [N(X) = m - f(m) / f'(X)] contracts [X] while
+    preserving all roots; if [N(X)] lands strictly inside [X] it also
+    proves existence of a root. Used as an optional extra contractor in
+    {!Branch_prune} (ablation: [use_newton]). *)
+
+module I = Absolver_numeric.Interval
+
+val step : Expr.t -> var:int -> I.t -> I.t
+(** One Newton contraction step of [f = 0] on the interval; returns a
+    (possibly empty) subinterval still containing all roots. *)
+
+val contract : ?max_steps:int -> Expr.t -> var:int -> I.t -> I.t
+(** Iterate {!step} until no further progress. *)
+
+val proves_root : Expr.t -> var:int -> I.t -> bool
+(** True when one Newton step maps the interval strictly into its own
+    interior — a rigorous existence certificate for a root. *)

@@ -1,0 +1,1 @@
+lib/numeric/delta_rational.ml: Format List Rational

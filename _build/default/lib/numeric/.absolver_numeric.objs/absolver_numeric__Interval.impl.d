@@ -1,0 +1,1 @@
+lib/numeric/interval.ml: Float Float_ops Format Rational

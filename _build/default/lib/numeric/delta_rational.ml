@@ -1,0 +1,47 @@
+module Q = Rational
+
+type t = { r : Q.t; k : Q.t }
+
+let make r k = { r; k }
+let of_rational r = { r; k = Q.zero }
+let of_int n = of_rational (Q.of_int n)
+let zero = of_int 0
+let delta = { r = Q.zero; k = Q.one }
+let r t = t.r
+let k t = t.k
+let add a b = { r = Q.add a.r b.r; k = Q.add a.k b.k }
+let sub a b = { r = Q.sub a.r b.r; k = Q.sub a.k b.k }
+let neg a = { r = Q.neg a.r; k = Q.neg a.k }
+let scale c a = { r = Q.mul c a.r; k = Q.mul c a.k }
+
+let compare a b =
+  let c = Q.compare a.r b.r in
+  if c <> 0 then c else Q.compare a.k b.k
+
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let min a b = if leq a b then a else b
+let max a b = if leq a b then b else a
+let is_rational t = Q.is_zero t.k
+
+let pp fmt t =
+  if Q.is_zero t.k then Q.pp fmt t.r
+  else Format.fprintf fmt "%a + %a*delta" Q.pp t.r Q.pp t.k
+
+(* For each symbolic ordering r1 + k1*d <= r2 + k2*d with k1 > k2 the
+   concrete delta must satisfy d <= (r2 - r1) / (k1 - k2); take the minimum
+   over all such constraints, capped at 1. *)
+let concretize_delta pairs =
+  let bound =
+    List.fold_left
+      (fun acc (lhs, rhs) ->
+        if Q.gt lhs.k rhs.k then
+          let limit = Q.div (Q.sub rhs.r lhs.r) (Q.sub lhs.k rhs.k) in
+          Q.min acc limit
+        else acc)
+      Q.one pairs
+  in
+  if Q.sign bound > 0 then Q.div bound (Q.of_int 2) else Q.of_ints 1 2
+
+let substitute d t = Q.add t.r (Q.mul d t.k)

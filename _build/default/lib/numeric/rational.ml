@@ -1,0 +1,135 @@
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let normalize num den =
+  if B.is_zero den then raise Division_by_zero
+  else if B.is_zero num then { num = B.zero; den = B.one }
+  else
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then { num; den }
+    else { num = B.div num g; den = B.div den g }
+
+let make num den = normalize num den
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints n d = normalize (B.of_int n) (B.of_int d)
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+let is_integer t = B.is_one t.den
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let add a b =
+  if B.equal a.den b.den then normalize (B.add a.num b.num) a.den
+  else normalize (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = normalize (B.mul a.num b.num) (B.mul a.den b.den)
+let div a b = normalize (B.mul a.num b.den) (B.mul a.den b.num)
+
+let inv t =
+  if is_zero t then raise Division_by_zero else normalize t.den t.num
+
+let mul_int t n = normalize (B.mul_int t.num n) t.den
+
+let compare a b =
+  (* Denominators are positive, so cross-multiplication preserves order. *)
+  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let gt a b = compare a b > 0
+let geq a b = compare a b >= 0
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b
+
+let floor t =
+  let q, r = B.divmod t.num t.den in
+  if B.sign r < 0 then B.pred q else q
+
+let ceil t =
+  let q, r = B.divmod t.num t.den in
+  if B.sign r > 0 then B.succ q else q
+
+let pow t e =
+  if e >= 0 then { num = B.pow t.num e; den = B.pow t.den e }
+  else if is_zero t then raise Division_by_zero
+  else
+    let p = { num = B.pow t.num (-e); den = B.pow t.den (-e) } in
+    normalize p.den p.num
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let of_float f =
+  if not (Float.is_finite f) then
+    invalid_arg "Rational.of_float: not a finite float";
+  if f = 0.0 then zero
+  else begin
+    (* f = m * 2^(e - 53) with m a 53-bit integer: exact by construction. *)
+    let m, e = Float.frexp f in
+    let m53 = Int64.of_float (Float.ldexp m 53) in
+    let mant = B.of_string (Int64.to_string m53) in
+    let shift = e - 53 in
+    if shift >= 0 then of_bigint (B.shift_left mant shift)
+    else make mant (B.shift_left B.one (-shift))
+  end
+
+let of_decimal_string s =
+  let s = String.trim s in
+  if s = "" then invalid_arg "Rational.of_decimal_string: empty string";
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = B.of_string (String.sub s 0 i) in
+    let d = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make n d
+  | None ->
+    let mantissa, exponent =
+      match String.index_opt s 'e' with
+      | Some i ->
+        ( String.sub s 0 i,
+          int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+      | None -> (
+        match String.index_opt s 'E' with
+        | Some i ->
+          ( String.sub s 0 i,
+            int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+        | None -> (s, 0))
+    in
+    let negated, mantissa =
+      if mantissa <> "" && mantissa.[0] = '-' then
+        (true, String.sub mantissa 1 (String.length mantissa - 1))
+      else if mantissa <> "" && mantissa.[0] = '+' then
+        (false, String.sub mantissa 1 (String.length mantissa - 1))
+      else (false, mantissa)
+    in
+    let int_part, frac_part =
+      match String.index_opt mantissa '.' with
+      | Some i ->
+        ( String.sub mantissa 0 i,
+          String.sub mantissa (i + 1) (String.length mantissa - i - 1) )
+      | None -> (mantissa, "")
+    in
+    if int_part = "" && frac_part = "" then
+      invalid_arg "Rational.of_decimal_string: no digits";
+    let digits = int_part ^ frac_part in
+    let n = B.of_string (if digits = "" then "0" else digits) in
+    let scale = String.length frac_part - exponent in
+    let v =
+      if scale <= 0 then of_bigint (B.mul n (B.pow B.ten (-scale)))
+      else make n (B.pow B.ten scale)
+    in
+    if negated then neg v else v
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,1 @@
+lib/sat/all_sat.ml: Array Cdcl Fun List Types

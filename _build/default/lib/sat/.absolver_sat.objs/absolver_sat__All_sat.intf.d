@@ -1,0 +1,1 @@
+lib/sat/all_sat.mli: Cdcl Types

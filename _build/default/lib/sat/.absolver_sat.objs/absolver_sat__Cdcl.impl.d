@@ -1,0 +1,1 @@
+lib/sat/cdcl.ml: Array Bool List Types Vec

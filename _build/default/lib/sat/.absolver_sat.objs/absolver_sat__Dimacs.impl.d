@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Buffer Cdcl List Printf String Types

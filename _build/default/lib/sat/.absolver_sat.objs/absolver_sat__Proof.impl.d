@@ -1,0 +1,1 @@
+lib/sat/proof.ml: Cdcl Format List Types

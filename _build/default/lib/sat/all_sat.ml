@@ -1,0 +1,93 @@
+type strategy = Incremental | Restarting
+
+let blocking_clause ?projection solver =
+  (* Negate the model restricted to the projection (or all variables). *)
+  let vars =
+    match projection with
+    | Some vs -> vs
+    | None -> List.init (Cdcl.num_vars solver) Fun.id
+  in
+  List.filter_map
+    (fun v ->
+      match Cdcl.value solver v with
+      | Types.V_true -> Some (Types.neg_of_var v)
+      | Types.V_false -> Some (Types.pos v)
+      | Types.V_undef -> None)
+    vars
+
+let project ?projection solver =
+  match projection with
+  | None -> Cdcl.model solver
+  | Some vs ->
+    let m = Array.make (Cdcl.num_vars solver) false in
+    List.iter (fun v -> m.(v) <- Cdcl.value solver v = Types.V_true) vs;
+    m
+
+let iter ?projection ?(limit = max_int) ~solver f () =
+  let rec loop n =
+    if n >= limit then Ok n
+    else
+      match Cdcl.solve solver with
+      | Types.Unsat -> Ok n
+      | Types.Unknown -> Error "model enumeration: conflict budget exhausted"
+      | Types.Sat -> (
+        let m = project ?projection solver in
+        let block = blocking_clause ?projection solver in
+        match f m with
+        | `Stop -> Ok (n + 1)
+        | `Continue ->
+          (* An empty blocking clause means the projection is fully
+             unconstrained: there is exactly one projected model. *)
+          if block = [] then Ok (n + 1)
+          else begin
+            Cdcl.add_clause solver block;
+            loop (n + 1)
+          end)
+  in
+  loop 0
+
+let enumerate ?projection ?limit ?max_conflicts ~num_vars clauses =
+  ignore max_conflicts;
+  let solver = Cdcl.create () in
+  Cdcl.ensure_vars solver num_vars;
+  List.iter (Cdcl.add_clause solver) clauses;
+  let acc = ref [] in
+  match
+    iter ?projection ?limit ~solver
+      (fun m ->
+        acc := Array.copy m :: !acc;
+        `Continue)
+      ()
+  with
+  | Ok _ -> Ok (List.rev !acc)
+  | Error e -> Error e
+
+let enumerate_restarting ?projection ?(limit = max_int) ~num_vars clauses =
+  (* Fresh solver per model; blocking clauses accumulate externally. *)
+  let blocked = ref [] in
+  let rec loop acc n =
+    if n >= limit then Ok (List.rev acc)
+    else begin
+      let solver = Cdcl.create () in
+      Cdcl.ensure_vars solver num_vars;
+      List.iter (Cdcl.add_clause solver) clauses;
+      List.iter (Cdcl.add_clause solver) !blocked;
+      match Cdcl.solve solver with
+      | Types.Unsat -> Ok (List.rev acc)
+      | Types.Unknown -> Error "model enumeration: conflict budget exhausted"
+      | Types.Sat ->
+        let m = project ?projection solver in
+        let block = blocking_clause ?projection solver in
+        if block = [] then Ok (List.rev (m :: acc))
+        else begin
+          blocked := block :: !blocked;
+          loop (m :: acc) (n + 1)
+        end
+    end
+  in
+  loop [] 0
+
+let count ?projection ~num_vars clauses =
+  match enumerate ?projection ~num_vars clauses with
+  | Ok models -> Ok (List.length models)
+  | Error e -> Error e

@@ -1,0 +1,72 @@
+(** A CDCL SAT solver in the zChaff/MiniSat lineage.
+
+    This is the reproduction's stand-in for zChaff [7]: conflict-driven
+    clause learning with first-UIP analysis, two-watched-literal
+    propagation, VSIDS branching with phase saving, Luby restarts and
+    activity-based deletion of learnt clauses.
+
+    A {!theory} callback interface turns the solver into the DPLL(T) core
+    used by the MathSAT-like baseline: the theory is notified of every
+    assignment and backtrack, and is asked for consistency at every unit
+    propagation fixpoint — the "tight integration" whose absence the paper
+    identifies as the reason ABSOLVER trails MathSAT on the SMT-LIB
+    benchmarks (Sec. 5.2). *)
+
+type t
+
+(** Callbacks for theory integration (DPLL(T)).
+
+    The solver calls [t_on_assign] once per literal pushed on its trail (in
+    order) and [t_on_backtrack keep] when it backtracks, where [keep] is
+    the number of earlier [t_on_assign] notifications that remain valid.
+
+    [t_check ~final] is invoked at every propagation fixpoint ([final =
+    false]) and on full assignments ([final = true]). It returns [None] if
+    the current assignment is theory-consistent, or [Some lits] where
+    [lits] is a subset of currently-true literals that is jointly
+    inconsistent (the solver learns the clause of their negations). *)
+type theory = {
+  t_on_assign : Types.lit -> unit;
+  t_on_backtrack : int -> unit;
+  t_check : final:bool -> Types.lit list option;
+}
+
+val create : ?theory:theory -> unit -> t
+
+val new_var : t -> Types.var
+
+val ensure_vars : t -> int -> unit
+(** Make sure variables [0 .. n-1] exist. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Types.lit list -> unit
+(** Add a clause at decision level 0. Duplicate literals are merged and
+    tautologies dropped. Adding the empty clause makes the instance
+    permanently unsatisfiable. *)
+
+val solve :
+  ?assumptions:Types.lit list -> ?max_conflicts:int -> t -> Types.outcome
+(** Solve under optional assumptions. [max_conflicts] bounds the search
+    ([Unknown] when exhausted). The model of a [Sat] answer stays readable
+    through {!value} / {!model} until the next solver call. *)
+
+val value : t -> Types.var -> Types.value
+(** Value in the most recent model. *)
+
+val model : t -> bool array
+(** Snapshot of the model ([V_undef] variables default to [false]). *)
+
+val is_unsat : t -> bool
+(** The clause set itself (independent of assumptions) was proven
+    unsatisfiable. *)
+
+val stats : t -> Types.stats
+
+val set_default_phase : t -> bool -> unit
+(** Initial polarity used before a variable acquires a saved phase. *)
+
+val set_learnt_hook : t -> (Types.lit list -> unit) -> unit
+(** Install a callback invoked with every learnt clause, and with the
+    empty clause when unsatisfiability is established — a DRUP-style
+    proof trace consumable by {!Proof.check}. *)

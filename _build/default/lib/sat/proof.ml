@@ -1,0 +1,46 @@
+type trace = Types.lit list list
+
+let record solver =
+  let cell = ref [] in
+  Cdcl.set_learnt_hook solver (fun lits -> cell := lits :: !cell);
+  cell
+
+type verdict = Valid_unsat | Valid_partial | Invalid of int
+
+let pp_verdict fmt = function
+  | Valid_unsat -> Format.pp_print_string fmt "valid (unsat established)"
+  | Valid_partial -> Format.pp_print_string fmt "valid (partial trace)"
+  | Invalid i -> Format.fprintf fmt "invalid at step %d" i
+
+(* Each step is checked as an entailment: original + earlier lemmas +
+   (negation of the lemma) must be unsatisfiable.  Entailment subsumes
+   RUP, so every clause a CDCL solver can learn passes. *)
+let check ?(step_budget = 100_000) ~num_vars original trace =
+  (* The recording hook prepends, so the cell holds newest-first. *)
+  let trace = List.rev trace in
+  let checker = Cdcl.create () in
+  Cdcl.ensure_vars checker num_vars;
+  List.iter (Cdcl.add_clause checker) original;
+  let rec verify i = function
+    | [] -> Valid_partial
+    | [] :: _ ->
+      (* Deriving the empty clause: the accumulated set itself must be
+         unsatisfiable. *)
+      if Cdcl.solve ~max_conflicts:step_budget checker = Types.Unsat then
+        Valid_unsat
+      else Invalid i
+    | lemma :: rest -> (
+      let assumptions = List.map Types.negate lemma in
+      match Cdcl.solve ~assumptions ~max_conflicts:step_budget checker with
+      | Types.Unsat ->
+        if Cdcl.is_unsat checker then
+          (* Globally unsat already: the remaining lemmas are entailed. *)
+          if List.exists (fun c -> c = []) rest then Valid_unsat
+          else Valid_partial
+        else begin
+          Cdcl.add_clause checker lemma;
+          verify (i + 1) rest
+        end
+      | Types.Sat | Types.Unknown -> Invalid i)
+  in
+  verify 0 trace

@@ -1,0 +1,31 @@
+(** Clausal proof traces and an independent certificate checker.
+
+    {!Cdcl.set_learnt_hook} produces a DRUP-style trace: the sequence of
+    learnt clauses, ending with the empty clause when unsatisfiability is
+    established. {!check} verifies such a trace against the original
+    formula step by step — each learnt clause must be entailed by the
+    original clauses plus the previously verified ones — giving an
+    independent (if slower) certification of UNSAT answers, which the
+    test suite uses to cross-validate the solver on hard instances. *)
+
+type trace = Types.lit list list
+(** Learnt clauses in emission order; an UNSAT trace ends with []. *)
+
+val record : Cdcl.t -> trace ref
+(** Install a recording hook on the solver and return the trace cell
+    (newest clause first, as emitted). Call before solving; pass the
+    cell's final contents to {!check}. *)
+
+type verdict =
+  | Valid_unsat (** trace ends in the empty clause and every step checks *)
+  | Valid_partial
+      (** every step checks but the empty clause was never derived *)
+  | Invalid of int (** step index that failed entailment *)
+
+val check :
+  ?step_budget:int -> num_vars:int -> Types.lit list list -> trace -> verdict
+(** [check ~num_vars original trace] with [trace] newest-first as produced
+    by {!record}. [step_budget] bounds the conflicts spent on each
+    entailment check (default 100000). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

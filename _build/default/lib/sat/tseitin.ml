@@ -1,0 +1,142 @@
+type formula =
+  | True
+  | False
+  | Atom of int
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Xor of formula * formula
+
+let atom i = Atom i
+let not_ f = match f with Not g -> g | True -> False | False -> True | _ -> Not f
+
+let and_ fs =
+  let fs = List.filter (fun f -> f <> True) fs in
+  if List.mem False fs then False
+  else match fs with [] -> True | [ f ] -> f | _ -> And fs
+
+let or_ fs =
+  let fs = List.filter (fun f -> f <> False) fs in
+  if List.mem True fs then True
+  else match fs with [] -> False | [ f ] -> f | _ -> Or fs
+
+let implies a b = or_ [ not_ a; b ]
+let iff a b = Iff (a, b)
+let xor a b = Xor (a, b)
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Atom i -> Format.fprintf fmt "v%d" i
+  | Not f -> Format.fprintf fmt "!(%a)" pp f
+  | And fs -> pp_nary fmt "and" fs
+  | Or fs -> pp_nary fmt "or" fs
+  | Implies (a, b) -> Format.fprintf fmt "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf fmt "(%a <=> %a)" pp a pp b
+  | Xor (a, b) -> Format.fprintf fmt "(%a xor %a)" pp a pp b
+
+and pp_nary fmt op fs =
+  Format.fprintf fmt "(%s" op;
+  List.iter (fun f -> Format.fprintf fmt " %a" pp f) fs;
+  Format.fprintf fmt ")"
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Atom i -> env i
+  | Not f -> not (eval env f)
+  | And fs -> List.for_all (eval env) fs
+  | Or fs -> List.exists (eval env) fs
+  | Implies (a, b) -> (not (eval env a)) || eval env b
+  | Iff (a, b) -> eval env a = eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+
+type result = {
+  root : Types.lit;
+  clauses : Types.lit list list;
+  num_vars : int;
+}
+
+(* Formulas built by sharing subterms form DAGs; encoding must respect the
+   sharing or tree recursion explodes exponentially.  Memoization is keyed
+   on physical identity (Hashtbl.hash is depth-bounded, hence O(1) and
+   consistent with [==]). *)
+module Phys_tbl = Hashtbl.Make (struct
+  type t = formula
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type state = {
+  mutable next : int;
+  mutable acc : Types.lit list list;
+  (* One fixed variable forced true, used to encode the constants. *)
+  true_var : int;
+  memo : Types.lit Phys_tbl.t;
+}
+
+let fresh st =
+  let v = st.next in
+  st.next <- v + 1;
+  v
+
+let add st c = st.acc <- c :: st.acc
+
+(* Returns a literal equivalent to the subformula. *)
+let rec encode st f =
+  match Phys_tbl.find_opt st.memo f with
+  | Some l -> l
+  | None ->
+    let l = encode_uncached st f in
+    Phys_tbl.add st.memo f l;
+    l
+
+and encode_uncached st f =
+  match f with
+  | True -> Types.pos st.true_var
+  | False -> Types.neg_of_var st.true_var
+  | Atom i -> Types.pos i
+  | Not g -> Types.negate (encode st g)
+  | And fs ->
+    let lits = List.map (encode st) fs in
+    let d = Types.pos (fresh st) in
+    (* d <-> /\ lits *)
+    List.iter (fun l -> add st [ Types.negate d; l ]) lits;
+    add st (d :: List.map Types.negate lits);
+    d
+  | Or fs ->
+    let lits = List.map (encode st) fs in
+    let d = Types.pos (fresh st) in
+    List.iter (fun l -> add st [ d; Types.negate l ]) lits;
+    add st (Types.negate d :: lits);
+    d
+  | Implies (a, b) -> encode st (Or [ Not a; b ])
+  | Iff (a, b) ->
+    let la = encode st a and lb = encode st b in
+    let d = Types.pos (fresh st) in
+    add st [ Types.negate d; Types.negate la; lb ];
+    add st [ Types.negate d; la; Types.negate lb ];
+    add st [ d; la; lb ];
+    add st [ d; Types.negate la; Types.negate lb ];
+    d
+  | Xor (a, b) -> encode st (Not (Iff (a, b)))
+
+let to_cnf ~num_vars f =
+  let st =
+    {
+      next = num_vars + 1;
+      acc = [];
+      true_var = num_vars;
+      memo = Phys_tbl.create 64;
+    }
+  in
+  add st [ Types.pos st.true_var ];
+  let root = encode st f in
+  { root; clauses = List.rev st.acc; num_vars = st.next }
+
+let assert_cnf ~num_vars f =
+  let r = to_cnf ~num_vars f in
+  ([ r.root ] :: r.clauses, r.num_vars)

@@ -1,0 +1,46 @@
+(** Tseitin transformation of Boolean formulas to CNF.
+
+    Used by the model front end (logic blocks of Simulink diagrams become
+    gate clauses) and by the SMT-LIB translation (arbitrary Boolean
+    structure over theory atoms). *)
+
+type formula =
+  | True
+  | False
+  | Atom of int (** An externally-managed variable. *)
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Xor of formula * formula
+
+val atom : int -> formula
+val not_ : formula -> formula
+val and_ : formula list -> formula
+val or_ : formula list -> formula
+val implies : formula -> formula -> formula
+val iff : formula -> formula -> formula
+val xor : formula -> formula -> formula
+
+val pp : Format.formatter -> formula -> unit
+
+val eval : (int -> bool) -> formula -> bool
+
+type result = {
+  root : Types.lit;
+  clauses : Types.lit list list;
+  num_vars : int; (** Total variables after adding the definitional ones. *)
+}
+
+val to_cnf : num_vars:int -> formula -> result
+(** [to_cnf ~num_vars f] converts [f] to equisatisfiable clauses. Atoms
+    must be in [0 .. num_vars-1]; fresh definitional variables are
+    allocated from [num_vars] upward. The returned clauses do {e not}
+    assert the root: callers add [[result.root]] to require the formula,
+    which lets them also assert its negation or embed it in a larger
+    context. *)
+
+val assert_cnf : num_vars:int -> formula -> Types.lit list list * int
+(** Convenience: clauses that assert the formula, and the new variable
+    count. *)

@@ -1,0 +1,50 @@
+type var = int
+type lit = int
+
+let pos v = v * 2
+let neg_of_var v = (v * 2) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let is_pos l = l land 1 = 0
+let to_dimacs l = if is_pos l then var_of l + 1 else -(var_of l + 1)
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Types.of_dimacs: zero literal"
+  else if n > 0 then pos (n - 1)
+  else neg_of_var (-n - 1)
+
+let pp_lit fmt l = Format.fprintf fmt "%d" (to_dimacs l)
+
+type value = V_true | V_false | V_undef
+
+let value_negate = function
+  | V_true -> V_false
+  | V_false -> V_true
+  | V_undef -> V_undef
+
+let pp_value fmt v =
+  Format.pp_print_string fmt
+    (match v with V_true -> "true" | V_false -> "false" | V_undef -> "undef")
+
+type outcome = Sat | Unsat | Unknown
+
+let pp_outcome fmt o =
+  Format.pp_print_string fmt
+    (match o with Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown")
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_literals : int;
+}
+
+let mk_stats () =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learnt_literals = 0;
+  }

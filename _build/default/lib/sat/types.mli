@@ -1,0 +1,44 @@
+(** Shared vocabulary of the SAT layer.
+
+    Variables are non-negative integers; a literal packs a variable and a
+    polarity into a single integer ([2*v] for the positive literal,
+    [2*v+1] for the negative one), the usual MiniSat encoding. *)
+
+type var = int
+type lit = int
+
+val pos : var -> lit
+val neg_of_var : var -> lit
+val negate : lit -> lit
+val var_of : lit -> var
+val is_pos : lit -> bool
+
+val to_dimacs : lit -> int
+(** 1-based signed integer, as in DIMACS files. *)
+
+val of_dimacs : int -> lit
+(** @raise Invalid_argument on zero. *)
+
+val pp_lit : Format.formatter -> lit -> unit
+
+(** Three-valued assignment results. *)
+type value = V_true | V_false | V_undef
+
+val value_negate : value -> value
+val pp_value : Format.formatter -> value -> unit
+
+(** Outcome of a solver run. *)
+type outcome = Sat | Unsat | Unknown
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Statistics every solver in this library reports. *)
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_literals : int;
+}
+
+val mk_stats : unit -> stats

@@ -1,0 +1,1 @@
+lib/smtlib/ast.ml: Absolver_numeric Buffer Format List

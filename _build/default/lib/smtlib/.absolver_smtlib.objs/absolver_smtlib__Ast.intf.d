@@ -1,0 +1,1 @@
+lib/smtlib/ast.mli: Absolver_numeric Format

@@ -1,0 +1,1 @@
+lib/smtlib/fischer.ml: Absolver_numeric Ast List Parser Printf To_ab

@@ -1,0 +1,1 @@
+lib/smtlib/fischer.mli: Absolver_core Absolver_numeric Ast

@@ -1,0 +1,1 @@
+lib/smtlib/parser.ml: Absolver_numeric Ast List Printf String

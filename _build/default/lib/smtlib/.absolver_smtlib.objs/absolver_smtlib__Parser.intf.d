@@ -1,0 +1,1 @@
+lib/smtlib/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/smtlib/to_ab.ml: Absolver_core Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Ast Format Fun Hashtbl List Printf

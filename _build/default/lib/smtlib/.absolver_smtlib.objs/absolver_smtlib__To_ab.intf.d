@@ -1,0 +1,1 @@
+lib/smtlib/to_ab.mli: Absolver_core Ast

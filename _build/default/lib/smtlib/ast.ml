@@ -1,0 +1,99 @@
+module Q = Absolver_numeric.Rational
+
+type sort = S_real | S_int | S_bool
+
+type term =
+  | T_var of string
+  | T_const of Q.t
+  | T_add of term list
+  | T_sub of term * term
+  | T_neg of term
+  | T_mul of term * term
+  | T_div of term * term
+
+type formula =
+  | F_true
+  | F_false
+  | F_pred of string
+  | F_cmp of cmp * term * term
+  | F_not of formula
+  | F_and of formula list
+  | F_or of formula list
+  | F_implies of formula * formula
+  | F_iff of formula * formula
+  | F_xor of formula * formula
+
+and cmp = Lt | Le | Gt | Ge | Eq
+
+type benchmark = {
+  name : string;
+  logic : string;
+  extrafuns : (string * sort) list;
+  extrapreds : string list;
+  status : [ `Sat | `Unsat | `Unknown ];
+  assumptions : formula list;
+  formula : formula;
+}
+
+let cmp_name = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "="
+
+let rec pp_term fmt = function
+  | T_var s -> Format.pp_print_string fmt s
+  | T_const q ->
+    if Q.sign q < 0 then Format.fprintf fmt "(~ %s)" (Q.to_string (Q.neg q))
+    else Format.pp_print_string fmt (Q.to_string q)
+  | T_add ts ->
+    Format.fprintf fmt "(+";
+    List.iter (fun t -> Format.fprintf fmt " %a" pp_term t) ts;
+    Format.fprintf fmt ")"
+  | T_sub (a, b) -> Format.fprintf fmt "(- %a %a)" pp_term a pp_term b
+  | T_neg a -> Format.fprintf fmt "(~ %a)" pp_term a
+  | T_mul (a, b) -> Format.fprintf fmt "(* %a %a)" pp_term a pp_term b
+  | T_div (a, b) -> Format.fprintf fmt "(/ %a %a)" pp_term a pp_term b
+
+let rec pp_formula fmt = function
+  | F_true -> Format.pp_print_string fmt "true"
+  | F_false -> Format.pp_print_string fmt "false"
+  | F_pred s -> Format.pp_print_string fmt s
+  | F_cmp (c, a, b) ->
+    Format.fprintf fmt "(%s %a %a)" (cmp_name c) pp_term a pp_term b
+  | F_not f -> Format.fprintf fmt "(not %a)" pp_formula f
+  | F_and fs -> pp_nary fmt "and" fs
+  | F_or fs -> pp_nary fmt "or" fs
+  | F_implies (a, b) -> Format.fprintf fmt "(implies %a %a)" pp_formula a pp_formula b
+  | F_iff (a, b) -> Format.fprintf fmt "(iff %a %a)" pp_formula a pp_formula b
+  | F_xor (a, b) -> Format.fprintf fmt "(xor %a %a)" pp_formula a pp_formula b
+
+and pp_nary fmt op fs =
+  Format.fprintf fmt "(%s" op;
+  List.iter (fun f -> Format.fprintf fmt " %a" pp_formula f) fs;
+  Format.fprintf fmt ")"
+
+let to_string b =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_set_margin fmt 100;
+  Format.fprintf fmt "(benchmark %s@." b.name;
+  Format.fprintf fmt "  :logic %s@." b.logic;
+  Format.fprintf fmt "  :status %s@."
+    (match b.status with `Sat -> "sat" | `Unsat -> "unsat" | `Unknown -> "unknown");
+  if b.extrafuns <> [] then begin
+    Format.fprintf fmt "  :extrafuns (";
+    List.iter
+      (fun (n, s) ->
+        Format.fprintf fmt "(%s %s) " n
+          (match s with S_real -> "Real" | S_int -> "Int" | S_bool -> "Bool"))
+      b.extrafuns;
+    Format.fprintf fmt ")@."
+  end;
+  if b.extrapreds <> [] then begin
+    Format.fprintf fmt "  :extrapreds (";
+    List.iter (fun n -> Format.fprintf fmt "(%s) " n) b.extrapreds;
+    Format.fprintf fmt ")@."
+  end;
+  List.iter
+    (fun a -> Format.fprintf fmt "  :assumption %a@." pp_formula a)
+    b.assumptions;
+  Format.fprintf fmt "  :formula %a@.)@." pp_formula b.formula;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Abstract syntax for the SMT-LIB 1.2 subset used by the paper's
+    Table 2 benchmarks (QF_LRA-style: Boolean structure over linear
+    real/integer arithmetic atoms). *)
+
+module Q = Absolver_numeric.Rational
+
+type sort = S_real | S_int | S_bool
+
+type term =
+  | T_var of string
+  | T_const of Q.t
+  | T_add of term list
+  | T_sub of term * term
+  | T_neg of term
+  | T_mul of term * term
+  | T_div of term * term
+
+type formula =
+  | F_true
+  | F_false
+  | F_pred of string (** propositional variable (extrapred) *)
+  | F_cmp of cmp * term * term
+  | F_not of formula
+  | F_and of formula list
+  | F_or of formula list
+  | F_implies of formula * formula
+  | F_iff of formula * formula
+  | F_xor of formula * formula
+
+and cmp = Lt | Le | Gt | Ge | Eq
+
+type benchmark = {
+  name : string;
+  logic : string;
+  extrafuns : (string * sort) list;
+  extrapreds : string list;
+  status : [ `Sat | `Unsat | `Unknown ];
+  assumptions : formula list;
+  formula : formula;
+}
+
+val pp_term : Format.formatter -> term -> unit
+val pp_formula : Format.formatter -> formula -> unit
+val to_string : benchmark -> string
+(** SMT-LIB 1.2 concrete syntax. *)

@@ -1,0 +1,195 @@
+module Q = Absolver_numeric.Rational
+
+type property = Mutex_violation | Cs_within of Q.t
+
+(* Locations of a process. *)
+let locations = [ "idle"; "req"; "wait"; "cs" ]
+
+let delay_a = Ast.T_const Q.one
+let delay_b = Ast.T_const (Q.of_int 2)
+
+let benchmark ?(rounds = 4) ?(property = Cs_within (Q.of_int 4)) ~n () =
+  let steps = 2 * rounds in
+  (* Predicate and variable names. *)
+  let at loc i t = Printf.sprintf "at_%s_p%d_s%d" loc i t in
+  let lock i t = Printf.sprintf "lock%d_s%d" i t (* 0 = free *) in
+  let clock i t = Printf.sprintf "x_p%d_s%d" i t in
+  let delay t = Printf.sprintf "d_s%d" t in
+  let preds = ref [] and funs = ref [] in
+  for t = 0 to steps do
+    for i = 1 to n do
+      List.iter (fun l -> preds := at l i t :: !preds) locations;
+      funs := (clock i t, Ast.S_real) :: !funs
+    done;
+    for i = 0 to n do
+      preds := lock i t :: !preds
+    done
+  done;
+  for t = 0 to steps - 1 do
+    funs := (delay t, Ast.S_real) :: !funs
+  done;
+  let pvar s = Ast.F_pred s in
+  let tvar s = Ast.T_var s in
+  let eq a b = Ast.F_cmp (Ast.Eq, a, b) in
+  let ge a b = Ast.F_cmp (Ast.Ge, a, b) in
+  let le a b = Ast.F_cmp (Ast.Le, a, b) in
+  let gt a b = Ast.F_cmp (Ast.Gt, a, b) in
+  let zero = Ast.T_const Q.zero in
+  let exactly_one ps =
+    Ast.F_and
+      (Ast.F_or ps
+      :: List.concat_map
+           (fun (a, b) -> [ Ast.F_not (Ast.F_and [ a; b ]) ])
+           (let rec pairs = function
+              | [] -> []
+              | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+            in
+            pairs ps))
+  in
+  (* Structural invariants (assumptions): one location per process, one
+     lock owner, nonnegative clocks and delays. *)
+  let invariants =
+    List.concat
+      (List.init (steps + 1) (fun t ->
+           List.init n (fun i ->
+               exactly_one (List.map (fun l -> pvar (at l (i + 1) t)) locations))
+           @ [ exactly_one (List.init (n + 1) (fun i -> pvar (lock i t))) ]
+           @ List.init n (fun i -> ge (tvar (clock (i + 1) t)) zero)))
+    @ List.init steps (fun t -> ge (tvar (delay t)) zero)
+  in
+  (* Initial state. *)
+  let init =
+    Ast.F_and
+      (pvar (lock 0 0)
+      :: List.concat
+           (List.init n (fun i ->
+                [ pvar (at "idle" (i + 1) 0); eq (tvar (clock (i + 1) 0)) zero ])))
+  in
+  (* Frame conditions. *)
+  let same_loc i t = Ast.F_and (List.map (fun l -> Ast.F_iff (pvar (at l i t), pvar (at l i (t + 1)))) locations) in
+  let same_lock t = Ast.F_and (List.init (n + 1) (fun i -> Ast.F_iff (pvar (lock i t), pvar (lock i (t + 1))))) in
+  let same_clock i t = eq (tvar (clock i (t + 1))) (tvar (clock i t)) in
+  let reset_clock i t = eq (tvar (clock i (t + 1))) zero in
+  (* One discrete move of process i at step t. *)
+  let move i t =
+    let others_framed =
+      Ast.F_and
+        (List.concat
+           (List.init n (fun j ->
+                let j = j + 1 in
+                if j = i then [] else [ same_loc j t; same_clock j t ])))
+    in
+    let transitions =
+      [
+        (* idle -> req when lock free; reset clock *)
+        Ast.F_and
+          [
+            pvar (at "idle" i t);
+            pvar (lock 0 t);
+            pvar (at "req" i (t + 1));
+            reset_clock i t;
+            same_lock t;
+          ];
+        (* req -> wait within a; grab lock; reset clock *)
+        Ast.F_and
+          [
+            pvar (at "req" i t);
+            le (tvar (clock i t)) delay_a;
+            pvar (at "wait" i (t + 1));
+            reset_clock i t;
+            pvar (lock i (t + 1));
+          ];
+        (* wait -> cs after b if lock still ours *)
+        Ast.F_and
+          [
+            pvar (at "wait" i t);
+            gt (tvar (clock i t)) delay_b;
+            pvar (lock i t);
+            pvar (at "cs" i (t + 1));
+            same_clock i t;
+            same_lock t;
+          ];
+        (* wait -> idle when the lock was stolen *)
+        Ast.F_and
+          [
+            pvar (at "wait" i t);
+            Ast.F_not (pvar (lock i t));
+            pvar (at "idle" i (t + 1));
+            same_clock i t;
+            same_lock t;
+          ];
+        (* cs -> idle, release *)
+        Ast.F_and
+          [
+            pvar (at "cs" i t);
+            pvar (at "idle" i (t + 1));
+            same_clock i t;
+            pvar (lock 0 (t + 1));
+          ];
+      ]
+    in
+    (* Exactly one location holds at t+1 by the invariants, so asserting
+       the target location suffices.  Each transition mentions the moving
+       process's next location; the lock of non-mentioned indices is
+       pinned by same_lock or the asserted owner plus exactly-one. *)
+    Ast.F_and [ Ast.F_or transitions; others_framed ]
+  in
+  (* Alternating steps: even = delay, odd = some process moves. *)
+  let step t =
+    if t mod 2 = 0 then
+      Ast.F_and
+        (same_lock t
+        :: List.concat
+             (List.init n (fun i ->
+                  let i = i + 1 in
+                  [
+                    same_loc i t;
+                    eq
+                      (tvar (clock i (t + 1)))
+                      (Ast.T_add [ tvar (clock i t); tvar (delay t) ]);
+                  ])))
+    else
+      Ast.F_and
+        [ eq (tvar (delay t)) zero; Ast.F_or (List.init n (fun i -> move (i + 1) t)) ]
+  in
+  let steps_f = List.init steps step in
+  let property_f =
+    match property with
+    | Mutex_violation ->
+      let pairs = ref [] in
+      for t = 0 to steps do
+        for i = 1 to n do
+          for j = i + 1 to n do
+            pairs := Ast.F_and [ pvar (at "cs" i t); pvar (at "cs" j t) ] :: !pairs
+          done
+        done
+      done;
+      Ast.F_or !pairs
+    | Cs_within d ->
+      Ast.F_and
+        [
+          Ast.F_or (List.init (steps + 1) (fun t -> pvar (at "cs" 1 t)));
+          le (Ast.T_add (List.init steps (fun t -> tvar (delay t)))) (Ast.T_const d);
+        ]
+  in
+  let status =
+    match property with
+    | Mutex_violation -> `Unsat
+    | Cs_within d -> if Q.gt d (Q.of_int 2) then `Sat else `Unsat
+  in
+  {
+    Ast.name = Printf.sprintf "FISCHER%d-1-fair" n;
+    logic = "QF_LRA";
+    extrafuns = List.rev !funs;
+    extrapreds = List.rev !preds;
+    status;
+    assumptions = invariants @ [ init ] @ steps_f;
+    formula = property_f;
+  }
+
+let problem ?rounds ?property ~n () =
+  let b = benchmark ?rounds ?property ~n () in
+  let text = Ast.to_string b in
+  match Parser.parse_benchmark text with
+  | Error e -> Error ("re-parse failed: " ^ e)
+  | Ok b' -> To_ab.convert b'

@@ -1,0 +1,36 @@
+(** Generator for the FISCHER mutual-exclusion benchmarks of the paper's
+    Table 2.
+
+    The original [FISCHERn-1-fair.smt] files come from the SMT-LIB 1.2
+    distribution (MathSAT suite) and are not redistributable from a sealed
+    environment, so we regenerate the family: a bounded-model-checking
+    unrolling of Fischer's timed mutual-exclusion protocol for [n]
+    processes — real-valued clocks, a shared lock variable, alternating
+    delay/discrete steps — in SMT-LIB 1.2 concrete syntax, which then runs
+    through {!Parser} and {!To_ab} exactly like the originals did.
+
+    Protocol constants: a process must write the lock within [a = 1] time
+    unit of requesting, and waits [b = 2 > a] before entering its critical
+    section; [a < b] makes the protocol safe.
+
+    Properties:
+    - [Mutex_violation]: two processes simultaneously critical somewhere
+      in the unrolling (UNSAT for [a < b] — the verification reading);
+    - [Cs_within d]: process 1 reaches its critical section with total
+      elapsed time at most [d] (SAT iff [d] is at least the minimal
+      traversal time [b]). *)
+
+module Q = Absolver_numeric.Rational
+
+type property = Mutex_violation | Cs_within of Q.t
+
+val benchmark : ?rounds:int -> ?property:property -> n:int -> unit -> Ast.benchmark
+(** [rounds] is the number of delay+discrete step pairs unrolled
+    (default 4). The benchmark name follows the paper:
+    ["FISCHER<n>-1-fair"]. *)
+
+val problem :
+  ?rounds:int -> ?property:property -> n:int -> unit ->
+  (Absolver_core.Ab_problem.t, string) result
+(** Convenience: generate, print, re-parse and convert — the full Table 2
+    pipeline. *)

@@ -1,0 +1,206 @@
+module Q = Absolver_numeric.Rational
+
+type sexp = Atom of string | List of sexp list
+
+exception Err of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+let tokenize text =
+  let n = String.length text in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ';' then begin
+      (* comment to end of line *)
+      while !i < n && text.[!i] <> '\n' do incr i done
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then begin
+      toks := "(" :: !toks;
+      incr i
+    end
+    else if c = ')' then begin
+      toks := ")" :: !toks;
+      incr i
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let d = text.[!i] in
+        d <> ' ' && d <> '\t' && d <> '\n' && d <> '\r' && d <> '(' && d <> ')'
+        && d <> ';'
+      do
+        incr i
+      done;
+      toks := String.sub text start (!i - start) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let parse_sexps text =
+  match
+    let toks = ref (tokenize text) in
+    let rec parse_one () =
+      match !toks with
+      | [] -> failf "unexpected end of input"
+      | "(" :: rest ->
+        toks := rest;
+        let items = ref [] in
+        let rec loop () =
+          match !toks with
+          | ")" :: rest ->
+            toks := rest;
+            List (List.rev !items)
+          | [] -> failf "unclosed parenthesis"
+          | _ ->
+            items := parse_one () :: !items;
+            loop ()
+        in
+        loop ()
+      | ")" :: _ -> failf "unexpected ')'"
+      | atom :: rest ->
+        toks := rest;
+        Atom atom
+    in
+    let acc = ref [] in
+    while !toks <> [] do
+      acc := parse_one () :: !acc
+    done;
+    List.rev !acc
+  with
+  | sexps -> Ok sexps
+  | exception Err msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+
+let is_number s =
+  s <> ""
+  &&
+  let s = if s.[0] = '-' || s.[0] = '+' then String.sub s 1 (String.length s - 1) else s in
+  s <> "" && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '/') s
+
+let rec term_of_sexp preds s =
+  match s with
+  | Atom a when is_number a -> Ast.T_const (Q.of_decimal_string a)
+  | Atom a -> Ast.T_var a
+  | List [ Atom "~"; t ] -> Ast.T_neg (term_of_sexp preds t)
+  | List (Atom "+" :: ts) -> Ast.T_add (List.map (term_of_sexp preds) ts)
+  | List [ Atom "-"; a; b ] -> Ast.T_sub (term_of_sexp preds a, term_of_sexp preds b)
+  | List [ Atom "-"; a ] -> Ast.T_neg (term_of_sexp preds a)
+  | List [ Atom "*"; a; b ] -> Ast.T_mul (term_of_sexp preds a, term_of_sexp preds b)
+  | List (Atom "*" :: a :: rest) ->
+    List.fold_left
+      (fun acc t -> Ast.T_mul (acc, term_of_sexp preds t))
+      (term_of_sexp preds a) rest
+  | List [ Atom "/"; a; b ] -> Ast.T_div (term_of_sexp preds a, term_of_sexp preds b)
+  | _ -> failf "unsupported term"
+
+let rec formula_of_sexp preds s =
+  match s with
+  | Atom "true" -> Ast.F_true
+  | Atom "false" -> Ast.F_false
+  | Atom p -> Ast.F_pred p
+  | List [ Atom p ] when List.mem p preds -> Ast.F_pred p
+  | List (Atom "and" :: fs) -> Ast.F_and (List.map (formula_of_sexp preds) fs)
+  | List (Atom "or" :: fs) -> Ast.F_or (List.map (formula_of_sexp preds) fs)
+  | List [ Atom "not"; f ] -> Ast.F_not (formula_of_sexp preds f)
+  | List [ Atom "implies"; a; b ] | List [ Atom "=>"; a; b ] ->
+    Ast.F_implies (formula_of_sexp preds a, formula_of_sexp preds b)
+  | List [ Atom "iff"; a; b ] | List [ Atom "<=>"; a; b ] ->
+    Ast.F_iff (formula_of_sexp preds a, formula_of_sexp preds b)
+  | List [ Atom "xor"; a; b ] ->
+    Ast.F_xor (formula_of_sexp preds a, formula_of_sexp preds b)
+  | List [ Atom "<"; a; b ] -> cmp preds Ast.Lt a b
+  | List [ Atom "<="; a; b ] -> cmp preds Ast.Le a b
+  | List [ Atom ">"; a; b ] -> cmp preds Ast.Gt a b
+  | List [ Atom ">="; a; b ] -> cmp preds Ast.Ge a b
+  | List [ Atom "="; a; b ] -> cmp preds Ast.Eq a b
+  | List _ -> failf "unsupported formula"
+
+and cmp preds c a b = Ast.F_cmp (c, term_of_sexp preds a, term_of_sexp preds b)
+
+let parse_benchmark text =
+  match
+    match parse_sexps text with
+    | Error e -> raise (Err e)
+    | Ok [ List (Atom "benchmark" :: Atom name :: attrs) ] ->
+      let logic = ref "unknown" in
+      let status = ref `Unknown in
+      let extrafuns = ref [] in
+      let extrapreds = ref [] in
+      let assumptions = ref [] in
+      let formula = ref None in
+      let rec eat = function
+        | [] -> ()
+        | Atom ":logic" :: Atom l :: rest ->
+          logic := l;
+          eat rest
+        | Atom ":status" :: Atom s :: rest ->
+          status :=
+            (match s with "sat" -> `Sat | "unsat" -> `Unsat | _ -> `Unknown);
+          eat rest
+        | Atom ":extrafuns" :: List decls :: rest ->
+          List.iter
+            (fun d ->
+              match d with
+              | List [ Atom n; Atom srt ] ->
+                let sort =
+                  match srt with
+                  | "Real" -> Ast.S_real
+                  | "Int" -> Ast.S_int
+                  | "Bool" -> Ast.S_bool
+                  | _ -> failf "unknown sort %s" srt
+                in
+                extrafuns := (n, sort) :: !extrafuns
+              | _ -> failf "malformed extrafuns entry")
+            decls;
+          eat rest
+        | Atom ":extrapreds" :: List decls :: rest ->
+          List.iter
+            (fun d ->
+              match d with
+              | List [ Atom n ] -> extrapreds := n :: !extrapreds
+              | Atom n -> extrapreds := n :: !extrapreds
+              | _ -> failf "malformed extrapreds entry")
+            decls;
+          eat rest
+        | Atom ":assumption" :: f :: rest ->
+          assumptions := formula_of_sexp !extrapreds f :: !assumptions;
+          eat rest
+        | Atom ":formula" :: f :: rest ->
+          formula := Some (formula_of_sexp !extrapreds f);
+          eat rest
+        | Atom ":source" :: _ :: rest | Atom ":notes" :: _ :: rest -> eat rest
+        | Atom a :: _ -> failf "unknown attribute %s" a
+        | List _ :: _ -> failf "unexpected list at attribute position"
+      in
+      eat attrs;
+      (match !formula with
+      | None -> failf "benchmark has no :formula"
+      | Some f ->
+        {
+          Ast.name;
+          logic = !logic;
+          extrafuns = List.rev !extrafuns;
+          extrapreds = List.rev !extrapreds;
+          status = !status;
+          assumptions = List.rev !assumptions;
+          formula = f;
+        })
+    | Ok _ -> failf "expected a single (benchmark ...) form"
+  with
+  | b -> Ok b
+  | exception Err msg -> Error msg
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    parse_benchmark content

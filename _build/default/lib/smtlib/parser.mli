@@ -1,0 +1,14 @@
+(** Parser for the SMT-LIB 1.2 subset of {!Ast}.
+
+    The paper's Table 2 benchmarks "were converted automatically to
+    ABSOLVER's input format from the satisfiability-modulo-theories
+    benchmark library"; this parser is the front half of that conversion
+    (the back half is {!To_ab}). S-expression based; supports [benchmark]
+    declarations with [:logic], [:status], [:extrafuns], [:extrapreds],
+    [:assumption] and [:formula] attributes. *)
+
+type sexp = Atom of string | List of sexp list
+
+val parse_sexps : string -> (sexp list, string) result
+val parse_benchmark : string -> (Ast.benchmark, string) result
+val parse_file : string -> (Ast.benchmark, string) result

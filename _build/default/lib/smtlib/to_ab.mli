@@ -1,0 +1,15 @@
+(** Back half of the paper's benchmark conversion: SMT-LIB 1.2 benchmark →
+    AB-problem in ABSOLVER's extended-DIMACS representation.
+
+    Comparison atoms become definitional Boolean variables; equality atoms
+    are split into a [<=] and a [>=] definition (two variables constrained
+    to their conjunction) so that negated equalities stay branch-free in
+    the engine; propositional predicates map to plain Boolean variables;
+    the Boolean structure is clausified with Tseitin. *)
+
+val convert : Ast.benchmark -> (Absolver_core.Ab_problem.t, string) result
+
+val convert_split_eq :
+  split_eq:bool -> Ast.benchmark -> (Absolver_core.Ab_problem.t, string) result
+(** [split_eq:false] keeps equality atoms as single [Eq] definitions
+    (exercises the engine's negated-equation branching; ablation). *)

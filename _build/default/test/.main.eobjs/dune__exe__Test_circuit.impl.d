@@ -1,0 +1,1 @@
+test/test_circuit.ml: Absolver_circuit Absolver_lp Absolver_nlp Absolver_numeric Alcotest List String

@@ -1,0 +1,1 @@
+test/test_core.ml: Absolver_circuit Absolver_core Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Alcotest Array Float List Option

@@ -1,0 +1,1 @@
+test/test_encodings.ml: Absolver_core Absolver_encodings Alcotest Array List String

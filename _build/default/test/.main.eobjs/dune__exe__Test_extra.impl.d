@@ -1,0 +1,1 @@
+test/test_extra.ml: Absolver_circuit Absolver_core Absolver_lp Absolver_model Absolver_nlp Absolver_numeric Absolver_sat Alcotest Array Float List Option String

@@ -1,0 +1,1 @@
+test/test_lp.ml: Absolver_lp Absolver_numeric Alcotest Array Gen List Option Printf QCheck QCheck_alcotest

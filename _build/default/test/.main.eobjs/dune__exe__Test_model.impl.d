@@ -1,0 +1,1 @@
+test/test_model.ml: Absolver_core Absolver_model Absolver_numeric Alcotest List Option Printf String

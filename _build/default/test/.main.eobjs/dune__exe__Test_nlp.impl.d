@@ -1,0 +1,1 @@
+test/test_nlp.ml: Absolver_lp Absolver_nlp Absolver_numeric Alcotest Array Float List Random

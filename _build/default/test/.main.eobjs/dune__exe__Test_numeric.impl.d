@@ -1,0 +1,1 @@
+test/test_numeric.ml: Absolver_numeric Alcotest Float List Printf QCheck QCheck_alcotest String

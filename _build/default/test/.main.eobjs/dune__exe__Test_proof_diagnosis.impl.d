@@ -1,0 +1,1 @@
+test/test_proof_diagnosis.ml: Absolver_core Absolver_lp Absolver_nlp Absolver_numeric Absolver_sat Alcotest Format Fun List Random String

@@ -1,0 +1,1 @@
+test/test_sat.ml: Absolver_sat Alcotest Fun List Printf Random

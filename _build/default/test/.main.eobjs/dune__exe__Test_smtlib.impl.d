@@ -1,0 +1,1 @@
+test/test_smtlib.ml: Absolver_core Absolver_numeric Absolver_smtlib Alcotest List Printf

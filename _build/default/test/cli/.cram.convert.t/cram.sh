@@ -1,0 +1,19 @@
+  $ cat > gate.mdl <<'END'
+  > model gate
+  > block 0 Inport temp -40 125
+  > block 1 Inport limit 0 100
+  > block 2 Relop >
+  > block 3 Outport alarm
+  > wire 0 2 0
+  > wire 1 2 1
+  > wire 2 3 0
+  > END
+  $ ../../bin/absolver_cli.exe convert gate.mdl --lustre
+  $ ../../bin/absolver_cli.exe convert gate.mdl -o problem.cnf
+  $ ../../bin/absolver_cli.exe solve problem.cnf > result.txt; echo "exit $?"
+  $ head -1 result.txt
+  $ ../../bin/absolver_cli.exe gen fischer 2 --rounds 3 -o f2.cnf
+  $ ../../bin/absolver_cli.exe solve f2.cnf > f2.txt; echo "exit $?"
+  $ ../../bin/absolver_cli.exe gen sudoku 2006_05_23_hard -o s.cnf
+  $ ../../bin/absolver_cli.exe solve s.cnf > s.txt; echo "exit $?"
+  $ head -1 s.txt

@@ -1,0 +1,40 @@
+The Fig. 3 conversion work-flow from a textual Simulink-like model.
+
+  $ cat > gate.mdl <<'END'
+  > model gate
+  > block 0 Inport temp -40 125
+  > block 1 Inport limit 0 100
+  > block 2 Relop >
+  > block 3 Outport alarm
+  > wire 0 2 0
+  > wire 1 2 1
+  > wire 2 3 0
+  > END
+  $ ../../bin/absolver_cli.exe convert gate.mdl --lustre
+  node gate (temp : real; limit : real)
+  returns (alarm : bool);
+  var
+    sig_2 : bool;
+  let
+    sig_2 = (temp > limit);
+    alarm = sig_2;
+  tel
+  $ ../../bin/absolver_cli.exe convert gate.mdl -o problem.cnf
+  wrote problem.cnf
+  $ ../../bin/absolver_cli.exe solve problem.cnf > result.txt; echo "exit $?"
+  exit 0
+  $ head -1 result.txt
+  sat
+
+Generators produce ready-to-solve instances.
+
+  $ ../../bin/absolver_cli.exe gen fischer 2 --rounds 3 -o f2.cnf
+  wrote f2.cnf
+  $ ../../bin/absolver_cli.exe solve f2.cnf > f2.txt; echo "exit $?"
+  exit 0
+  $ ../../bin/absolver_cli.exe gen sudoku 2006_05_23_hard -o s.cnf
+  wrote s.cnf
+  $ ../../bin/absolver_cli.exe solve s.cnf > s.txt; echo "exit $?"
+  exit 0
+  $ head -1 s.txt
+  sat

@@ -1,0 +1,51 @@
+The stand-alone executable solves extended-DIMACS problems.
+
+  $ cat > fig2.cnf <<'END'
+  > p cnf 4 3
+  > 1 0
+  > -2 3 0
+  > 4 0
+  > c def int 1 i >= 0
+  > c def int 1 j >= 0
+  > c def int 2 2*i + j < 10
+  > c def int 3 i + j < 5
+  > c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
+  > c bound a -10 10
+  > c bound x -10 10
+  > c bound y -10 3.9
+  > END
+  $ ../../bin/absolver_cli.exe solve fig2.cnf > out.txt; echo "exit $?"
+  exit 0
+  $ head -1 out.txt
+  sat
+
+An unsatisfiable problem exits with status 20 (the usual SAT-solver
+convention).
+
+  $ cat > unsat.cnf <<'END'
+  > p cnf 2 2
+  > 1 0
+  > 2 0
+  > c def real 1 u <= 1
+  > c def real 2 u >= 2
+  > END
+  $ ../../bin/absolver_cli.exe solve unsat.cnf
+  unsat
+  [20]
+
+All-models enumeration with a limit.
+
+  $ cat > multi.cnf <<'END'
+  > p cnf 2 1
+  > 1 2 0
+  > c def real 1 u <= 1
+  > c def real 2 u >= 2
+  > END
+  $ ../../bin/absolver_cli.exe solve multi.cnf --all-models | head -1
+  2 solution(s)
+
+The circuit renderer emits GraphViz.
+
+  $ ../../bin/absolver_cli.exe circuit fig2.cnf | head -2
+  digraph circuit {
+    rankdir=LR;

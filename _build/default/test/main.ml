@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "absolver"
+    [
+      ("numeric", Test_numeric.suite);
+      ("sat", Test_sat.suite);
+      ("lp", Test_lp.suite);
+      ("nlp", Test_nlp.suite);
+      ("circuit", Test_circuit.suite);
+      ("core", Test_core.suite);
+      ("model", Test_model.suite);
+      ("smtlib", Test_smtlib.suite);
+      ("baselines", Test_baselines.suite);
+      ("encodings", Test_encodings.suite);
+      ("integration", Test_integration.suite);
+      ("extra", Test_extra.suite);
+      ("proof-diagnosis", Test_proof_diagnosis.suite);
+    ]

@@ -1,0 +1,155 @@
+(* Tests for the comparison baselines: the shared DPLL(T) core, the
+   MathSAT-like and CVC-Lite-like configurations, and the memory budget. *)
+
+module A = Absolver_core
+module B = Absolver_baselines
+module SL = Absolver_smtlib
+module S = Absolver_encodings.Sudoku
+module P = Absolver_encodings.Puzzles
+module Q = Absolver_numeric.Rational
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let parse text =
+  match A.Dimacs_ext.parse_string text with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_budget () =
+  let b = B.Budget.create ~limit:100 in
+  B.Budget.alloc b 60;
+  check bool_t "allocated" true (B.Budget.allocated b = 60);
+  Alcotest.check_raises "overflows" B.Budget.Simulated_out_of_memory (fun () ->
+      B.Budget.alloc b 50)
+
+let test_reject_nonlinear () =
+  let p = parse "p cnf 1 1\n1 0\nc def real 1 x * y >= 1\n" in
+  (match B.Mathsat_like.solve p with
+  | B.Common.B_rejected _ -> ()
+  | r -> Alcotest.failf "mathsat: %s" (B.Common.result_name r));
+  match B.Cvclite_like.solve p with
+  | B.Common.B_rejected _ -> ()
+  | r -> Alcotest.failf "cvc: %s" (B.Common.result_name r)
+
+let test_linear_sat () =
+  let p =
+    parse
+      "p cnf 2 2\n1 0\n2 0\nc def real 1 u + v >= 3\nc def real 2 u - v <= 1\n"
+  in
+  match B.Mathsat_like.solve p with
+  | B.Common.B_sat sol -> check bool_t "verified" true (A.Solution.check p sol = Ok ())
+  | r -> Alcotest.failf "expected sat, got %s" (B.Common.result_name r)
+
+let test_linear_unsat () =
+  let p = parse "p cnf 2 2\n1 0\n2 0\nc def real 1 u <= 1\nc def real 2 u >= 2\n" in
+  (match B.Mathsat_like.solve p with
+  | B.Common.B_unsat -> ()
+  | r -> Alcotest.failf "expected unsat, got %s" (B.Common.result_name r));
+  match B.Cvclite_like.solve p with
+  | B.Common.B_unsat -> ()
+  | r -> Alcotest.failf "cvc expected unsat, got %s" (B.Common.result_name r)
+
+let test_negated_inequalities () =
+  (* Clause forces var 1 false: u <= 1 must fail, so u > 1; combined with
+     u <= 3 from var 2. *)
+  let p =
+    parse "p cnf 2 2\n-1 0\n2 0\nc def real 1 u <= 1\nc def real 2 u <= 3\n"
+  in
+  match B.Mathsat_like.solve p with
+  | B.Common.B_sat sol -> check bool_t "verified" true (A.Solution.check p sol = Ok ())
+  | r -> Alcotest.failf "expected sat, got %s" (B.Common.result_name r)
+
+let test_negated_equality_deferred () =
+  (* not (u = 3) with u in [0, 10]: the deferred-disequality path. *)
+  let p = parse "p cnf 1 1\n-1 0\nc def real 1 u = 3\nc bound u 0 10\n" in
+  match B.Mathsat_like.solve p with
+  | B.Common.B_sat sol -> check bool_t "verified" true (A.Solution.check p sol = Ok ())
+  | r -> Alcotest.failf "expected sat, got %s" (B.Common.result_name r)
+
+let test_integer_final_check () =
+  (* 0 < u < 1 with u integer: rationally fine, integrally unsat. *)
+  let p =
+    parse "p cnf 2 2\n1 0\n2 0\nc def int 1 2 * u >= 1\nc def int 2 2 * u <= 1\n"
+  in
+  match B.Mathsat_like.solve p with
+  | B.Common.B_unsat -> ()
+  | r -> Alcotest.failf "expected integral unsat, got %s" (B.Common.result_name r)
+
+let test_agreement_with_engine_on_fischer () =
+  (* The tight baselines and the loose engine must agree on verdicts. *)
+  List.iter
+    (fun (n, property) ->
+      match SL.Fischer.problem ~rounds:3 ~property ~n () with
+      | Error e -> Alcotest.fail e
+      | Ok p ->
+        let engine =
+          match fst (A.Engine.solve p) with
+          | A.Engine.R_sat _ -> "sat"
+          | A.Engine.R_unsat -> "unsat"
+          | A.Engine.R_unknown _ -> "unknown"
+        in
+        let ms = B.Common.result_name (B.Mathsat_like.solve p) in
+        let cv = B.Common.result_name (B.Cvclite_like.solve p) in
+        check Alcotest.string (Printf.sprintf "mathsat n=%d" n) engine ms;
+        check Alcotest.string (Printf.sprintf "cvc n=%d" n) engine cv)
+    [
+      (1, SL.Fischer.Cs_within (Q.of_int 4));
+      (2, SL.Fischer.Cs_within (Q.of_int 4));
+      (1, SL.Fischer.Cs_within (Q.of_int 2));
+      (2, SL.Fischer.Cs_within (Q.of_int 2));
+      (3, SL.Fischer.Cs_within (Q.of_int 2));
+    ]
+
+let test_mathsat_sat_model_valid () =
+  (* On a satisfiable mixed instance the model must satisfy the
+     delta-semantics, exactly like the engine's. *)
+  let p =
+    parse
+      {|p cnf 3 2
+1 -2 0
+3 0
+c def real 1 u + v <= 4
+c def real 2 u >= 3
+c def real 3 v >= 1
+c bound u 0 10
+c bound v 0 10
+|}
+  in
+  match B.Mathsat_like.solve p with
+  | B.Common.B_sat sol -> check bool_t "verified" true (A.Solution.check p sol = Ok ())
+  | r -> Alcotest.failf "expected sat, got %s" (B.Common.result_name r)
+
+let test_cvc_oom_on_sudoku () =
+  let _, puzzle = List.hd P.all in
+  let bp = S.baseline_problem puzzle in
+  match B.Cvclite_like.solve ~memory_budget:2_000_000 ~deadline_seconds:30.0 bp with
+  | B.Common.B_out_of_memory -> ()
+  | r -> Alcotest.failf "expected oom, got %s" (B.Common.result_name r)
+
+let test_mathsat_slow_on_sudoku () =
+  (* With a short deadline the integer-heavy Sudoku encoding cannot be
+     finished -- the Table 3 shape. *)
+  let _, puzzle = List.hd P.all in
+  let bp = S.baseline_problem puzzle in
+  match B.Mathsat_like.solve ~deadline_seconds:3.0 bp with
+  | B.Common.B_unknown _ -> ()
+  | B.Common.B_sat sol ->
+    (* If it somehow finishes, the answer must at least be correct. *)
+    check bool_t "verified" true (A.Solution.check bp sol = Ok ())
+  | r -> Alcotest.failf "unexpected %s" (B.Common.result_name r)
+
+let suite =
+  [
+    ("budget accounting", `Quick, test_budget);
+    ("nonlinear rejected", `Quick, test_reject_nonlinear);
+    ("linear sat", `Quick, test_linear_sat);
+    ("linear unsat", `Quick, test_linear_unsat);
+    ("negated inequalities", `Quick, test_negated_inequalities);
+    ("negated equality deferred", `Quick, test_negated_equality_deferred);
+    ("integer final check", `Quick, test_integer_final_check);
+    ("agreement with engine", `Quick, test_agreement_with_engine_on_fischer);
+    ("model validity", `Quick, test_mathsat_sat_model_valid);
+    ("cvc out-of-memory on sudoku", `Slow, test_cvc_oom_on_sudoku);
+    ("mathsat slow on sudoku", `Slow, test_mathsat_slow_on_sudoku);
+  ]

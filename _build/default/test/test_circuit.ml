@@ -1,0 +1,92 @@
+(* Tests for the 3-valued logic and the circuit data structure. *)
+
+module TB = Absolver_circuit.Tribool
+module C = Absolver_circuit.Circuit
+module E = Absolver_nlp.Expr
+module L = Absolver_lp.Linexpr
+module Q = Absolver_numeric.Rational
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let test_tribool_kleene () =
+  (* Kleene strong 3-valued tables. *)
+  check bool_t "F and ? = F" true (TB.and_ TB.False TB.Unknown = TB.False);
+  check bool_t "T and ? = ?" true (TB.and_ TB.True TB.Unknown = TB.Unknown);
+  check bool_t "T or ? = T" true (TB.or_ TB.True TB.Unknown = TB.True);
+  check bool_t "F or ? = ?" true (TB.or_ TB.False TB.Unknown = TB.Unknown);
+  check bool_t "not ? = ?" true (TB.not_ TB.Unknown = TB.Unknown);
+  check bool_t "? xor T = ?" true (TB.xor TB.Unknown TB.True = TB.Unknown);
+  check bool_t "implies F ? = T" true (TB.implies TB.False TB.Unknown = TB.True);
+  check bool_t "to_string" true (TB.to_string TB.Unknown = "?")
+
+let test_tribool_lists () =
+  check bool_t "and_list empty" true (TB.and_list [] = TB.True);
+  check bool_t "or_list empty" true (TB.or_list [] = TB.False);
+  check bool_t "and_list with F" true
+    (TB.and_list [ TB.True; TB.Unknown; TB.False ] = TB.False)
+
+let test_circuit_hash_consing () =
+  let b = C.builder () in
+  let i0 = C.input b 0 and i0' = C.input b 0 in
+  check bool_t "inputs shared" true (i0 == i0');
+  let a1 = C.and_ b [ i0; C.input b 1 ] in
+  let a2 = C.and_ b [ i0; C.input b 1 ] in
+  check bool_t "gates shared" true (a1 == a2)
+
+let test_circuit_eval_three_valued () =
+  (* Fig. 5-style fragment: (b0 and cmp) with cmp = (x - 1 >= 0). *)
+  let b = C.builder () in
+  let cmp = C.cmp b (E.sub (E.var 0) (E.const Q.one)) L.Ge in
+  let out = C.and_ b [ C.input b 0; cmp ] in
+  let circuit = C.seal b ~output:out in
+  let eval b0 xval =
+    C.eval
+      ~bool_env:(fun _ -> b0)
+      ~arith_env:(fun _ -> xval)
+      circuit
+  in
+  check bool_t "all known true" true (eval TB.True (Some (Q.of_int 2)) = TB.True);
+  check bool_t "cmp false" true (eval TB.True (Some Q.zero) = TB.False);
+  check bool_t "arith unknown" true (eval TB.True None = TB.Unknown);
+  check bool_t "bool false dominates" true (eval TB.False None = TB.False)
+
+let test_circuit_observers () =
+  let b = C.builder () in
+  let cmp1 = C.cmp b (E.var 0) L.Ge in
+  let cmp2 = C.cmp b (E.add (E.var 1) (E.var 2)) L.Lt in
+  let out = C.or_ b [ C.not_ b (C.input b 3); cmp1; cmp2 ] in
+  let circuit = C.seal b ~output:out in
+  check bool_t "bool inputs" true (C.boolean_inputs circuit = [ 3 ]);
+  check bool_t "arith vars" true (C.arithmetic_vars circuit = [ 0; 1; 2 ]);
+  check int_t "comparisons" 2 (List.length (C.comparisons circuit));
+  let dot = C.to_dot circuit in
+  check bool_t "dot nonempty" true (String.length dot > 100);
+  check bool_t "dot has digraph" true
+    (String.length dot > 8 && String.sub dot 0 8 = "digraph ")
+
+let test_circuit_nested () =
+  (* not(and(or(b0, b1), b2)) evaluated on all 8 assignments matches the
+     Boolean semantics when everything is known. *)
+  let b = C.builder () in
+  let f = C.not_ b (C.and_ b [ C.or_ b [ C.input b 0; C.input b 1 ]; C.input b 2 ]) in
+  let circuit = C.seal b ~output:f in
+  for m = 0 to 7 do
+    let env v = TB.of_bool ((m lsr v) land 1 = 1) in
+    let expected =
+      not ((((m lsr 0) land 1 = 1) || ((m lsr 1) land 1 = 1)) && (m lsr 2) land 1 = 1)
+    in
+    check bool_t "nested eval" true
+      (C.eval ~bool_env:env ~arith_env:(fun _ -> None) circuit = TB.of_bool expected)
+  done
+
+let suite =
+  [
+    ("tribool kleene tables", `Quick, test_tribool_kleene);
+    ("tribool list ops", `Quick, test_tribool_lists);
+    ("circuit hash consing", `Quick, test_circuit_hash_consing);
+    ("circuit 3-valued eval", `Quick, test_circuit_eval_three_valued);
+    ("circuit observers and dot", `Quick, test_circuit_observers);
+    ("circuit nested eval", `Quick, test_circuit_nested);
+  ]

@@ -1,0 +1,141 @@
+(* Tests for the Sudoku encodings and the puzzle bank. *)
+
+module S = Absolver_encodings.Sudoku
+module P = Absolver_encodings.Puzzles
+module A = Absolver_core
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let count_clues p =
+  Array.fold_left
+    (fun acc row -> acc + Array.fold_left (fun a d -> if d > 0 then a + 1 else a) 0 row)
+    0 p
+
+let test_parse_puzzle () =
+  let text = String.concat "" (List.init 81 (fun i -> if i = 0 then "5" else ".")) in
+  match S.parse text with
+  | Ok p ->
+    check int_t "one clue" 1 (count_clues p);
+    check int_t "value" 5 p.(0).(0)
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  (match S.parse "12345" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "too short accepted");
+  match S.parse (String.make 81 'x') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad chars accepted"
+
+let test_parse_print_roundtrip () =
+  let _, p = List.hd P.all in
+  match S.parse (S.to_string p) with
+  | Ok p2 -> check bool_t "roundtrip" true (p = p2)
+  | Error e -> Alcotest.fail e
+
+let test_validity_checker () =
+  let solved = P.solved_grid_of ~name:"check" in
+  check bool_t "valid grid" true (S.is_complete_and_valid solved);
+  let broken = Array.map Array.copy solved in
+  broken.(0).(0) <- broken.(0).(1);
+  check bool_t "duplicate detected" false (S.is_complete_and_valid broken);
+  let incomplete = Array.map Array.copy solved in
+  incomplete.(3).(3) <- 0;
+  check bool_t "incomplete detected" false (S.is_complete_and_valid incomplete)
+
+let test_bank_properties () =
+  check int_t "ten instances" 10 (List.length P.all);
+  List.iter
+    (fun (name, puzzle) ->
+      let solved = P.solved_grid_of ~name in
+      check bool_t (name ^ " solvable") true (S.is_complete_and_valid solved);
+      check bool_t (name ^ " clues consistent") true
+        (S.respects_clues ~clues:puzzle solved);
+      let expected =
+        if String.length name >= 4 && String.sub name (String.length name - 4) 4 = "easy"
+        then 46
+        else 26
+      in
+      check int_t (name ^ " clue count") expected (count_clues puzzle))
+    P.all
+
+let test_bank_deterministic () =
+  let p1 = P.generate ~name:"det" ~clues:30 in
+  let p2 = P.generate ~name:"det" ~clues:30 in
+  check bool_t "same name same puzzle" true (p1 = p2);
+  let p3 = P.generate ~name:"det2" ~clues:30 in
+  check bool_t "different name different puzzle" false (p1 = p3)
+
+let test_absolver_encoding_solves () =
+  List.iteri
+    (fun i (name, puzzle) ->
+      if i < 2 then begin
+        let problem = S.absolver_problem puzzle in
+        match A.Engine.solve problem with
+        | A.Engine.R_sat sol, _ ->
+          let grid = S.decode problem sol in
+          check bool_t (name ^ " complete+valid") true (S.is_complete_and_valid grid);
+          check bool_t (name ^ " clues") true (S.respects_clues ~clues:puzzle grid)
+        | _ -> Alcotest.failf "%s not solved" name
+      end)
+    P.all
+
+let test_baseline_encoding_structure () =
+  let _, puzzle = List.hd P.all in
+  let problem = S.baseline_problem puzzle in
+  let stats = A.Ab_problem.stats problem in
+  (* 810 disequality atoms from the 810 distinct in-group pairs, plus two
+     equality halves per clue. *)
+  check int_t "arith vars" 81 (A.Ab_problem.num_arith_vars problem);
+  check bool_t "all linear" true (stats.A.Ab_problem.n_nonlinear = 0);
+  check bool_t "plenty of atoms" true (stats.A.Ab_problem.n_linear >= 1620);
+  check bool_t "validates" true (A.Ab_problem.validate problem = Ok ())
+
+let test_unsat_puzzle () =
+  (* Two identical clues in one row make the instance unsat. *)
+  let _, puzzle = List.hd P.all in
+  let bad = Array.map Array.copy puzzle in
+  (* Find a clue and duplicate its value in the same row. *)
+  let placed = ref false in
+  Array.iteri
+    (fun r row ->
+      if not !placed then
+        Array.iteri
+          (fun c d ->
+            if (not !placed) && d > 0 then begin
+              let c' = (c + 1) mod 9 in
+              bad.(r).(c') <- d;
+              placed := true
+            end)
+          row)
+    bad;
+  check bool_t "clue planted" true !placed;
+  match A.Engine.solve (S.absolver_problem bad) with
+  | A.Engine.R_unsat, _ -> ()
+  | _ -> Alcotest.fail "conflicting clues must be unsat"
+
+let test_decode_matches_booleans () =
+  (* The decoded integer grid must match the cell=digit Booleans. *)
+  let _, puzzle = List.nth P.all 6 (* an easy one *) in
+  let problem = S.absolver_problem puzzle in
+  match A.Engine.solve problem with
+  | A.Engine.R_sat sol, _ ->
+    let grid = S.decode problem sol in
+    check bool_t "valid" true (S.is_complete_and_valid grid)
+  | _ -> Alcotest.fail "easy puzzle must solve"
+
+let suite =
+  [
+    ("parse puzzle", `Quick, test_parse_puzzle);
+    ("parse errors", `Quick, test_parse_errors);
+    ("print/parse roundtrip", `Quick, test_parse_print_roundtrip);
+    ("validity checker", `Quick, test_validity_checker);
+    ("puzzle bank properties", `Quick, test_bank_properties);
+    ("puzzle bank deterministic", `Quick, test_bank_deterministic);
+    ("absolver encoding solves", `Quick, test_absolver_encoding_solves);
+    ("baseline encoding structure", `Quick, test_baseline_encoding_structure);
+    ("conflicting clues unsat", `Quick, test_unsat_puzzle);
+    ("decode consistency", `Quick, test_decode_matches_booleans);
+  ]

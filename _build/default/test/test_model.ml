@@ -1,0 +1,307 @@
+(* Tests for the model front end: blocks, diagrams, the textual format,
+   the LUSTRE-like intermediate form, the conversion chain, and the
+   steering case study. *)
+
+module M = Absolver_model
+module A = Absolver_core
+module Q = Absolver_numeric.Rational
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let q s = Q.of_decimal_string s
+
+let test_block_arity () =
+  check int_t "inport" 0 (M.Block.arity (M.Block.B_inport { name = "x"; lo = None; hi = None; integer = false }));
+  check int_t "add" 2 (M.Block.arity M.Block.B_add;);
+  check int_t "sum 5" 5 (M.Block.arity (M.Block.B_sum 5));
+  check int_t "not" 1 (M.Block.arity M.Block.B_not);
+  check bool_t "compare is boolean" true
+    (M.Block.is_boolean_output (M.Block.B_compare (M.Block.C_ge, Q.zero)));
+  check bool_t "add is numeric" false (M.Block.is_boolean_output M.Block.B_add)
+
+let simple_diagram () =
+  (* ok = (x + 1 >= 2) *)
+  let d = M.Diagram.create () in
+  let x = M.Diagram.add_block d (M.Block.B_inport { name = "x"; lo = Some Q.zero; hi = Some (Q.of_int 10); integer = false }) in
+  let one = M.Diagram.add_block d (M.Block.B_const Q.one) in
+  let add = M.Diagram.add_block d M.Block.B_add in
+  let cmp = M.Diagram.add_block d (M.Block.B_compare (M.Block.C_ge, Q.of_int 2)) in
+  let out = M.Diagram.add_block d (M.Block.B_outport "ok") in
+  M.Diagram.connect d ~src:x ~dst:add ~port:0;
+  M.Diagram.connect d ~src:one ~dst:add ~port:1;
+  M.Diagram.connect d ~src:add ~dst:cmp ~port:0;
+  M.Diagram.connect d ~src:cmp ~dst:out ~port:0;
+  d
+
+let test_diagram_validate_ok () =
+  check bool_t "valid" true (M.Diagram.validate (simple_diagram ()) = Ok ())
+
+let test_diagram_unconnected () =
+  let d = M.Diagram.create () in
+  let _ = M.Diagram.add_block d M.Block.B_add in
+  let _ = M.Diagram.add_block d (M.Block.B_outport "o") in
+  match M.Diagram.validate d with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unconnected inputs accepted"
+
+let test_diagram_type_mismatch () =
+  (* Feeding a numeric signal into an AND gate. *)
+  let d = M.Diagram.create () in
+  let c = M.Diagram.add_block d (M.Block.B_const Q.one) in
+  let g = M.Diagram.add_block d (M.Block.B_and 2) in
+  let o = M.Diagram.add_block d (M.Block.B_outport "ok") in
+  M.Diagram.connect d ~src:c ~dst:g ~port:0;
+  M.Diagram.connect d ~src:c ~dst:g ~port:1;
+  M.Diagram.connect d ~src:g ~dst:o ~port:0;
+  match M.Diagram.validate d with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "type mismatch accepted"
+
+let test_diagram_cycle () =
+  let d = M.Diagram.create () in
+  let a = M.Diagram.add_block d M.Block.B_add in
+  let b = M.Diagram.add_block d M.Block.B_add in
+  M.Diagram.connect d ~src:a ~dst:b ~port:0;
+  M.Diagram.connect d ~src:b ~dst:a ~port:0;
+  match M.Diagram.topological_order d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cycle accepted"
+
+let test_lustre_generation () =
+  match M.Lustre.of_diagram ~name:"simple" (simple_diagram ()) with
+  | Error e -> Alcotest.fail e
+  | Ok node ->
+    check int_t "inputs" 1 (List.length node.M.Lustre.inputs);
+    check bool_t "output" true (node.M.Lustre.outputs = [ "ok" ]);
+    let text = M.Lustre.to_string node in
+    check bool_t "has node header" true
+      (String.length text > 12 && String.sub text 0 11 = "node simple");
+    check bool_t "ok is bool" true (M.Lustre.signal_ty node "ok" = Some M.Lustre.T_bool)
+
+let test_convert_and_solve () =
+  match M.Convert.diagram_to_ab ~goal:`Find_witness ~output:"ok" (simple_diagram ()) with
+  | Error e -> Alcotest.fail e
+  | Ok problem -> (
+    let stats = A.Ab_problem.stats problem in
+    check int_t "one atom" 1 (stats.A.Ab_problem.n_linear + stats.A.Ab_problem.n_nonlinear);
+    match A.Engine.solve problem with
+    | A.Engine.R_sat sol, _ ->
+      check bool_t "verified" true (A.Solution.check problem sol = Ok ());
+      let x = Option.get (A.Ab_problem.arith_var_index problem "x") in
+      check bool_t "x+1 >= 2" true (A.Solution.float_env sol ~default:0.0 x >= 1.0 -. 1e-9)
+    | _ -> Alcotest.fail "witness expected")
+
+let test_convert_violation_dual () =
+  (* Find_violation of (x + 1 >= 2) over x in [0, 10] must find x < 1. *)
+  match M.Convert.diagram_to_ab ~goal:`Find_violation ~output:"ok" (simple_diagram ()) with
+  | Error e -> Alcotest.fail e
+  | Ok problem -> (
+    match A.Engine.solve problem with
+    | A.Engine.R_sat sol, _ ->
+      let x = Option.get (A.Ab_problem.arith_var_index problem "x") in
+      check bool_t "x < 1" true (A.Solution.float_env sol ~default:5.0 x < 1.0)
+    | _ -> Alcotest.fail "violation expected")
+
+let test_convert_unprovable_violation () =
+  (* x >= 0 over x in [0, 10] cannot be violated: UNSAT = property holds. *)
+  let d = M.Diagram.create () in
+  let x = M.Diagram.add_block d (M.Block.B_inport { name = "x"; lo = Some Q.zero; hi = Some (Q.of_int 10); integer = false }) in
+  let cmp = M.Diagram.add_block d (M.Block.B_compare (M.Block.C_ge, Q.zero)) in
+  let out = M.Diagram.add_block d (M.Block.B_outport "ok") in
+  M.Diagram.connect d ~src:x ~dst:cmp ~port:0;
+  M.Diagram.connect d ~src:cmp ~dst:out ~port:0;
+  match M.Convert.diagram_to_ab ~output:"ok" d with
+  | Error e -> Alcotest.fail e
+  | Ok problem -> (
+    match A.Engine.solve problem with
+    | A.Engine.R_unsat, _ -> ()
+    | _ -> Alcotest.fail "property should hold")
+
+let test_simulink_text_roundtrip () =
+  let text = M.Simulink_text.to_string ~name:"simple" (simple_diagram ()) in
+  match M.Simulink_text.parse_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (name, d2) ->
+    check bool_t "name" true (name = "simple");
+    check int_t "blocks" (M.Diagram.num_blocks (simple_diagram ())) (M.Diagram.num_blocks d2);
+    check bool_t "still valid" true (M.Diagram.validate d2 = Ok ());
+    (* And equal after re-printing. *)
+    check bool_t "fixpoint" true
+      (M.Simulink_text.to_string ~name:"simple" d2 = text)
+
+let test_simulink_text_errors () =
+  let bad input =
+    match M.Simulink_text.parse_string input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" input
+  in
+  bad "block 0 Frobnicate\n";
+  bad "block 1 Add\n";
+  (* non-dense id *)
+  bad "block 0 Compare >= abc\n";
+  bad "frob 1 2\n"
+
+let test_simulink_text_comments () =
+  let text = "# comment\nmodel m\nblock 0 Const 1 # trailing\nblock 1 Compare >= 0\nblock 2 Outport ok\nwire 0 1 0\nwire 1 2 0\n" in
+  match M.Simulink_text.parse_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (_, d) -> check int_t "blocks" 3 (M.Diagram.num_blocks d)
+
+let test_steering_statistics () =
+  let p = M.Steering.problem () in
+  let s = A.Ab_problem.stats p in
+  check int_t "clauses = 976" M.Steering.target_clauses s.A.Ab_problem.n_clauses;
+  check int_t "4 linear" 4 s.A.Ab_problem.n_linear;
+  check int_t "20 nonlinear" 20 s.A.Ab_problem.n_nonlinear;
+  check int_t "24 defined variables" 24
+    (List.length (A.Ab_problem.defined_vars p));
+  check bool_t "validates" true (A.Ab_problem.validate p = Ok ())
+
+let test_steering_sensor_ranges () =
+  let p = M.Steering.problem () in
+  let range name lo hi =
+    match A.Ab_problem.arith_var_index p name with
+    | None -> Alcotest.failf "missing sensor %s" name
+    | Some v -> (
+      match List.assoc_opt v (A.Ab_problem.bounds p) with
+      | Some (Some l, Some h) ->
+        check bool_t (name ^ " lo") true (Q.equal l (q lo));
+        check bool_t (name ^ " hi") true (Q.equal h (q hi))
+      | _ -> Alcotest.failf "no bounds for %s" name)
+  in
+  range "yaw" "-7.0" "7.0";
+  range "a_lat" "-20.0" "20.0";
+  range "v_fl" "-400.0" "400.0";
+  range "delta" "-1.0" "1.0"
+
+let suite =
+  [
+    ("block arity/types", `Quick, test_block_arity);
+    ("diagram validate ok", `Quick, test_diagram_validate_ok);
+    ("diagram unconnected input", `Quick, test_diagram_unconnected);
+    ("diagram type mismatch", `Quick, test_diagram_type_mismatch);
+    ("diagram cycle detection", `Quick, test_diagram_cycle);
+    ("lustre generation", `Quick, test_lustre_generation);
+    ("convert and solve witness", `Quick, test_convert_and_solve);
+    ("convert violation dual", `Quick, test_convert_violation_dual);
+    ("convert proof by unsat", `Quick, test_convert_unprovable_violation);
+    ("simulink text roundtrip", `Quick, test_simulink_text_roundtrip);
+    ("simulink text errors", `Quick, test_simulink_text_errors);
+    ("simulink text comments", `Quick, test_simulink_text_comments);
+    ("steering table-1 statistics", `Quick, test_steering_statistics);
+    ("steering sensor ranges", `Quick, test_steering_sensor_ranges);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stateful models and bounded model checking.                         *)
+
+let counter_diagram ~limit =
+  (* c = 0 -> pre(c) + 1;  ok = (c <= limit) *)
+  let d = M.Diagram.create () in
+  let one = M.Diagram.add_block d (M.Block.B_const Q.one) in
+  let add = M.Diagram.add_block d M.Block.B_add in
+  let delay = M.Diagram.add_block d (M.Block.B_delay Q.zero) in
+  let cmp = M.Diagram.add_block d (M.Block.B_compare (M.Block.C_le, Q.of_int limit)) in
+  let out = M.Diagram.add_block d (M.Block.B_outport "ok") in
+  (* add = delay + 1; delay input = add (feedback through the state edge) *)
+  M.Diagram.connect d ~src:delay ~dst:add ~port:0;
+  M.Diagram.connect d ~src:one ~dst:add ~port:1;
+  M.Diagram.connect d ~src:add ~dst:delay ~port:0;
+  M.Diagram.connect d ~src:add ~dst:cmp ~port:0;
+  M.Diagram.connect d ~src:cmp ~dst:out ~port:0;
+  d
+
+let test_delay_feedback_validates () =
+  (* The feedback loop through the delay is legal (state edge). *)
+  check bool_t "validates" true (M.Diagram.validate (counter_diagram ~limit:3) = Ok ());
+  (* The same loop without the delay is a combinational cycle. *)
+  let d = M.Diagram.create () in
+  let a = M.Diagram.add_block d M.Block.B_add in
+  let one = M.Diagram.add_block d (M.Block.B_const Q.one) in
+  M.Diagram.connect d ~src:a ~dst:a ~port:0;
+  M.Diagram.connect d ~src:one ~dst:a ~port:1;
+  match M.Diagram.topological_order d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "combinational cycle accepted"
+
+let test_combinational_rejects_delay () =
+  match M.Convert.diagram_to_ab ~output:"ok" (counter_diagram ~limit:3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "combinational conversion must reject delays"
+
+let test_bmc_counter () =
+  (* The counter value at instant t is t+1; ok = (c <= 3) fails first at
+     instant 3. BMC with 3 steps: safe; with 4: violated. *)
+  let solve steps =
+    match
+      M.Convert.diagram_to_ab_bmc ~steps ~output:"ok" (counter_diagram ~limit:3)
+    with
+    | Error e -> Alcotest.fail e
+    | Ok problem -> fst (A.Engine.solve problem)
+  in
+  (match solve 3 with
+  | A.Engine.R_unsat -> ()
+  | _ -> Alcotest.fail "no violation within 3 steps");
+  match solve 4 with
+  | A.Engine.R_sat _ -> ()
+  | _ -> Alcotest.fail "violation at step 4 expected"
+
+let test_bmc_input_driven () =
+  (* accumulator of a bounded input: s = 0 -> pre(s) + u, u in [0, 1];
+     can s exceed 2.5 within k steps?  Needs at least 3 steps. *)
+  let d = M.Diagram.create () in
+  let u = M.Diagram.add_block d (M.Block.B_inport { name = "u"; lo = Some Q.zero; hi = Some Q.one; integer = false }) in
+  let add = M.Diagram.add_block d M.Block.B_add in
+  let delay = M.Diagram.add_block d (M.Block.B_delay Q.zero) in
+  let cmp = M.Diagram.add_block d (M.Block.B_compare (M.Block.C_le, Q.of_decimal_string "2.5")) in
+  let out = M.Diagram.add_block d (M.Block.B_outport "bounded") in
+  M.Diagram.connect d ~src:delay ~dst:add ~port:0;
+  M.Diagram.connect d ~src:u ~dst:add ~port:1;
+  M.Diagram.connect d ~src:add ~dst:delay ~port:0;
+  M.Diagram.connect d ~src:add ~dst:cmp ~port:0;
+  M.Diagram.connect d ~src:cmp ~dst:out ~port:0;
+  let solve steps =
+    match M.Convert.diagram_to_ab_bmc ~steps ~output:"bounded" d with
+    | Error e -> Alcotest.fail e
+    | Ok problem -> (problem, fst (A.Engine.solve problem))
+  in
+  (match solve 2 with
+  | _, A.Engine.R_unsat -> ()
+  | _ -> Alcotest.fail "2 unit inputs cannot exceed 2.5");
+  match solve 3 with
+  | problem, A.Engine.R_sat sol ->
+    check bool_t "witness verifies" true (A.Solution.check problem sol = Ok ());
+    (* The witness drives u near 1 at every instant. *)
+    let total = ref 0.0 in
+    for t = 0 to 2 do
+      match A.Ab_problem.arith_var_index problem (Printf.sprintf "u@%d" t) with
+      | Some v -> total := !total +. A.Solution.float_env sol ~default:0.0 v
+      | None -> Alcotest.fail "missing unrolled input"
+    done;
+    check bool_t "inputs sum past 2.5" true (!total > 2.5)
+  | _, _ -> Alcotest.fail "3 steps suffice"
+
+let test_bmc_text_roundtrip () =
+  (* Delay blocks survive the textual format. *)
+  let d = counter_diagram ~limit:3 in
+  let text = M.Simulink_text.to_string ~name:"counter" d in
+  match M.Simulink_text.parse_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (_, d2) -> (
+    match M.Convert.diagram_to_ab_bmc ~steps:4 ~output:"ok" d2 with
+    | Ok problem -> (
+      match fst (A.Engine.solve problem) with
+      | A.Engine.R_sat _ -> ()
+      | _ -> Alcotest.fail "reparsed counter must still violate at 4 steps")
+    | Error e -> Alcotest.fail e)
+
+let suite =
+  suite
+  @ [
+      ("delay feedback validates", `Quick, test_delay_feedback_validates);
+      ("combinational rejects delay", `Quick, test_combinational_rejects_delay);
+      ("bmc counter", `Quick, test_bmc_counter);
+      ("bmc input-driven accumulator", `Quick, test_bmc_input_driven);
+      ("bmc text roundtrip", `Quick, test_bmc_text_roundtrip);
+    ]

@@ -1,0 +1,208 @@
+(* Tests for the proof-trace checker and the diagnosis engine. *)
+
+module T = Absolver_sat.Types
+module C = Absolver_sat.Cdcl
+module Pf = Absolver_sat.Proof
+module A = Absolver_core
+module E = Absolver_nlp.Expr
+module L = Absolver_lp.Linexpr
+module Q = Absolver_numeric.Rational
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let pigeonhole pigeons holes =
+  let v p h = (p * holes) + h in
+  List.init pigeons (fun p -> List.init holes (fun h -> T.pos (v p h)))
+  @ List.concat_map
+      (fun h ->
+        let rec pairs = function
+          | [] -> []
+          | p :: rest ->
+            List.map (fun p' -> [ T.neg_of_var (v p h); T.neg_of_var (v p' h) ]) rest
+            @ pairs rest
+        in
+        pairs (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+
+let solve_with_proof n clauses =
+  let s = C.create () in
+  C.ensure_vars s n;
+  let cell = Pf.record s in
+  List.iter (C.add_clause s) clauses;
+  let r = C.solve s in
+  (r, !cell)
+
+let test_proof_php32 () =
+  let clauses = pigeonhole 3 2 in
+  let r, trace = solve_with_proof 6 clauses in
+  check bool_t "unsat" true (r = T.Unsat);
+  check bool_t "trace nonempty" true (trace <> []);
+  match Pf.check ~num_vars:6 clauses trace with
+  | Pf.Valid_unsat -> ()
+  | v -> Alcotest.failf "%s" (Format.asprintf "%a" Pf.pp_verdict v)
+
+let test_proof_php43 () =
+  let clauses = pigeonhole 4 3 in
+  let r, trace = solve_with_proof 12 clauses in
+  check bool_t "unsat" true (r = T.Unsat);
+  match Pf.check ~num_vars:12 clauses trace with
+  | Pf.Valid_unsat -> ()
+  | v -> Alcotest.failf "%s" (Format.asprintf "%a" Pf.pp_verdict v)
+
+let test_proof_detects_corruption () =
+  (* A satisfiable formula entails neither a unit over a fresh variable
+     nor the empty clause: both corruptions must be caught. *)
+  let clauses = [ [ T.pos 0; T.pos 1 ]; [ T.neg_of_var 0 ] ] in
+  (match Pf.check ~num_vars:3 clauses [ [ T.pos 2 ] ] with
+  | Pf.Invalid 0 -> ()
+  | v ->
+    Alcotest.failf "bogus unit: expected Invalid 0, got %s"
+      (Format.asprintf "%a" Pf.pp_verdict v));
+  match Pf.check ~num_vars:3 clauses [ [] ] with
+  | Pf.Invalid 0 -> ()
+  | v ->
+    Alcotest.failf "bogus empty clause: expected Invalid 0, got %s"
+      (Format.asprintf "%a" Pf.pp_verdict v)
+
+let test_proof_random_unsat () =
+  let st = Random.State.make [| 31337 |] in
+  let verified = ref 0 in
+  for _ = 1 to 60 do
+    let n = 4 + Random.State.int st 6 in
+    let m = int_of_float (5.5 *. float_of_int n) in
+    let clauses =
+      List.init m (fun _ ->
+          List.init 3 (fun _ ->
+              let v = Random.State.int st n in
+              if Random.State.bool st then T.pos v else T.neg_of_var v))
+    in
+    let r, trace = solve_with_proof n clauses in
+    if r = T.Unsat then begin
+      incr verified;
+      match Pf.check ~num_vars:n clauses trace with
+      | Pf.Valid_unsat -> ()
+      | v ->
+        Alcotest.failf "random unsat proof failed: %s"
+          (Format.asprintf "%a" Pf.pp_verdict v)
+    end
+  done;
+  check bool_t "some unsat instances seen" true (!verified > 5)
+
+let test_proof_partial_on_sat () =
+  let clauses = [ [ T.pos 0; T.pos 1 ]; [ T.neg_of_var 0; T.pos 1 ] ] in
+  let r, trace = solve_with_proof 2 clauses in
+  check bool_t "sat" true (r = T.Sat);
+  match Pf.check ~num_vars:2 clauses trace with
+  | Pf.Valid_partial | Pf.Valid_unsat -> ()
+  | Pf.Invalid i -> Alcotest.failf "invalid at %d" i
+
+(* ------------------------------------------------------------------ *)
+(* Diagnosis.                                                          *)
+
+(* The polybox circuit with the classic observation f=10, g=12. *)
+let polybox () =
+  let problem = A.Ab_problem.create () in
+  let var name = A.Ab_problem.intern_arith_var problem name in
+  let a = var "a" and b = var "b" and c = var "c" and d = var "d" and e = var "e" in
+  let x = var "x" and y = var "y" and z = var "z" in
+  let f = var "f" and g = var "g" in
+  List.iter
+    (fun v ->
+      A.Ab_problem.set_bounds problem v ~lower:(Q.of_int (-100)) ~upper:(Q.of_int 100) ())
+    [ a; b; c; d; e; x; y; z; f; g ];
+  let behaviours =
+    [
+      (5, E.sub (E.var x) (E.mul (E.var a) (E.var c)));
+      (6, E.sub (E.var y) (E.mul (E.var b) (E.var d)));
+      (7, E.sub (E.var z) (E.mul (E.var c) (E.var e)));
+      (8, E.sub (E.var f) (E.add (E.var x) (E.var y)));
+      (9, E.sub (E.var g) (E.add (E.var y) (E.var z)));
+    ]
+  in
+  List.iteri
+    (fun i (bv, expr) ->
+      A.Ab_problem.define problem ~bool_var:bv ~domain:A.Ab_problem.Dreal
+        { E.expr; op = L.Eq; tag = bv };
+      A.Ab_problem.add_clause problem [ T.pos i; T.pos bv ])
+    behaviours;
+  let observe v value bv =
+    A.Ab_problem.define problem ~bool_var:bv ~domain:A.Ab_problem.Dreal
+      { E.expr = E.sub (E.var v) (E.of_int value); op = L.Eq; tag = bv };
+    A.Ab_problem.add_clause problem [ T.pos bv ]
+  in
+  observe a 3 10;
+  observe b 2 11;
+  observe c 2 12;
+  observe d 3 13;
+  observe e 3 14;
+  observe f 10 15;
+  observe g 12 16;
+  problem
+
+let test_polybox_diagnoses () =
+  let problem = polybox () in
+  match A.Diagnosis.diagnoses ~health_vars:[ 0; 1; 2; 3; 4 ] problem with
+  | Error e -> Alcotest.fail e
+  | Ok ds ->
+    let sets = List.map (fun d -> List.sort compare d.A.Diagnosis.abnormal) ds in
+    (* M1=0 M2=1 M3=2 A1=3 A2=4: expect {0}, {3}, {1,2}, {1,4}. *)
+    let expected = [ [ 0 ]; [ 3 ]; [ 1; 2 ]; [ 1; 4 ] ] in
+    check int_t "four diagnoses" 4 (List.length sets);
+    List.iter
+      (fun s ->
+        if not (List.mem s sets) then
+          Alcotest.failf "missing diagnosis {%s}"
+            (String.concat "," (List.map string_of_int s)))
+      expected;
+    check bool_t "not healthy" false
+      (A.Diagnosis.healthy_consistent ~health_vars:[ 0; 1; 2; 3; 4 ] problem)
+
+let test_diagnosis_healthy_when_consistent () =
+  (* A single component whose observation matches: empty diagnosis. *)
+  let problem = A.Ab_problem.create () in
+  let u = A.Ab_problem.intern_arith_var problem "u" in
+  let w = A.Ab_problem.intern_arith_var problem "w" in
+  A.Ab_problem.set_bounds problem u ~lower:Q.zero ~upper:(Q.of_int 10) ();
+  A.Ab_problem.set_bounds problem w ~lower:Q.zero ~upper:(Q.of_int 10) ();
+  (* component: w = 2u; observations u = 2, w = 4. *)
+  A.Ab_problem.define problem ~bool_var:1 ~domain:A.Ab_problem.Dreal
+    { E.expr = E.sub (E.var w) (E.mul (E.of_int 2) (E.var u)); op = L.Eq; tag = 1 };
+  A.Ab_problem.add_clause problem [ T.pos 0; T.pos 1 ];
+  A.Ab_problem.define problem ~bool_var:2 ~domain:A.Ab_problem.Dreal
+    { E.expr = E.sub (E.var u) (E.of_int 2); op = L.Eq; tag = 2 };
+  A.Ab_problem.add_clause problem [ T.pos 2 ];
+  A.Ab_problem.define problem ~bool_var:3 ~domain:A.Ab_problem.Dreal
+    { E.expr = E.sub (E.var w) (E.of_int 4); op = L.Eq; tag = 3 };
+  A.Ab_problem.add_clause problem [ T.pos 3 ];
+  check bool_t "healthy consistent" true
+    (A.Diagnosis.healthy_consistent ~health_vars:[ 0 ] problem);
+  match A.Diagnosis.diagnoses ~health_vars:[ 0 ] problem with
+  | Ok ({ A.Diagnosis.abnormal = []; _ } :: _) -> ()
+  | Ok _ -> Alcotest.fail "expected the empty diagnosis first"
+  | Error e -> Alcotest.fail e
+
+let test_diagnosis_witnesses_verify () =
+  let problem = polybox () in
+  match A.Diagnosis.diagnoses ~health_vars:[ 0; 1; 2; 3; 4 ] problem with
+  | Error e -> Alcotest.fail e
+  | Ok ds ->
+    List.iter
+      (fun (d : A.Diagnosis.t) ->
+        match A.Solution.check problem d.A.Diagnosis.witness with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "witness fails: %s" e)
+      ds
+
+let suite =
+  [
+    ("proof php(3,2)", `Quick, test_proof_php32);
+    ("proof php(4,3)", `Quick, test_proof_php43);
+    ("proof rejects corruption", `Quick, test_proof_detects_corruption);
+    ("proof random unsat", `Quick, test_proof_random_unsat);
+    ("proof partial on sat", `Quick, test_proof_partial_on_sat);
+    ("polybox diagnoses", `Quick, test_polybox_diagnoses);
+    ("healthy system", `Quick, test_diagnosis_healthy_when_consistent);
+    ("diagnosis witnesses verify", `Quick, test_diagnosis_witnesses_verify);
+  ]

@@ -1,0 +1,204 @@
+(* Tests for the SMT-LIB layer: parser, conversion, Fischer generator. *)
+
+module SL = Absolver_smtlib
+module A = Absolver_core
+module Q = Absolver_numeric.Rational
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let test_sexp_parser () =
+  match SL.Parser.parse_sexps "(a (b c) ; comment\n d) ()" with
+  | Ok [ SL.Parser.List [ SL.Parser.Atom "a"; SL.Parser.List [ SL.Parser.Atom "b"; SL.Parser.Atom "c" ]; SL.Parser.Atom "d" ]; SL.Parser.List [] ] -> ()
+  | Ok _ -> Alcotest.fail "wrong structure"
+  | Error e -> Alcotest.fail e
+
+let test_sexp_errors () =
+  (match SL.Parser.parse_sexps "(a (b)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unclosed paren accepted");
+  match SL.Parser.parse_sexps "a) b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stray paren accepted"
+
+let sample_benchmark =
+  {|(benchmark sample
+  :logic QF_LRA
+  :status sat
+  :extrafuns ((x Real) (y Real))
+  :extrapreds ((p))
+  :assumption (>= x 0)
+  :formula (and (or p (<= (+ x y) 2)) (> y (~ 1)))
+)|}
+
+let test_parse_benchmark () =
+  match SL.Parser.parse_benchmark sample_benchmark with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+    check bool_t "name" true (b.SL.Ast.name = "sample");
+    check bool_t "logic" true (b.SL.Ast.logic = "QF_LRA");
+    check bool_t "status" true (b.SL.Ast.status = `Sat);
+    check int_t "funs" 2 (List.length b.SL.Ast.extrafuns);
+    check int_t "preds" 1 (List.length b.SL.Ast.extrapreds);
+    check int_t "assumptions" 1 (List.length b.SL.Ast.assumptions)
+
+let test_print_parse_roundtrip () =
+  match SL.Parser.parse_benchmark sample_benchmark with
+  | Error e -> Alcotest.fail e
+  | Ok b -> (
+    let printed = SL.Ast.to_string b in
+    match SL.Parser.parse_benchmark printed with
+    | Error e -> Alcotest.failf "reparse: %s" e
+    | Ok b2 ->
+      check bool_t "stable" true (SL.Ast.to_string b2 = printed))
+
+let test_convert_and_solve () =
+  match SL.Parser.parse_benchmark sample_benchmark with
+  | Error e -> Alcotest.fail e
+  | Ok b -> (
+    match SL.To_ab.convert b with
+    | Error e -> Alcotest.fail e
+    | Ok problem -> (
+      match A.Engine.solve problem with
+      | A.Engine.R_sat sol, _ ->
+        check bool_t "verified" true (A.Solution.check problem sol = Ok ())
+      | _ -> Alcotest.fail "declared sat"))
+
+let test_convert_unsat_benchmark () =
+  let text =
+    {|(benchmark tiny_unsat
+  :logic QF_LRA
+  :status unsat
+  :extrafuns ((x Real))
+  :formula (and (>= x 1) (<= x 0))
+)|}
+  in
+  match SL.Parser.parse_benchmark text with
+  | Error e -> Alcotest.fail e
+  | Ok b -> (
+    match SL.To_ab.convert b with
+    | Error e -> Alcotest.fail e
+    | Ok problem -> (
+      match A.Engine.solve problem with
+      | A.Engine.R_unsat, _ -> ()
+      | _ -> Alcotest.fail "declared unsat"))
+
+let test_convert_integer_sorts () =
+  let text =
+    {|(benchmark int_test
+  :logic QF_LIA
+  :status unsat
+  :extrafuns ((n Int))
+  :formula (and (> n 0) (< n 1))
+)|}
+  in
+  match SL.Parser.parse_benchmark text with
+  | Error e -> Alcotest.fail e
+  | Ok b -> (
+    match SL.To_ab.convert b with
+    | Error e -> Alcotest.fail e
+    | Ok problem -> (
+      (* 0 < n < 1 has rational solutions but no integer ones. *)
+      match A.Engine.solve problem with
+      | A.Engine.R_unsat, _ -> ()
+      | _ -> Alcotest.fail "no integer strictly between 0 and 1"))
+
+let test_undeclared_predicate () =
+  let text = "(benchmark b :logic QF_LRA :formula (and q))" in
+  match SL.Parser.parse_benchmark text with
+  | Error _ -> ()
+  | Ok b -> (
+    (* The parser treats bare atoms as predicates; conversion rejects the
+       undeclared one. *)
+    match SL.To_ab.convert b with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "undeclared predicate accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Fischer.                                                            *)
+
+let solve_fischer ?rounds ?property n =
+  match SL.Fischer.problem ?rounds ?property ~n () with
+  | Error e -> Alcotest.fail e
+  | Ok p -> fst (A.Engine.solve p)
+
+let test_fischer_cs_reachable () =
+  match solve_fischer ~rounds:3 ~property:(SL.Fischer.Cs_within (Q.of_int 4)) 2 with
+  | A.Engine.R_sat _ -> ()
+  | _ -> Alcotest.fail "cs reachable within 4"
+
+let test_fischer_deadline_too_tight () =
+  match solve_fischer ~rounds:3 ~property:(SL.Fischer.Cs_within (Q.of_int 2)) 2 with
+  | A.Engine.R_unsat -> ()
+  | _ -> Alcotest.fail "cs not reachable within 2 (wait is strict)"
+
+let test_fischer_mutex_safe () =
+  (* The protocol guarantees mutual exclusion for a < b. *)
+  match solve_fischer ~rounds:6 ~property:SL.Fischer.Mutex_violation 2 with
+  | A.Engine.R_unsat -> ()
+  | _ -> Alcotest.fail "mutex violated?!"
+
+let test_fischer_declared_status () =
+  List.iter
+    (fun (property, expected) ->
+      let b = SL.Fischer.benchmark ~rounds:3 ~property ~n:2 () in
+      check bool_t "status" true (b.SL.Ast.status = expected))
+    [
+      (SL.Fischer.Cs_within (Q.of_int 4), `Sat);
+      (SL.Fischer.Cs_within (Q.of_int 2), `Unsat);
+      (SL.Fischer.Mutex_violation, `Unsat);
+    ]
+
+let test_fischer_pipeline_roundtrip () =
+  (* The generated SMT-LIB text must survive printing and parsing. *)
+  let b = SL.Fischer.benchmark ~rounds:2 ~n:2 () in
+  let text = SL.Ast.to_string b in
+  match SL.Parser.parse_benchmark text with
+  | Error e -> Alcotest.fail e
+  | Ok b2 ->
+    check bool_t "name" true (b2.SL.Ast.name = b.SL.Ast.name);
+    check int_t "same predicate count"
+      (List.length b.SL.Ast.extrapreds)
+      (List.length b2.SL.Ast.extrapreds)
+
+let test_fischer_witness_schedule () =
+  (* The SAT witness of Cs_within must have total delay > 2 (the strict
+     wait) and process 1 in cs at some step -- checked by the generic
+     solution checker plus a spot check on the delays. *)
+  match SL.Fischer.problem ~rounds:3 ~property:(SL.Fischer.Cs_within (Q.of_int 4)) ~n:1 () with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+    match A.Engine.solve p with
+    | A.Engine.R_sat sol, _ -> (
+      check bool_t "verified" true (A.Solution.check p sol = Ok ());
+      let total = ref 0.0 in
+      let found = ref false in
+      for t = 0 to 5 do
+        match A.Ab_problem.arith_var_index p (Printf.sprintf "d_s%d" t) with
+        | Some v ->
+          found := true;
+          total := !total +. A.Solution.float_env sol ~default:0.0 v
+        | None -> ()
+      done;
+      check bool_t "delays present" true !found;
+      check bool_t "total in (2, 4]" true (!total > 2.0 && !total <= 4.0 +. 1e-6))
+    | _ -> Alcotest.fail "sat expected")
+
+let suite =
+  [
+    ("sexp parser", `Quick, test_sexp_parser);
+    ("sexp errors", `Quick, test_sexp_errors);
+    ("benchmark parser", `Quick, test_parse_benchmark);
+    ("print/parse roundtrip", `Quick, test_print_parse_roundtrip);
+    ("convert and solve", `Quick, test_convert_and_solve);
+    ("convert unsat", `Quick, test_convert_unsat_benchmark);
+    ("integer sorts", `Quick, test_convert_integer_sorts);
+    ("undeclared predicate", `Quick, test_undeclared_predicate);
+    ("fischer cs reachable", `Quick, test_fischer_cs_reachable);
+    ("fischer deadline tight", `Quick, test_fischer_deadline_too_tight);
+    ("fischer mutex safe", `Quick, test_fischer_mutex_safe);
+    ("fischer declared status", `Quick, test_fischer_declared_status);
+    ("fischer text roundtrip", `Quick, test_fischer_pipeline_roundtrip);
+    ("fischer witness schedule", `Quick, test_fischer_witness_schedule);
+  ]
