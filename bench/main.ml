@@ -7,6 +7,8 @@
      dune exec bench/main.exe table3     -- Sudoku (Table 3)
      dune exec bench/main.exe ablations  -- design-choice ablations
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
+     dune exec bench/main.exe json       -- presolve on/off comparison,
+                                            written to BENCH_presolve.json
 
    Absolute times are not expected to match a 2007 notebook; the shapes
    (who wins, rough factors, where solvers reject or abort) are. *)
@@ -386,7 +388,99 @@ let ablations () =
     (fmt_time t_split) st_split.A.Engine.eq_branches;
   Printf.printf "   plain eq : %-8s %s (%d eq-branches)\n" (engine_verdict r_eq)
     (fmt_time t_eq) st_eq.A.Engine.eq_branches;
+  flush stdout;
+  (* 7. The presolve layer (SAT inprocessing + LP presolve + ICP) on/off. *)
+  print_endline "-- presolve layer (SAT inprocessing + LP presolve + interval prop.)";
+  let run_pre flag =
+    time (fun () ->
+        A.Engine.solve
+          ~options:{ A.Engine.default_options with A.Engine.use_presolve = flag }
+          fischer)
+  in
+  let (_, st_pre_on), t_pre_on = run_pre true in
+  let (_, st_pre_off), t_pre_off = run_pre false in
+  Printf.printf
+    "   presolve on : %s (%d vars fixed, %d bounds tightened, %d Boolean models)\n"
+    (fmt_time t_pre_on) st_pre_on.A.Engine.presolve_fixed_literals
+    st_pre_on.A.Engine.presolve_tightened_bounds st_pre_on.A.Engine.bool_models;
+  Printf.printf "   presolve off: %s (%d Boolean models)\n" (fmt_time t_pre_off)
+    st_pre_off.A.Engine.bool_models;
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable presolve comparison: every Table-1/2/3 instance     *)
+(* solved with the presolve layer on and off, dumped as JSON.           *)
+
+let stats_json (st : A.Engine.run_stats) =
+  Printf.sprintf
+    "{\"bool_models\":%d,\"linear_checks\":%d,\"linear_conflicts\":%d,\"nonlinear_calls\":%d,\"blocking_clauses\":%d,\"eq_branches\":%d,\"presolve_fixed_literals\":%d,\"presolve_removed_clauses\":%d,\"presolve_tightened_bounds\":%d,\"presolve_seconds\":%.6f}"
+    st.A.Engine.bool_models st.A.Engine.linear_checks st.A.Engine.linear_conflicts
+    st.A.Engine.nonlinear_calls st.A.Engine.blocking_clauses
+    st.A.Engine.eq_branches st.A.Engine.presolve_fixed_literals
+    st.A.Engine.presolve_removed_clauses st.A.Engine.presolve_tightened_bounds
+    st.A.Engine.presolve_seconds
+
+let json_mode () =
+  let entries = ref [] in
+  let tot_on = ref 0.0 and tot_off = ref 0.0 in
+  let case ~table ~name ?(registry = A.Registry.default) mk =
+    let run on =
+      let options = { A.Engine.default_options with A.Engine.use_presolve = on } in
+      let (r, st), t = time (fun () -> A.Engine.solve ~registry ~options (mk ())) in
+      (engine_verdict r, t, st)
+    in
+    let v_on, t_on, st_on = run true in
+    let v_off, t_off, st_off = run false in
+    if v_on <> v_off then
+      Printf.printf "!! %s: verdict differs with presolve (%s vs %s)\n" name v_on
+        v_off;
+    tot_on := !tot_on +. t_on;
+    tot_off := !tot_off +. t_off;
+    entries :=
+      Printf.sprintf
+        "    {\"table\":%S,\"name\":%S,\n\
+        \     \"presolve_on\":{\"verdict\":%S,\"seconds\":%.6f,\"stats\":%s},\n\
+        \     \"presolve_off\":{\"verdict\":%S,\"seconds\":%.6f,\"stats\":%s}}"
+        table name v_on t_on (stats_json st_on) v_off t_off (stats_json st_off)
+      :: !entries;
+    Printf.printf "%-26s on %-10s off %-10s (%s)\n" name (fmt_time t_on)
+      (fmt_time t_off) v_on;
+    flush stdout
+  in
+  case ~table:"table1" ~name:"car_steering" ~registry:steering_registry
+    (fun () -> M.Steering.problem ());
+  case ~table:"table1" ~name:"esat_n11_m8_nonlinear" esat_problem;
+  case ~table:"table1" ~name:"nonlinear_unsat" nonlinear_unsat_problem;
+  case ~table:"table1" ~name:"div_operator" div_operator_problem;
+  for n = 1 to 6 do
+    case ~table:"table2" ~name:(Printf.sprintf "fischer%d" n) (fun () ->
+        match F.problem ~rounds:6 ~property:(F.Cs_within (Q.of_int 2)) ~n () with
+        | Ok p -> p
+        | Error e -> failwith e)
+  done;
+  List.iter
+    (fun (pname, puzzle) ->
+      case ~table:"table3" ~name:("sudoku_" ^ pname) (fun () ->
+          S.absolver_problem puzzle))
+    P.all;
+  let body = String.concat ",\n" (List.rev !entries) in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"presolve on/off\",\n\
+      \  \"total_seconds_presolve_on\": %.6f,\n\
+      \  \"total_seconds_presolve_off\": %.6f,\n\
+      \  \"cases\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      !tot_on !tot_off body
+  in
+  let oc = open_out "BENCH_presolve.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "totals: presolve on %s, presolve off %s\nwrote BENCH_presolve.json\n"
+    (fmt_time !tot_on) (fmt_time !tot_off)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
@@ -437,6 +531,7 @@ let () =
   | "table3" -> table3 ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()
+  | "json" -> json_mode ()
   | "all" ->
     table1 ();
     table2 ();
@@ -444,6 +539,6 @@ let () =
     ablations ()
   | other ->
     Printf.eprintf
-      "unknown benchmark %S (expected table1|table2|table3|ablations|micro|all)\n"
+      "unknown benchmark %S (expected table1|table2|table3|ablations|micro|json|all)\n"
       other;
     exit 2

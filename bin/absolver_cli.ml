@@ -56,15 +56,24 @@ let solve_cmd =
     Arg.(value & flag & info [ "minimize-conflicts" ]
            ~doc:"Deletion-filter linear conflict sets to minimal cores.")
   in
+  let no_presolve =
+    Arg.(value & flag & info [ "no-presolve" ]
+           ~doc:"Disable the presolve layer (SAT inprocessing, LP presolve, \
+                 interval propagation); exact pre-presolve engine behaviour.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print statistics.") in
-  let run file all_models limit bool_solver minimize verbose =
+  let run file all_models limit bool_solver minimize no_presolve verbose =
     match (read_problem file, registry_of_name bool_solver) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
     | Ok problem, Ok registry ->
       let options =
-        { A.Engine.default_options with A.Engine.minimize_conflicts = minimize }
+        {
+          A.Engine.default_options with
+          A.Engine.minimize_conflicts = minimize;
+          use_presolve = not no_presolve;
+        }
       in
       if all_models then begin
         let limit = if limit <= 0 then max_int else limit in
@@ -94,7 +103,9 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide an AB-problem (extended DIMACS).")
-    Term.(const run $ file $ all_models $ limit $ bool_solver $ minimize $ verbose)
+    Term.(
+      const run $ file $ all_models $ limit $ bool_solver $ minimize
+      $ no_presolve $ verbose)
 
 (* ---- convert ---- *)
 

@@ -15,6 +15,7 @@ type options = {
   max_unknown_models : int;
   default_phase : bool;
   use_linear_relaxation : bool;
+  use_presolve : bool;
 }
 
 let default_options =
@@ -26,6 +27,7 @@ let default_options =
     max_unknown_models = 500;
     default_phase = true;
     use_linear_relaxation = true;
+    use_presolve = true;
   }
 
 type result = R_sat of Solution.t | R_unsat | R_unknown of string
@@ -43,6 +45,10 @@ type run_stats = {
   mutable blocking_clauses : int;
   mutable eq_branches : int;
   mutable wall_seconds : float;
+  mutable presolve_fixed_literals : int;
+  mutable presolve_removed_clauses : int;
+  mutable presolve_tightened_bounds : int;
+  mutable presolve_seconds : float;
 }
 
 let mk_stats () =
@@ -54,13 +60,20 @@ let mk_stats () =
     blocking_clauses = 0;
     eq_branches = 0;
     wall_seconds = 0.0;
+    presolve_fixed_literals = 0;
+    presolve_removed_clauses = 0;
+    presolve_tightened_bounds = 0;
+    presolve_seconds = 0.0;
   }
 
+(* The presolve counters are appended after the original columns: tools
+   (and eyeballs) parsing the historical prefix keep working. *)
 let pp_run_stats fmt s =
   Format.fprintf fmt
-    "models=%d lin-checks=%d lin-conflicts=%d nl-calls=%d blocked=%d eq-branches=%d time=%.3fs"
+    "models=%d lin-checks=%d lin-conflicts=%d nl-calls=%d blocked=%d eq-branches=%d time=%.3fs presolve[fixed=%d removed=%d tightened=%d time=%.3fs]"
     s.bool_models s.linear_checks s.linear_conflicts s.nonlinear_calls
-    s.blocking_clauses s.eq_branches s.wall_seconds
+    s.blocking_clauses s.eq_branches s.wall_seconds s.presolve_fixed_literals
+    s.presolve_removed_clauses s.presolve_tightened_bounds s.presolve_seconds
 
 (* Outcome of checking one Boolean model arithmetically. *)
 type model_check =
@@ -75,14 +88,6 @@ let rec combinations = function
   | group :: rest ->
     let tails = combinations rest in
     List.concat_map (fun rel -> List.map (fun t -> rel :: t) tails) group
-
-let initial_box problem =
-  let n = Ab_problem.num_arith_vars problem in
-  let box = Box.create n in
-  List.iter
-    (fun (v, (lo, hi)) -> Box.set box v (I.of_rational_bounds lo hi))
-    (Ab_problem.bounds problem);
-  box
 
 (* Build the blocking clause that forbids the delta-valuation selected by
    [model] on the definition variables listed in [tags]. *)
@@ -172,9 +177,11 @@ module Relax = struct
         Linexpr.var (aux_for st e))
 end
 
-let check_model ~registry ~options ~stats problem (model : bool array) =
+let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
   let defs = Ab_problem.defs problem in
-  let bound_rels = Ab_problem.bound_rels problem in
+  (* Presolve-tightened bounds and box: sound in every Boolean model,
+     since presolve only derives facts implied by the whole problem. *)
+  let bound_rels = pre.Preprocess.bound_rels in
   let int_vars =
     List.concat_map
       (fun (d : Ab_problem.def) ->
@@ -230,7 +237,7 @@ let check_model ~registry ~options ~stats problem (model : bool array) =
       in
       let lp_input =
         if options.use_linear_relaxation && nonlinear <> [] then begin
-          let st = Relax.create ~first_aux:nvars ~box:(initial_box problem) in
+          let st = Relax.create ~first_aux:nvars ~box:(Box.copy pre.Preprocess.box) in
           let relaxed =
             List.map
               (fun (r : Expr.rel) ->
@@ -266,7 +273,7 @@ let check_model ~registry ~options ~stats problem (model : bool array) =
           (* Nonlinear step over the full relation system so shared
              variables stay consistent. *)
           stats.nonlinear_calls <- stats.nonlinear_calls + 1;
-          let box = initial_box problem in
+          let box = Box.copy pre.Preprocess.box in
           (* The paper's solver-list semantics: try each registered solver
              until one produces a decent result. *)
           let rec try_solvers = function
@@ -385,10 +392,12 @@ let check_model ~registry ~options ~stats problem (model : bool array) =
 
 (* Enumerate Boolean models according to the configured strategy, invoking
    [on_model]; the callback's verdict drives blocking. *)
-let enumerate ?projection:projection_override ~registry ~options ~stats problem
-    ~on_feasible =
+let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
+    problem ~on_feasible =
+  if pre.Preprocess.status = `Unsat then R_unsat
+  else begin
   let num_vars = Ab_problem.num_bool_vars problem in
-  let clauses = Ab_problem.clauses problem in
+  let clauses = pre.Preprocess.clauses in
   let strategy =
     match registry.Registry.boolean with
     | s :: _ -> s.Registry.bs_strategy
@@ -422,7 +431,7 @@ let enumerate ?projection:projection_override ~registry ~options ~stats problem
       finished := true
     end
     else
-      match check_model ~registry ~options ~stats problem solver_model with
+      match check_model ~registry ~options ~stats ~pre problem solver_model with
       | M_sat sol -> (
         match on_feasible sol with
         | `Stop ->
@@ -466,6 +475,7 @@ let enumerate ?projection:projection_override ~registry ~options ~stats problem
         | Types.Unknown -> had_unknown := Some "SAT conflict budget exhausted"
         | Types.Sat ->
           let model = Cdcl.model solver in
+          Preprocess.restore_model pre model;
           handle_model model (fun block -> Cdcl.add_clause solver block);
           loop ()
     in
@@ -486,6 +496,7 @@ let enumerate ?projection:projection_override ~registry ~options ~stats problem
         | Types.Unknown -> had_unknown := Some "SAT conflict budget exhausted"
         | Types.Sat ->
           let model = Cdcl.model solver in
+          Preprocess.restore_model pre model;
           handle_model model (fun block -> blocked := block :: !blocked);
           loop ()
       end
@@ -495,12 +506,30 @@ let enumerate ?projection:projection_override ~registry ~options ~stats problem
   | R_sat _, _ -> !result
   | _, Some why -> R_unknown why
   | r, None -> r
+  end
+
+(* Run (or skip) presolve and mirror its headline counters into the
+   run_stats record. [protect_also] guards pure-literal elimination when
+   the caller enumerates models over a custom projection. *)
+let prepare ~options ?(protect_also = []) ~stats problem =
+  let pre =
+    if options.use_presolve then Preprocess.run ~protect_also problem
+    else Preprocess.identity problem
+  in
+  stats.presolve_fixed_literals <- pre.Preprocess.stats.Preprocess.fixed_literals;
+  stats.presolve_removed_clauses <-
+    pre.Preprocess.stats.Preprocess.removed_clauses;
+  stats.presolve_tightened_bounds <-
+    pre.Preprocess.stats.Preprocess.tightened_bounds;
+  stats.presolve_seconds <- pre.Preprocess.stats.Preprocess.wall_seconds;
+  pre
 
 let solve ?(registry = Registry.default) ?(options = default_options) problem =
   let stats = mk_stats () in
   let t0 = Unix.gettimeofday () in
+  let pre = prepare ~options ~stats problem in
   let result =
-    enumerate ~registry ~options ~stats problem ~on_feasible:(fun _ -> `Stop)
+    enumerate ~registry ~options ~stats ~pre problem ~on_feasible:(fun _ -> `Stop)
   in
   stats.wall_seconds <- Unix.gettimeofday () -. t0;
   (result, stats)
@@ -509,10 +538,15 @@ let all_models ?projection ?(registry = Registry.default)
     ?(options = default_options) ?(limit = max_int) problem =
   let stats = mk_stats () in
   let t0 = Unix.gettimeofday () in
+  let pre =
+    prepare ~options
+      ?protect_also:(match projection with Some vs -> Some vs | None -> None)
+      ~stats problem
+  in
   let acc = ref [] in
   let n = ref 0 in
   let result =
-    enumerate ?projection ~registry ~options ~stats problem
+    enumerate ?projection ~registry ~options ~stats ~pre problem
       ~on_feasible:(fun sol ->
         acc := sol :: !acc;
         incr n;
@@ -555,13 +589,14 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
     let stats = mk_stats () in
     let best = ref None in
     let nvars = Ab_problem.num_arith_vars problem in
+    let pre = prepare ~options ~stats problem in
     let bound_cons =
       List.filter_map
         (fun (r : Expr.rel) ->
           Option.map
             (fun le -> { Linexpr.expr = le; op = r.Expr.op; tag = r.Expr.tag })
             (Expr.linearize r.Expr.expr))
-        (Ab_problem.bound_rels problem)
+        pre.Preprocess.bound_rels
     in
     let optimize_valuation (sol : Solution.t) =
       (* Rebuild this delta-valuation's linear system and optimize it. *)
@@ -632,7 +667,7 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
         end
     in
     match
-      enumerate ~registry ~options ~stats problem ~on_feasible:(fun sol ->
+      enumerate ~registry ~options ~stats ~pre problem ~on_feasible:(fun sol ->
           optimize_valuation sol;
           if stats.bool_models >= limit then `Stop else `Continue)
     with

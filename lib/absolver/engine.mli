@@ -32,6 +32,10 @@ type options = {
           maximal nonlinear subterms with interval-bounded auxiliary
           variables: blatantly contradictory delta-valuations then die in
           the cheap solver with small cores (ablation switch). *)
+  use_presolve : bool;
+      (** Run the {!Preprocess} layer (SAT inprocessing, LP presolve,
+          interval propagation) before search. On by default; off restores
+          the exact pre-presolve behaviour (ablation switch). *)
 }
 
 val default_options : options
@@ -51,9 +55,17 @@ type run_stats = {
   mutable blocking_clauses : int;
   mutable eq_branches : int;
   mutable wall_seconds : float;
+  mutable presolve_fixed_literals : int;
+      (** Boolean variables fixed at root level by presolve. *)
+  mutable presolve_removed_clauses : int;  (** Net CNF shrinkage. *)
+  mutable presolve_tightened_bounds : int;
+      (** Bound tightenings (LP presolve + interval contraction). *)
+  mutable presolve_seconds : float;  (** Presolve wall time. *)
 }
 
 val pp_run_stats : Format.formatter -> run_stats -> unit
+(** Prints the historical columns first, then a [presolve[...]] suffix;
+    existing column order is stable. *)
 
 val solve :
   ?registry:Registry.t -> ?options:options -> Ab_problem.t -> result * run_stats

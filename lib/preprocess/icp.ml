@@ -1,0 +1,20 @@
+module I = Absolver_numeric.Interval
+module Box = Absolver_nlp.Box
+module Expr = Absolver_nlp.Expr
+module Hc4 = Absolver_nlp.Hc4
+
+let contract ?max_rounds ~box rels =
+  let b = Box.copy box in
+  let ok =
+    match max_rounds with
+    | None -> Hc4.contract b rels
+    | Some r -> Hc4.contract ~max_rounds:r b rels
+  in
+  if not ok then `Empty
+  else begin
+    let narrowed = ref 0 in
+    Array.iteri
+      (fun i iv -> if not (I.equal iv (Box.get b i)) then incr narrowed)
+      box;
+    `Box (b, !narrowed)
+  end

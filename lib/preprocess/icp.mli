@@ -1,0 +1,18 @@
+(** Interval constraint propagation for presolve: one bounded HC4-style
+    contraction sweep over a set of relations, tightening the global
+    variable box before branch-and-prune is ever invoked (the up-front
+    tightening HySIA-style interval tools perform). *)
+
+module I = Absolver_numeric.Interval
+module Box = Absolver_nlp.Box
+module Expr = Absolver_nlp.Expr
+
+val contract :
+  ?max_rounds:int ->
+  box:Box.t ->
+  Expr.rel list ->
+  [ `Empty | `Box of Box.t * int ]
+(** Contract a copy of [box] with the HC4 fixpoint over [rels]. [`Empty]
+    means the relations exclude every point of the box; [`Box (b, n)]
+    returns the contracted box and the number of variables whose interval
+    strictly narrowed. *)

@@ -1,0 +1,347 @@
+module Types = Absolver_sat.Types
+
+type stats = {
+  mutable fixed_literals : int;
+  mutable pure_literals : int;
+  mutable removed_clauses : int;
+  mutable strengthened_literals : int;
+  mutable probes : int;
+  mutable failed_literals : int;
+}
+
+let mk_stats () =
+  {
+    fixed_literals = 0;
+    pure_literals = 0;
+    removed_clauses = 0;
+    strengthened_literals = 0;
+    probes = 0;
+    failed_literals = 0;
+  }
+
+type simplified = {
+  clauses : Types.lit list list;
+  fixed : (Types.var * bool) list;
+  pure : (Types.var * bool) list;
+  stats : stats;
+}
+
+type result = Unsat | Simplified of simplified
+
+exception Root_conflict
+
+type clause = { mutable lits : Types.lit list; mutable dead : bool }
+
+type state = {
+  nvars : int;
+  cls : clause array;
+  occ : int list array; (* literal -> clause indices; stale-tolerant *)
+  assign : Types.value array;
+  mutable fixed : (Types.var * bool) list; (* newest first *)
+  mutable pure : (Types.var * bool) list; (* newest first *)
+  queue : Types.lit Queue.t;
+  st : stats;
+  protect : Types.var -> bool;
+}
+
+let lit_value s l =
+  match s.assign.(Types.var_of l) with
+  | Types.V_undef -> Types.V_undef
+  | v -> if Types.is_pos l then v else Types.value_negate v
+
+let kill s c = if not c.dead then begin
+    c.dead <- true;
+    s.st.removed_clauses <- s.st.removed_clauses + 1
+  end
+
+(* Permanently assign an implied literal: satisfied clauses die, the
+   opposite literal is removed from every clause it occurs in, and any
+   clause thereby reduced to a unit feeds the propagation queue. *)
+let assign_implied s l =
+  match lit_value s l with
+  | Types.V_true -> ()
+  | Types.V_false -> raise Root_conflict
+  | Types.V_undef ->
+    let v = Types.var_of l in
+    s.assign.(v) <- (if Types.is_pos l then Types.V_true else Types.V_false);
+    s.fixed <- (v, Types.is_pos l) :: s.fixed;
+    s.st.fixed_literals <- s.st.fixed_literals + 1;
+    List.iter
+      (fun ci ->
+        let c = s.cls.(ci) in
+        if (not c.dead) && List.mem l c.lits then kill s c)
+      s.occ.(l);
+    let nl = Types.negate l in
+    List.iter
+      (fun ci ->
+        let c = s.cls.(ci) in
+        if (not c.dead) && List.mem nl c.lits then begin
+          c.lits <- List.filter (fun x -> x <> nl) c.lits;
+          match c.lits with
+          | [] -> raise Root_conflict
+          | [ u ] -> Queue.push u s.queue
+          | _ -> ()
+        end)
+      s.occ.(nl)
+
+let propagate s =
+  while not (Queue.is_empty s.queue) do
+    assign_implied s (Queue.pop s.queue)
+  done
+
+let init ~nvars ~probe_limit:_ ~protect clause_list =
+  let nvars =
+    List.fold_left
+      (fun n c -> List.fold_left (fun n l -> max n (Types.var_of l + 1)) n c)
+      nvars clause_list
+  in
+  let cls =
+    Array.of_list
+      (List.map
+         (fun lits -> { lits = List.sort_uniq compare lits; dead = false })
+         clause_list)
+  in
+  let occ = Array.make (2 * max 1 nvars) [] in
+  let s =
+    {
+      nvars;
+      cls;
+      occ;
+      assign = Array.make (max 1 nvars) Types.V_undef;
+      fixed = [];
+      pure = [];
+      queue = Queue.create ();
+      st = mk_stats ();
+      protect;
+    }
+  in
+  Array.iteri
+    (fun ci c ->
+      let tautology =
+        List.exists (fun l -> List.mem (Types.negate l) c.lits) c.lits
+      in
+      if tautology then kill s c
+      else begin
+        List.iter (fun l -> occ.(l) <- ci :: occ.(l)) c.lits;
+        match c.lits with
+        | [] -> raise Root_conflict
+        | [ u ] -> Queue.push u s.queue
+        | _ -> ()
+      end)
+    cls;
+  s
+
+(* Pure-literal elimination. A variable whose negation never occurs in an
+   active clause can be set to its occurring polarity without losing
+   satisfiability; variables with no occurrence at all are free. Only
+   unprotected variables are eliminated (the caller protects variables
+   whose models are counted or that carry arithmetic definitions). *)
+let pure_pass s =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let cnt = Array.make (2 * s.nvars) 0 in
+    Array.iter
+      (fun c ->
+        if not c.dead then List.iter (fun l -> cnt.(l) <- cnt.(l) + 1) c.lits)
+      s.cls;
+    for v = 0 to s.nvars - 1 do
+      if s.assign.(v) = Types.V_undef && not (s.protect v) then begin
+        let cp = cnt.(Types.pos v) and cn = cnt.(Types.neg_of_var v) in
+        if cp = 0 || cn = 0 then begin
+          let value = cp > 0 in
+          s.assign.(v) <- (if value then Types.V_true else Types.V_false);
+          s.pure <- (v, value) :: s.pure;
+          s.st.pure_literals <- s.st.pure_literals + 1;
+          let l = if value then Types.pos v else Types.neg_of_var v in
+          List.iter
+            (fun ci ->
+              let c = s.cls.(ci) in
+              if (not c.dead) && List.mem l c.lits then kill s c)
+            s.occ.(l);
+          changed := true
+        end
+      end
+    done
+  done
+
+(* Subsumption and self-subsuming resolution. For each active clause C
+   (shortest first), kill every D ⊇ C reachable through C's rarest
+   literal, and for each l ∈ C strengthen every D ⊇ (C \ {l}) ∪ {¬l} by
+   dropping ¬l — the resolvent subsumes D. Both transformations preserve
+   the model set exactly. *)
+let subsumption_pass s =
+  let stamp = Array.make (2 * s.nvars) (-1) in
+  let order =
+    List.sort
+      (fun a b -> compare (List.length s.cls.(a).lits) (List.length s.cls.(b).lits))
+      (List.init (Array.length s.cls) Fun.id)
+  in
+  List.iter
+    (fun ci ->
+      let c = s.cls.(ci) in
+      if (not c.dead) && c.lits <> [] then begin
+        List.iter (fun l -> stamp.(l) <- ci) c.lits;
+        let len_c = List.length c.lits in
+        (* Forward subsumption through the literal with fewest occurrences. *)
+        let best =
+          List.fold_left
+            (fun (bl, bn) l ->
+              let n = List.length s.occ.(l) in
+              if n < bn then (l, n) else (bl, bn))
+            (List.hd c.lits, List.length s.occ.(List.hd c.lits))
+            (List.tl c.lits)
+          |> fst
+        in
+        List.iter
+          (fun di ->
+            if di <> ci then begin
+              let d = s.cls.(di) in
+              if (not d.dead) && List.compare_length_with d.lits len_c >= 0 then begin
+                let matched =
+                  List.length (List.filter (fun l -> stamp.(l) = ci) d.lits)
+                in
+                if matched = len_c then kill s d
+              end
+            end)
+          s.occ.(best);
+        (* Self-subsuming resolution on every literal of C. *)
+        List.iter
+          (fun l ->
+            let nl = Types.negate l in
+            List.iter
+              (fun di ->
+                if di <> ci then begin
+                  let d = s.cls.(di) in
+                  if
+                    (not d.dead)
+                    && List.compare_length_with d.lits len_c >= 0
+                    && List.mem nl d.lits
+                  then begin
+                    let matched =
+                      List.length (List.filter (fun x -> stamp.(x) = ci) d.lits)
+                    in
+                    if matched = len_c - 1 then begin
+                      d.lits <- List.filter (fun x -> x <> nl) d.lits;
+                      s.st.strengthened_literals <- s.st.strengthened_literals + 1;
+                      match d.lits with
+                      | [] -> raise Root_conflict
+                      | [ u ] -> Queue.push u s.queue
+                      | _ -> ()
+                    end
+                  end
+                end)
+              s.occ.(nl))
+          c.lits
+      end)
+    order;
+  propagate s
+
+exception Probe_conflict
+
+(* Failed-literal probing: assume a literal, propagate without modifying
+   the clause database; a conflict proves the negation at root level. The
+   shared [visits] budget bounds total clause scans across all probes. *)
+let probe_pass ~probe_limit ~visits s =
+  let probe l =
+    let trail = ref [] in
+    let q = Queue.create () in
+    let push l =
+      match lit_value s l with
+      | Types.V_true -> ()
+      | Types.V_false -> raise Probe_conflict
+      | Types.V_undef ->
+        s.assign.(Types.var_of l) <-
+          (if Types.is_pos l then Types.V_true else Types.V_false);
+        trail := Types.var_of l :: !trail;
+        Queue.push l q
+    in
+    let ok =
+      try
+        push l;
+        while not (Queue.is_empty q) do
+          let l = Queue.pop q in
+          List.iter
+            (fun ci ->
+              let c = s.cls.(ci) in
+              if not c.dead then begin
+                decr visits;
+                let sat = ref false and unassigned = ref [] in
+                List.iter
+                  (fun x ->
+                    match lit_value s x with
+                    | Types.V_true -> sat := true
+                    | Types.V_undef -> unassigned := x :: !unassigned
+                    | Types.V_false -> ())
+                  c.lits;
+                if not !sat then
+                  match !unassigned with
+                  | [] -> raise Probe_conflict
+                  | [ u ] -> push u
+                  | _ -> ()
+              end)
+            s.occ.(Types.negate l)
+        done;
+        true
+      with Probe_conflict -> false
+    in
+    List.iter (fun v -> s.assign.(v) <- Types.V_undef) !trail;
+    ok
+  in
+  let v = ref 0 in
+  while !v < s.nvars && s.st.probes < probe_limit && !visits > 0 do
+    if s.assign.(!v) = Types.V_undef then begin
+      s.st.probes <- s.st.probes + 1;
+      if not (probe (Types.pos !v)) then begin
+        s.st.failed_literals <- s.st.failed_literals + 1;
+        Queue.push (Types.neg_of_var !v) s.queue;
+        propagate s
+      end
+      else if not (probe (Types.neg_of_var !v)) then begin
+        s.st.failed_literals <- s.st.failed_literals + 1;
+        Queue.push (Types.pos !v) s.queue;
+        propagate s
+      end
+    end;
+    incr v
+  done
+
+let simplify ?(probe_limit = 2000) ?(protect = fun _ -> false) ~nvars clause_list =
+  try
+    let s = init ~nvars ~probe_limit ~protect clause_list in
+    propagate s;
+    let visits = ref 300_000 in
+    let rounds = ref 0 and continue_ = ref true in
+    while !continue_ && !rounds < 3 do
+      incr rounds;
+      let progress st =
+        st.fixed_literals + st.pure_literals + st.removed_clauses
+        + st.strengthened_literals + st.failed_literals
+      in
+      let before = progress s.st in
+      subsumption_pass s;
+      probe_pass ~probe_limit ~visits s;
+      pure_pass s;
+      continue_ := progress s.st > before
+    done;
+    let units =
+      List.rev_map
+        (fun (v, b) -> [ (if b then Types.pos v else Types.neg_of_var v) ])
+        s.fixed
+    in
+    let active =
+      Array.fold_right (fun c acc -> if c.dead then acc else c.lits :: acc) s.cls []
+    in
+    Simplified
+      {
+        clauses = units @ active;
+        fixed = List.rev s.fixed;
+        pure = List.rev s.pure;
+        stats = s.st;
+      }
+  with Root_conflict -> Unsat
+
+let restore ~pure model =
+  List.iter
+    (fun (v, b) -> if v < Array.length model then model.(v) <- b)
+    pure

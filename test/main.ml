@@ -11,6 +11,7 @@ let () =
       ("smtlib", Test_smtlib.suite);
       ("baselines", Test_baselines.suite);
       ("encodings", Test_encodings.suite);
+      ("preprocess", Test_preprocess.suite);
       ("integration", Test_integration.suite);
       ("extra", Test_extra.suite);
       ("proof-diagnosis", Test_proof_diagnosis.suite);
