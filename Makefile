@@ -1,4 +1,4 @@
-.PHONY: all build test check bench fmt clean
+.PHONY: all build test check bench bench-json fmt clean
 
 all: build
 
@@ -14,6 +14,11 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable presolve on/off comparison with per-phase telemetry
+# breakdowns, written to BENCH_presolve.json.
+bench-json:
+	dune exec bench/main.exe json
 
 # The reference container has no ocamlformat binary and .ocamlformat sets
 # disable=true, so this is a guarded no-op there (see README).

@@ -23,11 +23,12 @@ module Q = Absolver_numeric.Rational
 module BP = Absolver_nlp.Branch_prune
 module Expr = Absolver_nlp.Expr
 module Linexpr = Absolver_lp.Linexpr
+module Telemetry = Absolver_telemetry.Telemetry
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Telemetry.Clock.now () -. t0)
 
 let fmt_time s =
   (* the paper's 0mS.SSSs format *)
@@ -409,39 +410,64 @@ let ablations () =
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable presolve comparison: every Table-1/2/3 instance     *)
-(* solved with the presolve layer on and off, dumped as JSON.           *)
+(* solved with the presolve layer on and off, dumped as JSON — each run *)
+(* under an enabled telemetry aggregator, so every entry also carries a *)
+(* per-phase timing breakdown (presolve, sat_search, linear_check, …).  *)
 
-let stats_json (st : A.Engine.run_stats) =
-  Printf.sprintf
-    "{\"bool_models\":%d,\"linear_checks\":%d,\"linear_conflicts\":%d,\"nonlinear_calls\":%d,\"blocking_clauses\":%d,\"eq_branches\":%d,\"presolve_fixed_literals\":%d,\"presolve_removed_clauses\":%d,\"presolve_tightened_bounds\":%d,\"presolve_seconds\":%.6f}"
-    st.A.Engine.bool_models st.A.Engine.linear_checks st.A.Engine.linear_conflicts
-    st.A.Engine.nonlinear_calls st.A.Engine.blocking_clauses
-    st.A.Engine.eq_branches st.A.Engine.presolve_fixed_literals
-    st.A.Engine.presolve_removed_clauses st.A.Engine.presolve_tightened_bounds
-    st.A.Engine.presolve_seconds
+let phases_json tel =
+  Telemetry.Json.obj
+    (List.map
+       (fun (name, a) ->
+         ( name,
+           Telemetry.Json.obj
+             [
+               ("calls", string_of_int a.Telemetry.agg_calls);
+               ("total_s", Telemetry.Json.of_float a.Telemetry.agg_total_s);
+               ("max_s", Telemetry.Json.of_float a.Telemetry.agg_max_s);
+             ] ))
+       (Telemetry.span_aggregates tel))
 
 let json_mode () =
   let entries = ref [] in
   let tot_on = ref 0.0 and tot_off = ref 0.0 in
   let case ~table ~name ?(registry = A.Registry.default) mk =
     let run on =
-      let options = { A.Engine.default_options with A.Engine.use_presolve = on } in
+      let tel = Telemetry.create () in
+      let options =
+        {
+          A.Engine.default_options with
+          A.Engine.use_presolve = on;
+          telemetry = tel;
+        }
+      in
       let (r, st), t = time (fun () -> A.Engine.solve ~registry ~options (mk ())) in
-      (engine_verdict r, t, st)
+      Telemetry.close tel;
+      (engine_verdict r, t, st, tel)
     in
-    let v_on, t_on, st_on = run true in
-    let v_off, t_off, st_off = run false in
+    let v_on, t_on, st_on, tel_on = run true in
+    let v_off, t_off, st_off, tel_off = run false in
     if v_on <> v_off then
       Printf.printf "!! %s: verdict differs with presolve (%s vs %s)\n" name v_on
         v_off;
     tot_on := !tot_on +. t_on;
     tot_off := !tot_off +. t_off;
+    let side v t st tel =
+      Telemetry.Json.obj
+        [
+          ("verdict", Printf.sprintf "%S" v);
+          ("seconds", Telemetry.Json.of_float t);
+          ("stats", A.Engine.run_stats_json st);
+          ("phases", phases_json tel);
+        ]
+    in
     entries :=
       Printf.sprintf
         "    {\"table\":%S,\"name\":%S,\n\
-        \     \"presolve_on\":{\"verdict\":%S,\"seconds\":%.6f,\"stats\":%s},\n\
-        \     \"presolve_off\":{\"verdict\":%S,\"seconds\":%.6f,\"stats\":%s}}"
-        table name v_on t_on (stats_json st_on) v_off t_off (stats_json st_off)
+        \     \"presolve_on\":%s,\n\
+        \     \"presolve_off\":%s}"
+        table name
+        (side v_on t_on st_on tel_on)
+        (side v_off t_off st_off tel_off)
       :: !entries;
     Printf.printf "%-26s on %-10s off %-10s (%s)\n" name (fmt_time t_on)
       (fmt_time t_off) v_on;

@@ -13,6 +13,7 @@ module F = Absolver_smtlib.Fischer
 module S = Absolver_encodings.Sudoku
 module P = Absolver_encodings.Puzzles
 module Q = Absolver_numeric.Rational
+module Telemetry = Absolver_telemetry.Telemetry
 open Cmdliner
 
 let read_problem path =
@@ -62,23 +63,70 @@ let solve_cmd =
                  interval propagation); exact pre-presolve engine behaviour.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print statistics.") in
-  let run file all_models limit bool_solver minimize no_presolve verbose =
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print a per-phase statistics summary (span timings, solver \
+                 counters) after the verdict, without the --verbose noise.")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write aggregated statistics (run stats, counters, per-span \
+                 timings) to FILE as one JSON object.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Stream a JSONL telemetry trace to FILE: one object per line \
+                 (meta, nested spans with per-span counter deltas, events, \
+                 final counter totals).")
+  in
+  let run file all_models limit bool_solver minimize no_presolve verbose
+      stats_flag stats_json trace =
     match (read_problem file, registry_of_name bool_solver) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
     | Ok problem, Ok registry ->
+      let trace_oc = Option.map open_out trace in
+      let tel =
+        if stats_flag || stats_json <> None || trace_oc <> None then
+          Telemetry.create ?trace:trace_oc ()
+        else Telemetry.disabled
+      in
       let options =
         {
           A.Engine.default_options with
           A.Engine.minimize_conflicts = minimize;
           use_presolve = not no_presolve;
+          telemetry = tel;
         }
+      in
+      (* Shared epilogue: human summary, JSON dump, trace flush. *)
+      let finish stats =
+        Telemetry.close tel;
+        if stats_flag then begin
+          Format.printf "%a@." A.Engine.pp_run_stats stats;
+          if Telemetry.enabled tel then
+            Format.printf "%a@." Telemetry.pp_summary tel
+        end;
+        (match stats_json with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Telemetry.Json.obj
+               [
+                 ("run_stats", A.Engine.run_stats_json stats);
+                 ("telemetry", Telemetry.stats_json tel);
+               ]);
+          output_char oc '\n';
+          close_out oc);
+        Option.iter close_out trace_oc
       in
       if all_models then begin
         let limit = if limit <= 0 then max_int else limit in
         match A.Engine.all_models ~registry ~options ~limit problem with
         | Error e ->
+          Option.iter close_out trace_oc;
           prerr_endline ("error: " ^ e);
           1
         | Ok (models, stats) ->
@@ -89,12 +137,14 @@ let solve_cmd =
                 (A.Solution.pp problem) sol)
             models;
           if verbose then Format.printf "%a@." A.Engine.pp_run_stats stats;
+          finish stats;
           0
       end
       else begin
         let result, stats = A.Engine.solve ~registry ~options problem in
         Format.printf "%a@." (A.Engine.pp_result problem) result;
         if verbose then Format.printf "%a@." A.Engine.pp_run_stats stats;
+        finish stats;
         match result with
         | A.Engine.R_sat _ -> 0
         | A.Engine.R_unsat -> 20
@@ -105,7 +155,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Decide an AB-problem (extended DIMACS).")
     Term.(
       const run $ file $ all_models $ limit $ bool_solver $ minimize
-      $ no_presolve $ verbose)
+      $ no_presolve $ verbose $ stats_flag $ stats_json $ trace)
 
 (* ---- convert ---- *)
 

@@ -6,6 +6,11 @@ module Expr = Absolver_nlp.Expr
 module Box = Absolver_nlp.Box
 module Linexpr = Absolver_lp.Linexpr
 module Conflict = Absolver_lp.Conflict
+module Simplex = Absolver_lp.Simplex
+module Hc4 = Absolver_nlp.Hc4
+module Newton = Absolver_nlp.Newton
+module Branch_prune = Absolver_nlp.Branch_prune
+module Telemetry = Absolver_telemetry.Telemetry
 
 type options = {
   minimize_conflicts : bool;
@@ -16,6 +21,7 @@ type options = {
   default_phase : bool;
   use_linear_relaxation : bool;
   use_presolve : bool;
+  telemetry : Telemetry.t;
 }
 
 let default_options =
@@ -28,6 +34,7 @@ let default_options =
     default_phase = true;
     use_linear_relaxation = true;
     use_presolve = true;
+    telemetry = Telemetry.disabled;
   }
 
 type result = R_sat of Solution.t | R_unsat | R_unknown of string
@@ -49,6 +56,11 @@ type run_stats = {
   mutable presolve_removed_clauses : int;
   mutable presolve_tightened_bounds : int;
   mutable presolve_seconds : float;
+  mutable sat_decisions : int;
+  mutable sat_conflicts : int;
+  mutable sat_propagations : int;
+  mutable sat_restarts : int;
+  mutable simplex_pivots : int;
 }
 
 let mk_stats () =
@@ -64,16 +76,75 @@ let mk_stats () =
     presolve_removed_clauses = 0;
     presolve_tightened_bounds = 0;
     presolve_seconds = 0.0;
+    sat_decisions = 0;
+    sat_conflicts = 0;
+    sat_propagations = 0;
+    sat_restarts = 0;
+    simplex_pivots = 0;
   }
 
-(* The presolve counters are appended after the original columns: tools
-   (and eyeballs) parsing the historical prefix keep working. *)
+(* New counters are appended after the original columns: tools (and
+   eyeballs) parsing the historical prefix keep working. *)
 let pp_run_stats fmt s =
   Format.fprintf fmt
-    "models=%d lin-checks=%d lin-conflicts=%d nl-calls=%d blocked=%d eq-branches=%d time=%.3fs presolve[fixed=%d removed=%d tightened=%d time=%.3fs]"
+    "models=%d lin-checks=%d lin-conflicts=%d nl-calls=%d blocked=%d eq-branches=%d time=%.3fs presolve[fixed=%d removed=%d tightened=%d time=%.3fs] sat[decisions=%d conflicts=%d propagations=%d restarts=%d] pivots=%d"
     s.bool_models s.linear_checks s.linear_conflicts s.nonlinear_calls
     s.blocking_clauses s.eq_branches s.wall_seconds s.presolve_fixed_literals
     s.presolve_removed_clauses s.presolve_tightened_bounds s.presolve_seconds
+    s.sat_decisions s.sat_conflicts s.sat_propagations s.sat_restarts
+    s.simplex_pivots
+
+(* Fold the SAT solver's cumulative [Types.stats] into the run record and
+   telemetry as deltas against [snap] (which is advanced), so the same
+   helper serves both the long-lived incremental solver and the
+   rebuilt-per-model restarting one. *)
+let absorb_sat_stats tel run (snap : Types.stats) (s : Types.stats) =
+  let dd = s.Types.decisions - snap.Types.decisions in
+  let dc = s.Types.conflicts - snap.Types.conflicts in
+  let dp = s.Types.propagations - snap.Types.propagations in
+  let dr = s.Types.restarts - snap.Types.restarts in
+  let dl = s.Types.learnt_literals - snap.Types.learnt_literals in
+  let dx = s.Types.reductions - snap.Types.reductions in
+  run.sat_decisions <- run.sat_decisions + dd;
+  run.sat_conflicts <- run.sat_conflicts + dc;
+  run.sat_propagations <- run.sat_propagations + dp;
+  run.sat_restarts <- run.sat_restarts + dr;
+  Telemetry.add tel "sat.decisions" dd;
+  Telemetry.add tel "sat.conflicts" dc;
+  Telemetry.add tel "sat.propagations" dp;
+  Telemetry.add tel "sat.restarts" dr;
+  Telemetry.add tel "sat.learnt_literals" dl;
+  Telemetry.add tel "sat.reductions" dx;
+  snap.Types.decisions <- s.Types.decisions;
+  snap.Types.conflicts <- s.Types.conflicts;
+  snap.Types.propagations <- s.Types.propagations;
+  snap.Types.restarts <- s.Types.restarts;
+  snap.Types.learnt_literals <- s.Types.learnt_literals;
+  snap.Types.reductions <- s.Types.reductions
+
+(* One canonical JSON rendering of run_stats, shared by the CLI's
+   --stats-json and the bench harness. *)
+let run_stats_json s =
+  let i n = string_of_int n in
+  Telemetry.Json.obj
+    [
+      ("bool_models", i s.bool_models);
+      ("linear_checks", i s.linear_checks);
+      ("linear_conflicts", i s.linear_conflicts);
+      ("nonlinear_calls", i s.nonlinear_calls);
+      ("blocking_clauses", i s.blocking_clauses);
+      ("eq_branches", i s.eq_branches);
+      ("wall_seconds", Telemetry.Json.of_float s.wall_seconds);
+      ("presolve_fixed_literals", i s.presolve_fixed_literals);
+      ("presolve_removed_clauses", i s.presolve_removed_clauses);
+      ("presolve_tightened_bounds", i s.presolve_tightened_bounds);
+      ("presolve_seconds", Telemetry.Json.of_float s.presolve_seconds);
+      ("sat_decisions", i s.sat_decisions);
+      ("sat_conflicts", i s.sat_conflicts);
+      ("sat_propagations", i s.sat_propagations);
+      ("sat_restarts", i s.sat_restarts);
+      ("simplex_pivots", i s.simplex_pivots);
+    ]
 
 (* Outcome of checking one Boolean model arithmetically. *)
 type model_check =
@@ -178,6 +249,7 @@ module Relax = struct
 end
 
 let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
+  let tel = options.telemetry in
   let defs = Ab_problem.defs problem in
   (* Presolve-tightened bounds and box: sound in every Boolean model,
      since presolve only derives facts implied by the whole problem. *)
@@ -219,6 +291,7 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
     let nvars = Ab_problem.num_arith_vars problem in
     let try_combo combo =
       stats.eq_branches <- stats.eq_branches + 1;
+      Telemetry.add tel "engine.eq_branches" 1;
       let rels = fixed @ combo @ bound_rels in
       let linear, nonlinear =
         List.partition_map
@@ -230,6 +303,7 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
       in
       (* Linear filter, including relaxations of the nonlinear part. *)
       stats.linear_checks <- stats.linear_checks + 1;
+      Telemetry.add tel "engine.linear_checks" 1;
       let lsolver =
         match registry.Registry.linear with
         | s :: _ -> s
@@ -252,9 +326,19 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
         end
         else linear
       in
-      match lsolver.Registry.ls_solve ~int_vars lp_input with
+      let lp_verdict =
+        Telemetry.span tel "linear_check"
+          ~attrs:[ ("constraints", Telemetry.Int (List.length lp_input)) ]
+          (fun () ->
+            let p0 = Simplex.total_pivots () in
+            let v = lsolver.Registry.ls_solve ~int_vars lp_input in
+            Telemetry.add tel "lp.pivots" (Simplex.total_pivots () - p0);
+            v)
+      in
+      match lp_verdict with
       | Registry.L_unsat tags ->
         stats.linear_conflicts <- stats.linear_conflicts + 1;
+        Telemetry.add tel "engine.linear_conflicts" 1;
         let tags =
           if options.minimize_conflicts then Conflict.minimal_core linear tags
           else tags
@@ -273,6 +357,7 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
           (* Nonlinear step over the full relation system so shared
              variables stay consistent. *)
           stats.nonlinear_calls <- stats.nonlinear_calls + 1;
+          Telemetry.add tel "engine.nonlinear_calls" 1;
           let box = Box.copy pre.Preprocess.box in
           (* The paper's solver-list semantics: try each registered solver
              until one produces a decent result. *)
@@ -358,7 +443,25 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
                 (Solution.make ~bools:(Array.copy model) ~arith
                    ~certified:(certified && exact_part <> None))
           in
-          match try_solvers registry.Registry.nonlinear with
+          let nl_verdict =
+            Telemetry.span tel "nonlinear_check"
+              ~attrs:[ ("relations", Telemetry.Int (List.length rels)) ]
+              (fun () ->
+                let n0 = Branch_prune.total_nodes ()
+                and pr0 = Branch_prune.total_prunings ()
+                and h0 = Hc4.total_revisions ()
+                and w0 = Newton.total_steps () in
+                let v = try_solvers registry.Registry.nonlinear in
+                Telemetry.add tel "nlp.nodes" (Branch_prune.total_nodes () - n0);
+                Telemetry.add tel "nlp.prunings"
+                  (Branch_prune.total_prunings () - pr0);
+                Telemetry.add tel "nlp.hc4_revisions"
+                  (Hc4.total_revisions () - h0);
+                Telemetry.add tel "nlp.newton_steps"
+                  (Newton.total_steps () - w0);
+                v)
+          in
+          match nl_verdict with
           | Registry.N_sat p -> witness p true
           | Registry.N_approx p -> witness p false
           | Registry.N_unsat ->
@@ -396,6 +499,7 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
     problem ~on_feasible =
   if pre.Preprocess.status = `Unsat then R_unsat
   else begin
+  let tel = options.telemetry in
   let num_vars = Ab_problem.num_bool_vars problem in
   let clauses = pre.Preprocess.clauses in
   let strategy =
@@ -424,15 +528,32 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
       (fun v -> if solver_model.(v) then Types.neg_of_var v else Types.pos v)
       projection
   in
+  let block_clause ~reason block =
+    stats.blocking_clauses <- stats.blocking_clauses + 1;
+    Telemetry.add tel "engine.blocking_clauses" 1;
+    Telemetry.event tel "blocking_clause"
+      ~attrs:
+        [
+          ("size", Telemetry.Int (List.length block));
+          ("reason", Telemetry.String reason);
+        ]
+  in
   let handle_model solver_model add_blocking =
     stats.bool_models <- stats.bool_models + 1;
+    Telemetry.add tel "engine.bool_models" 1;
     if stats.bool_models > options.max_bool_models then begin
       had_unknown := Some "Boolean model budget exhausted";
       finished := true
     end
     else
-      match check_model ~registry ~options ~stats ~pre problem solver_model with
+      match
+        Telemetry.span tel "bool_model"
+          ~attrs:[ ("index", Telemetry.Int stats.bool_models) ]
+          (fun () ->
+            check_model ~registry ~options ~stats ~pre problem solver_model)
+      with
       | M_sat sol -> (
+        Telemetry.event tel "solution";
         match on_feasible sol with
         | `Stop ->
           result := R_sat sol;
@@ -440,25 +561,26 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
         | `Continue ->
           result := R_sat sol;
           let block = block_projection solver_model in
-          stats.blocking_clauses <- stats.blocking_clauses + 1;
+          block_clause ~reason:"enumerate" block;
           if block = [] then finished := true else add_blocking block)
       | M_conflict [] ->
         (* Arithmetic conflict independent of the Boolean valuation. *)
         result := (match !result with R_sat _ as s -> s | _ -> R_unsat);
         finished := true
       | M_conflict block ->
-        stats.blocking_clauses <- stats.blocking_clauses + 1;
+        block_clause ~reason:"conflict" block;
         add_blocking block
       | M_unknown why ->
         had_unknown := Some why;
         incr unknown_count;
+        Telemetry.add tel "engine.unknown_models" 1;
         if !unknown_count > options.max_unknown_models then finished := true
         else begin
           (* Block this delta-valuation so the search can look for a
              decidable one; the result can no longer be a definitive
              UNSAT. *)
           let block = block_projection solver_model in
-          stats.blocking_clauses <- stats.blocking_clauses + 1;
+          block_clause ~reason:"unknown" block;
           if block = [] then finished := true else add_blocking block
         end
   in
@@ -468,9 +590,16 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
     Cdcl.set_default_phase solver options.default_phase;
     Cdcl.ensure_vars solver num_vars;
     List.iter (Cdcl.add_clause solver) clauses;
+    let snap = Types.mk_stats () in
+    let sat_solve () =
+      Telemetry.span tel "sat_search" (fun () ->
+          let out = Cdcl.solve ~max_conflicts:options.sat_max_conflicts solver in
+          absorb_sat_stats tel stats snap (Cdcl.stats solver);
+          out)
+    in
     let rec loop () =
       if not !finished then
-        match Cdcl.solve ~max_conflicts:options.sat_max_conflicts solver with
+        match sat_solve () with
         | Types.Unsat -> ()
         | Types.Unknown -> had_unknown := Some "SAT conflict budget exhausted"
         | Types.Sat ->
@@ -491,7 +620,15 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
         Cdcl.ensure_vars solver num_vars;
         List.iter (Cdcl.add_clause solver) clauses;
         List.iter (Cdcl.add_clause solver) !blocked;
-        match Cdcl.solve ~max_conflicts:options.sat_max_conflicts solver with
+        let out =
+          Telemetry.span tel "sat_search" (fun () ->
+              let out =
+                Cdcl.solve ~max_conflicts:options.sat_max_conflicts solver
+              in
+              absorb_sat_stats tel stats (Types.mk_stats ()) (Cdcl.stats solver);
+              out)
+        in
+        match out with
         | Types.Unsat -> ()
         | Types.Unknown -> had_unknown := Some "SAT conflict budget exhausted"
         | Types.Sat ->
@@ -512,9 +649,12 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
    run_stats record. [protect_also] guards pure-literal elimination when
    the caller enumerates models over a custom projection. *)
 let prepare ~options ?(protect_also = []) ~stats problem =
+  let tel = options.telemetry in
   let pre =
-    if options.use_presolve then Preprocess.run ~protect_also problem
-    else Preprocess.identity problem
+    Telemetry.span tel "presolve" (fun () ->
+        if options.use_presolve then
+          Preprocess.run ~protect_also ~telemetry:tel problem
+        else Preprocess.identity problem)
   in
   stats.presolve_fixed_literals <- pre.Preprocess.stats.Preprocess.fixed_literals;
   stats.presolve_removed_clauses <-
@@ -524,35 +664,54 @@ let prepare ~options ?(protect_also = []) ~stats problem =
   stats.presolve_seconds <- pre.Preprocess.stats.Preprocess.wall_seconds;
   pre
 
+let problem_attrs problem =
+  let s = Ab_problem.stats problem in
+  [
+    ("clauses", Telemetry.Int s.Ab_problem.n_clauses);
+    ("bool_vars", Telemetry.Int (Ab_problem.num_bool_vars problem));
+    ("arith_vars", Telemetry.Int (Ab_problem.num_arith_vars problem));
+    ("linear", Telemetry.Int s.Ab_problem.n_linear);
+    ("nonlinear", Telemetry.Int s.Ab_problem.n_nonlinear);
+  ]
+
 let solve ?(registry = Registry.default) ?(options = default_options) problem =
+  let tel = options.telemetry in
   let stats = mk_stats () in
-  let t0 = Unix.gettimeofday () in
-  let pre = prepare ~options ~stats problem in
+  let t0 = Telemetry.Clock.now () in
+  let p0 = Simplex.total_pivots () in
   let result =
-    enumerate ~registry ~options ~stats ~pre problem ~on_feasible:(fun _ -> `Stop)
+    Telemetry.span tel "solve" ~attrs:(problem_attrs problem) (fun () ->
+        let pre = prepare ~options ~stats problem in
+        enumerate ~registry ~options ~stats ~pre problem ~on_feasible:(fun _ ->
+            `Stop))
   in
-  stats.wall_seconds <- Unix.gettimeofday () -. t0;
+  stats.simplex_pivots <- Simplex.total_pivots () - p0;
+  stats.wall_seconds <- Telemetry.Clock.now () -. t0;
   (result, stats)
 
 let all_models ?projection ?(registry = Registry.default)
     ?(options = default_options) ?(limit = max_int) problem =
+  let tel = options.telemetry in
   let stats = mk_stats () in
-  let t0 = Unix.gettimeofday () in
-  let pre =
-    prepare ~options
-      ?protect_also:(match projection with Some vs -> Some vs | None -> None)
-      ~stats problem
-  in
+  let t0 = Telemetry.Clock.now () in
+  let p0 = Simplex.total_pivots () in
   let acc = ref [] in
   let n = ref 0 in
   let result =
-    enumerate ?projection ~registry ~options ~stats ~pre problem
-      ~on_feasible:(fun sol ->
-        acc := sol :: !acc;
-        incr n;
-        if !n >= limit then `Stop else `Continue)
+    Telemetry.span tel "all_models" ~attrs:(problem_attrs problem) (fun () ->
+        let pre =
+          prepare ~options
+            ?protect_also:(match projection with Some vs -> Some vs | None -> None)
+            ~stats problem
+        in
+        enumerate ?projection ~registry ~options ~stats ~pre problem
+          ~on_feasible:(fun sol ->
+            acc := sol :: !acc;
+            incr n;
+            if !n >= limit then `Stop else `Continue))
   in
-  stats.wall_seconds <- Unix.gettimeofday () -. t0;
+  stats.simplex_pivots <- Simplex.total_pivots () - p0;
+  stats.wall_seconds <- Telemetry.Clock.now () -. t0;
   match result with
   | R_unknown why when !acc = [] -> Error why
   | R_unknown why when !n < limit -> Error why
@@ -560,7 +719,7 @@ let all_models ?projection ?(registry = Registry.default)
 
 let count_models ?registry ?options problem =
   match all_models ?registry ?options problem with
-  | Ok (models, _) -> Ok (List.length models)
+  | Ok (models, stats) -> Ok (List.length models, stats)
   | Error e -> Error e
 
 (* ------------------------------------------------------------------ *)
@@ -589,6 +748,8 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
     let stats = mk_stats () in
     let best = ref None in
     let nvars = Ab_problem.num_arith_vars problem in
+    Telemetry.span options.telemetry "optimize" ~attrs:(problem_attrs problem)
+      (fun () ->
     let pre = prepare ~options ~stats problem in
     let bound_cons =
       List.filter_map
@@ -677,5 +838,5 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
     | R_sat _ | R_unsat | R_unknown _ -> (
       match !best with
       | Some (v, sol) -> Opt_best (v, sol)
-      | None -> Opt_unsat)
+      | None -> Opt_unsat))
   end

@@ -36,6 +36,16 @@ type options = {
       (** Run the {!Preprocess} layer (SAT inprocessing, LP presolve,
           interval propagation) before search. On by default; off restores
           the exact pre-presolve behaviour (ablation switch). *)
+  telemetry : Absolver_telemetry.Telemetry.t;
+      (** Observability handle. Disabled by default (no-op); an enabled
+          handle records hierarchical spans over every phase of the
+          control loop — presolve (and its per-round passes), each
+          [sat_search], each Boolean model's arithmetic check with its
+          [linear_check] / [nonlinear_check] children — plus per-span
+          counter deltas ([sat.*], [lp.pivots], [nlp.*], [engine.*]) and
+          one [blocking_clause] event per learned blocking clause with
+          its conflict-set size. Results are bit-identical with telemetry
+          on or off; only observation is added. *)
 }
 
 val default_options : options
@@ -61,11 +71,22 @@ type run_stats = {
   mutable presolve_tightened_bounds : int;
       (** Bound tightenings (LP presolve + interval contraction). *)
   mutable presolve_seconds : float;  (** Presolve wall time. *)
+  mutable sat_decisions : int;  (** CDCL decisions across all SAT calls. *)
+  mutable sat_conflicts : int;
+  mutable sat_propagations : int;
+  mutable sat_restarts : int;
+  mutable simplex_pivots : int;
+      (** Simplex pivots attributable to this run (linear checks, witness
+          re-solves, optimization). *)
 }
 
 val pp_run_stats : Format.formatter -> run_stats -> unit
-(** Prints the historical columns first, then a [presolve[...]] suffix;
-    existing column order is stable. *)
+(** Prints the historical columns first, then the [presolve[...]],
+    [sat[...]] and [pivots=] suffixes; existing column order is stable. *)
+
+val run_stats_json : run_stats -> string
+(** One flat JSON object, the canonical machine-readable rendering used
+    by the CLI's [--stats-json] and the bench harness. *)
 
 val solve :
   ?registry:Registry.t -> ?options:options -> Ab_problem.t -> result * run_stats
@@ -81,7 +102,13 @@ val all_models :
     the LSAT-powered mode the paper recommends for consistency-based
     diagnosis and test-case generation (Sec. 4, Sec. 6). *)
 
-val count_models : ?registry:Registry.t -> ?options:options -> Ab_problem.t -> (int, string) Stdlib.result
+val count_models :
+  ?registry:Registry.t ->
+  ?options:options ->
+  Ab_problem.t ->
+  (int * run_stats, string) Stdlib.result
+(** Like {!all_models} but returning only the count — with the run's
+    statistics, so callers can report enumeration effort. *)
 
 (** {1 Optimization modulo the Boolean structure}
 

@@ -7,6 +7,7 @@ module Linexpr = Absolver_lp.Linexpr
 module Sat_simplify = Absolver_preprocess.Sat_simplify
 module Lp_presolve = Absolver_preprocess.Lp_presolve
 module Icp = Absolver_preprocess.Icp
+module Telemetry = Absolver_telemetry.Telemetry
 
 type stats = {
   mutable fixed_literals : int;
@@ -110,8 +111,10 @@ let bound_rels_of_lb nvars (lb : Lp_presolve.bounds) =
   done;
   !rels
 
-let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = []) problem =
-  let t0 = Unix.gettimeofday () in
+let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = [])
+    ?(telemetry = Telemetry.disabled) problem =
+  let tel = telemetry in
+  let t0 = Telemetry.Clock.now () in
   let stats = mk_stats () in
   let nvars_b = Ab_problem.num_bool_vars problem in
   let nvars_a = Ab_problem.num_arith_vars problem in
@@ -150,8 +153,14 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = []) problem =
    while (not !unsat) && !continue_ && stats.rounds < max_rounds do
      stats.rounds <- stats.rounds + 1;
      continue_ := false;
+     Telemetry.span tel "presolve.round"
+       ~attrs:[ ("round", Telemetry.Int stats.rounds) ]
+       (fun () ->
      (* 1. SAT-level simplification. *)
-     (match Sat_simplify.simplify ~probe_limit ~protect ~nvars:nvars_b !clauses with
+     (match
+        Telemetry.span tel "presolve.sat_simplify" (fun () ->
+            Sat_simplify.simplify ~probe_limit ~protect ~nvars:nvars_b !clauses)
+      with
      | Sat_simplify.Unsat -> unsat := true
      | Sat_simplify.Simplified s ->
        clauses := s.Sat_simplify.clauses;
@@ -173,7 +182,10 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = []) problem =
                (Expr.linearize r.Expr.expr))
            implied
        in
-       (match Lp_presolve.presolve ~is_int lb rows with
+       (match
+          Telemetry.span tel "presolve.lp" (fun () ->
+              Lp_presolve.presolve ~is_int lb rows)
+        with
        | Lp_presolve.Infeasible_rows _ -> unsat := true
        | Lp_presolve.Presolved { tightened; _ } ->
          stats.tightened_bounds <- stats.tightened_bounds + tightened);
@@ -187,7 +199,14 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = []) problem =
          in
          if Box.is_empty start && nvars_a > 0 then unsat := true
          else
-           match Icp.contract ~box:start implied with
+           match
+             Telemetry.span tel "presolve.icp" (fun () ->
+                 let h0 = Absolver_nlp.Hc4.total_revisions () in
+                 let r = Icp.contract ~box:start implied in
+                 Telemetry.add tel "nlp.hc4_revisions"
+                   (Absolver_nlp.Hc4.total_revisions () - h0);
+                 r)
+           with
            | `Empty -> unsat := true
            | `Box (contracted, narrowed) ->
              box := contracted;
@@ -215,7 +234,8 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = []) problem =
        (* 4. Feed arithmetic verdicts back as unit clauses: a definition
           whose conjunction provably holds (or provably fails) everywhere
           in the tightened box fixes its delta-linked literal. *)
-       if not !unsat then begin
+       if not !unsat then
+         Telemetry.span tel "presolve.feedback" (fun () ->
          let env = Box.env !box in
          let rel_redundant (r : Expr.rel) =
            Expr.certainly_holds env r
@@ -255,14 +275,22 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = []) problem =
            stats.unit_defs <- stats.unit_defs + List.length !new_units;
            clauses := !new_units @ !clauses;
            continue_ := true
-         end
-       end)
+         end))
+     )
    done);
   stats.fixed_literals <- Hashtbl.length fixed_tbl;
   stats.pure_literals <- Hashtbl.length pure_tbl;
   stats.removed_clauses <-
     max 0 (List.length original_clauses - List.length !clauses);
-  stats.wall_seconds <- Unix.gettimeofday () -. t0;
+  stats.wall_seconds <- Telemetry.Clock.now () -. t0;
+  Telemetry.add tel "presolve.fixed_literals" stats.fixed_literals;
+  Telemetry.add tel "presolve.pure_literals" stats.pure_literals;
+  Telemetry.add tel "presolve.removed_clauses" stats.removed_clauses;
+  Telemetry.add tel "presolve.strengthened_literals" stats.strengthened_literals;
+  Telemetry.add tel "presolve.failed_literals" stats.failed_literals;
+  Telemetry.add tel "presolve.tightened_bounds" stats.tightened_bounds;
+  Telemetry.add tel "presolve.unit_defs" stats.unit_defs;
+  Telemetry.add tel "presolve.rounds" stats.rounds;
   if !unsat then
     {
       status = `Unsat;

@@ -61,11 +61,16 @@ val run :
   ?max_rounds:int ->
   ?probe_limit:int ->
   ?protect_also:Types.var list ->
+  ?telemetry:Absolver_telemetry.Telemetry.t ->
   Ab_problem.t ->
   t
 (** Presolve to a fixpoint bounded by [max_rounds] (default 3) cross-domain
     rounds. [protect_also] adds variables to the pure-literal protection
-    set (the engine passes enumeration-projection overrides here). *)
+    set (the engine passes enumeration-projection overrides here).
+    [telemetry] (default disabled) records one [presolve.round] span per
+    fixpoint round with [presolve.sat_simplify] / [presolve.lp] /
+    [presolve.icp] / [presolve.feedback] children, and mirrors the
+    headline counters as [presolve.*]. *)
 
 val identity : Ab_problem.t -> t
 (** The no-op presolve: original clauses, bounds and box, zero stats —

@@ -180,9 +180,17 @@ let assert_cons t (c : Linexpr.cons) =
     | Infeasible _ as r -> r
     | Feasible -> assert_bound t ~tag:c.tag x Upper (DR.of_rational rhs))
 
+(* Process-wide pivot total across every instance (including the
+   throwaway solvers inside [solve_system]), so callers that only see
+   verdicts can still attribute pivot work to their own phases by
+   differencing this counter. *)
+let global_pivots = ref 0
+let total_pivots () = !global_pivots
+
 (* Pivot basic x with nonbasic y (coefficient a = row(x)(y) <> 0). *)
 let pivot t x y =
   t.pivots <- t.pivots + 1;
+  incr global_pivots;
   let row_x = match t.rows.(x) with Some r -> r | None -> assert false in
   let a = IM.find y row_x in
   let inv_a = Q.inv a in

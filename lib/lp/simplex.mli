@@ -64,6 +64,11 @@ val concrete_model : t -> vars:Linexpr.var list -> (Linexpr.var * Q.t) list
 
 val num_pivots : t -> int
 
+val total_pivots : unit -> int
+(** Process-wide cumulative pivot count over {e all} simplex instances
+    (including the internal ones built by {!solve_system}). Telemetry
+    snapshots this before/after a call to attribute pivots to a phase. *)
+
 (** {1 One-shot solving} *)
 
 type verdict =

@@ -76,6 +76,13 @@ let newton_pass box rels =
 
 exception Done of outcome
 
+(* Process-wide branch-and-prune totals, differenced by telemetry (same
+   pattern as Simplex.total_pivots). *)
+let global_nodes = ref 0
+let global_prunings = ref 0
+let total_nodes () = !global_nodes
+let total_prunings () = !global_prunings
+
 let solve ?(config = default_config) ~nvars ~box rels =
   let nodes = ref 0 and prunings = ref 0 and max_depth = ref 0 in
   let candidate = ref None in
@@ -142,4 +149,6 @@ let solve ?(config = default_config) ~nvars ~box rels =
       match !candidate with Some p -> Approx_sat p | None -> Unsat
     with Done o -> o
   in
+  global_nodes := !global_nodes + !nodes;
+  global_prunings := !global_prunings + !prunings;
   (outcome, { nodes = !nodes; prunings = !prunings; max_depth = !max_depth })

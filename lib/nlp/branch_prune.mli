@@ -39,6 +39,11 @@ val default_config : config
 
 type stats = { nodes : int; prunings : int; max_depth : int }
 
+val total_nodes : unit -> int
+val total_prunings : unit -> int
+(** Process-wide cumulative node/pruning totals over all {!solve} calls,
+    for telemetry differencing (cf. {!Absolver_lp.Simplex.total_pivots}). *)
+
 val solve :
   ?config:config -> nvars:int -> box:Box.t -> Expr.rel list -> outcome * stats
 (** Decide feasibility of the conjunction over the box. Variables absent

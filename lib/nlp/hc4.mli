@@ -10,6 +10,11 @@
 
 module I = Absolver_numeric.Interval
 
+val total_revisions : unit -> int
+(** Process-wide cumulative count of {!revise} passes (including those
+    inside {!contract}); telemetry snapshots this before/after a call to
+    attribute contraction work to a phase. *)
+
 val revise : Box.t -> Expr.rel -> bool
 (** One forward-backward pass of a single constraint; narrows [box] in
     place. Returns [false] iff the box became empty (the constraint cannot

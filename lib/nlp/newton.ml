@@ -1,6 +1,12 @@
 module I = Absolver_numeric.Interval
 
+(* Process-wide step total, differenced by telemetry (same pattern as
+   Simplex.total_pivots). *)
+let global_steps = ref 0
+let total_steps () = !global_steps
+
 let step f ~var x =
+  incr global_steps;
   if I.is_empty x then I.empty
   else begin
     let m = I.mid x in

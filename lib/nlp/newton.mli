@@ -8,6 +8,10 @@
 
 module I = Absolver_numeric.Interval
 
+val total_steps : unit -> int
+(** Process-wide cumulative count of Newton {!step}s (including those
+    inside {!contract} and {!proves_root}), for telemetry differencing. *)
+
 val step : Expr.t -> var:int -> I.t -> I.t
 (** One Newton contraction step of [f = 0] on the interval; returns a
     (possibly empty) subinterval still containing all roots. *)

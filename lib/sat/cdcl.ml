@@ -447,6 +447,7 @@ let locked s c = Array.length c.lits > 0 && s.reason.(c.lits.(0) lsr 1) == c
 let detach_lazily c = c.removed <- true
 
 let reduce_db s =
+  s.stats.reductions <- s.stats.reductions + 1;
   Vec.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) s.learnts;
   let n = Vec.size s.learnts in
   let keep = Vec.create ~dummy:dummy_clause () in

@@ -38,6 +38,7 @@ type stats = {
   mutable propagations : int;
   mutable restarts : int;
   mutable learnt_literals : int;
+  mutable reductions : int;
 }
 
 let mk_stats () =
@@ -47,4 +48,5 @@ let mk_stats () =
     propagations = 0;
     restarts = 0;
     learnt_literals = 0;
+    reductions = 0;
   }

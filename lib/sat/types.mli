@@ -39,6 +39,7 @@ type stats = {
   mutable propagations : int;
   mutable restarts : int;
   mutable learnt_literals : int;
+  mutable reductions : int;  (** learnt-clause database reductions *)
 }
 
 val mk_stats : unit -> stats

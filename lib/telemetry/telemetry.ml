@@ -1,0 +1,377 @@
+(* See telemetry.mli for the contract. The design constraint driving the
+   shape of this file: a [disabled] handle must make every operation a
+   single match on an immutable constructor, so instrumentation can stay
+   in place permanently. *)
+
+module Clock = struct
+  (* Monotonized wall clock: remember the largest reading handed out and
+     absorb backward wall-clock jumps into a growing offset. *)
+  let start = Unix.gettimeofday ()
+  let last = ref 0.0
+  let offset = ref 0.0
+
+  let now () =
+    let w = Unix.gettimeofday () -. start +. !offset in
+    if w < !last then begin
+      offset := !offset +. (!last -. w);
+      !last
+    end
+    else begin
+      last := w;
+      w
+    end
+
+  let wall = Unix.gettimeofday
+end
+
+type value = Int of int | Float of float | String of string | Bool of bool
+
+module Json = struct
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let of_float f =
+    if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+  let of_value = function
+    | Int i -> string_of_int i
+    | Float f -> of_float f
+    | String s -> Printf.sprintf "\"%s\"" (escape s)
+    | Bool b -> if b then "true" else "false"
+
+  let obj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) v) fields) ^ "}"
+end
+
+type span_agg = { agg_calls : int; agg_total_s : float; agg_max_s : float }
+
+type agg_cell = {
+  mutable c_calls : int;
+  mutable c_total : float;
+  mutable c_max : float;
+}
+
+type span_rec = {
+  id : int;
+  name : string;
+  parent : int;
+  t_start : float;
+  attrs : (string * value) list;
+  snapshot : (string * int) list; (* counter totals when the span opened *)
+}
+
+type state = {
+  mutable stack : span_rec list;
+  mutable next_id : int;
+  cnt : (string, int ref) Hashtbl.t;
+  ggs : (string, float ref) Hashtbl.t;
+  aggs : (string, agg_cell) Hashtbl.t;
+  trace : out_channel option;
+  mutable closed : bool;
+}
+
+type t = Disabled | Enabled of state
+
+let disabled = Disabled
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let emit st line =
+  match st.trace with
+  | None -> ()
+  | Some oc ->
+    output_string oc line;
+    output_char oc '\n'
+
+let create ?trace () =
+  let st =
+    {
+      stack = [];
+      next_id = 0;
+      cnt = Hashtbl.create 32;
+      ggs = Hashtbl.create 8;
+      aggs = Hashtbl.create 32;
+      trace;
+      closed = false;
+    }
+  in
+  emit st
+    (Json.obj
+       [
+         ("type", "\"meta\"");
+         ("format", "\"absolver-trace\"");
+         ("version", "1");
+         ("clock", "\"monotonic-seconds\"");
+       ]);
+  Enabled st
+
+(* ---- counters / gauges ---- *)
+
+let add t name d =
+  match t with
+  | Disabled -> ()
+  | Enabled st ->
+    if d > 0 then begin
+      match Hashtbl.find_opt st.cnt name with
+      | Some r -> r := !r + d
+      | None -> Hashtbl.add st.cnt name (ref d)
+    end
+
+let set_gauge t name v =
+  match t with
+  | Disabled -> ()
+  | Enabled st -> (
+    match Hashtbl.find_opt st.ggs name with
+    | Some r -> r := v
+    | None -> Hashtbl.add st.ggs name (ref v))
+
+let counter t name =
+  match t with
+  | Disabled -> 0
+  | Enabled st -> (
+    match Hashtbl.find_opt st.cnt name with Some r -> !r | None -> 0)
+
+let counters t =
+  match t with
+  | Disabled -> []
+  | Enabled st ->
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.cnt []
+    |> List.sort compare
+
+let gauges t =
+  match t with
+  | Disabled -> []
+  | Enabled st ->
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.ggs []
+    |> List.sort compare
+
+(* ---- spans ---- *)
+
+let snapshot_counters st =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.cnt []
+
+let span_open t ?(attrs = []) name =
+  match t with
+  | Disabled -> -1
+  | Enabled st ->
+    let id = st.next_id in
+    st.next_id <- id + 1;
+    let parent = match st.stack with [] -> -1 | s :: _ -> s.id in
+    st.stack <-
+      {
+        id;
+        name;
+        parent;
+        t_start = Clock.now ();
+        attrs;
+        snapshot = snapshot_counters st;
+      }
+      :: st.stack;
+    id
+
+let counter_deltas st (sp : span_rec) =
+  Hashtbl.fold
+    (fun k r acc ->
+      let before =
+        match List.assoc_opt k sp.snapshot with Some v -> v | None -> 0
+      in
+      let d = !r - before in
+      if d <> 0 then (k, d) :: acc else acc)
+    st.cnt []
+  |> List.sort compare
+
+let close_one st ~extra_attrs (sp : span_rec) =
+  let t_end = Clock.now () in
+  let dur = Float.max 0.0 (t_end -. sp.t_start) in
+  (* aggregate *)
+  (match Hashtbl.find_opt st.aggs sp.name with
+  | Some c ->
+    c.c_calls <- c.c_calls + 1;
+    c.c_total <- c.c_total +. dur;
+    if dur > c.c_max then c.c_max <- dur
+  | None ->
+    Hashtbl.add st.aggs sp.name { c_calls = 1; c_total = dur; c_max = dur });
+  (* trace *)
+  if st.trace <> None then begin
+    let attrs = sp.attrs @ extra_attrs in
+    let fields =
+      [
+        ("type", "\"span\"");
+        ("id", string_of_int sp.id);
+        ("parent", string_of_int sp.parent);
+        ("name", Printf.sprintf "\"%s\"" (Json.escape sp.name));
+        ("start", Json.of_float sp.t_start);
+        ("dur", Json.of_float dur);
+      ]
+      @ (if attrs = [] then []
+         else
+           [
+             ( "attrs",
+               Json.obj (List.map (fun (k, v) -> (k, Json.of_value v)) attrs) );
+           ])
+      @
+      match counter_deltas st sp with
+      | [] -> []
+      | ds ->
+        [
+          ( "counters",
+            Json.obj (List.map (fun (k, d) -> (k, string_of_int d)) ds) );
+        ]
+    in
+    emit st (Json.obj fields)
+  end
+
+let span_close t ?(attrs = []) id =
+  match t with
+  | Disabled -> ()
+  | Enabled st ->
+    if id >= 0 then begin
+      (* Close any still-open children first (properly nested). *)
+      let rec pop () =
+        match st.stack with
+        | [] -> ()
+        | sp :: rest ->
+          st.stack <- rest;
+          if sp.id = id then close_one st ~extra_attrs:attrs sp
+          else begin
+            close_one st ~extra_attrs:[] sp;
+            pop ()
+          end
+      in
+      pop ()
+    end
+
+let span t ?attrs name f =
+  match t with
+  | Disabled -> f ()
+  | Enabled _ ->
+    let id = span_open t ?attrs name in
+    Fun.protect ~finally:(fun () -> span_close t id) f
+
+let event t ?(attrs = []) name =
+  match t with
+  | Disabled -> ()
+  | Enabled st ->
+    if st.trace <> None then begin
+      let parent = match st.stack with [] -> -1 | s :: _ -> s.id in
+      let fields =
+        [
+          ("type", "\"event\"");
+          ("name", Printf.sprintf "\"%s\"" (Json.escape name));
+          ("t", Json.of_float (Clock.now ()));
+          ("span", string_of_int parent);
+        ]
+        @
+        if attrs = [] then []
+        else
+          [
+            ( "attrs",
+              Json.obj (List.map (fun (k, v) -> (k, Json.of_value v)) attrs) );
+          ]
+      in
+      emit st (Json.obj fields)
+    end
+
+(* ---- aggregate access ---- *)
+
+let span_aggregates t =
+  match t with
+  | Disabled -> []
+  | Enabled st ->
+    Hashtbl.fold
+      (fun k c acc ->
+        ( k,
+          { agg_calls = c.c_calls; agg_total_s = c.c_total; agg_max_s = c.c_max }
+        )
+        :: acc)
+      st.aggs []
+    |> List.sort compare
+
+let pp_summary fmt t =
+  match t with
+  | Disabled -> Format.pp_print_string fmt "(telemetry disabled)"
+  | Enabled _ ->
+    let spans = span_aggregates t in
+    Format.fprintf fmt "@[<v>";
+    if spans <> [] then begin
+      Format.fprintf fmt "%-32s %8s %12s %12s@," "span" "calls" "total(s)"
+        "max(s)";
+      List.iter
+        (fun (name, a) ->
+          Format.fprintf fmt "%-32s %8d %12.6f %12.6f@," name a.agg_calls
+            a.agg_total_s a.agg_max_s)
+        spans
+    end;
+    (match counters t with
+    | [] -> ()
+    | cs ->
+      Format.fprintf fmt "counters:@,";
+      List.iter (fun (k, v) -> Format.fprintf fmt "  %-34s %d@," k v) cs);
+    (match gauges t with
+    | [] -> ()
+    | gs ->
+      Format.fprintf fmt "gauges:@,";
+      List.iter (fun (k, v) -> Format.fprintf fmt "  %-34s %g@," k v) gs);
+    Format.fprintf fmt "@]"
+
+let stats_json t =
+  let cs = List.map (fun (k, v) -> (k, string_of_int v)) (counters t) in
+  let gs = List.map (fun (k, v) -> (k, Json.of_float v)) (gauges t) in
+  let ss =
+    List.map
+      (fun (k, a) ->
+        ( k,
+          Json.obj
+            [
+              ("calls", string_of_int a.agg_calls);
+              ("total_s", Json.of_float a.agg_total_s);
+              ("max_s", Json.of_float a.agg_max_s);
+            ] ))
+      (span_aggregates t)
+  in
+  Json.obj
+    [ ("counters", Json.obj cs); ("gauges", Json.obj gs); ("spans", Json.obj ss) ]
+
+let close t =
+  match t with
+  | Disabled -> ()
+  | Enabled st ->
+    if not st.closed then begin
+      st.closed <- true;
+      (* Close any spans left open so the trace is well-formed. *)
+      List.iter (fun sp -> close_one st ~extra_attrs:[] sp) st.stack;
+      st.stack <- [];
+      List.iter
+        (fun (k, v) ->
+          emit st
+            (Json.obj
+               [
+                 ("type", "\"counter\"");
+                 ("name", Printf.sprintf "\"%s\"" (Json.escape k));
+                 ("total", string_of_int v);
+               ]))
+        (counters t);
+      List.iter
+        (fun (k, v) ->
+          emit st
+            (Json.obj
+               [
+                 ("type", "\"gauge\"");
+                 ("name", Printf.sprintf "\"%s\"" (Json.escape k));
+                 ("value", Json.of_float v);
+               ]))
+        (gauges t);
+      match st.trace with None -> () | Some oc -> flush oc
+    end

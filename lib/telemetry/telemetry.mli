@@ -1,0 +1,136 @@
+(** Zero-dependency observability: monotonic clock, hierarchical spans,
+    named monotone counters and gauges, pluggable sinks.
+
+    The paper's evaluation (Sec. 5) is entirely about where the time goes
+    — which subsystem rejects a candidate model, how many Boolean models
+    the control loop burns, how the solvers compare. This module is the
+    machinery behind that kind of accounting: the engine (and anything
+    else) opens {e spans} around its phases, bumps {e counters} as work
+    happens, and a sink turns the stream into either an in-memory
+    aggregate (for [--stats] / [--stats-json]) or a JSONL trace file (for
+    [--trace]).
+
+    A disabled handle ({!disabled}) compiles every operation down to a
+    single pattern match on an immutable constructor — the instrumented
+    code paths pay no measurable cost when telemetry is off, which is what
+    lets the instrumentation live permanently in the hot loops'
+    surroundings. *)
+
+(** {1 Monotonic clock shim}
+
+    The stdlib has no monotonic clock and this library links no C stubs,
+    so the shim monotonizes [Unix.gettimeofday]: readings never decrease
+    even across wall-clock jumps (NTP steps, DST). All span timestamps and
+    every timing in the engine and bench harness go through it. *)
+module Clock : sig
+  val now : unit -> float
+  (** Monotonic (never-decreasing) seconds since an arbitrary epoch fixed
+      at module initialization. *)
+
+  val wall : unit -> float
+  (** The raw wall clock, for human-facing timestamps only. *)
+end
+
+(** {1 Values and handles} *)
+
+type value = Int of int | Float of float | String of string | Bool of bool
+(** Attribute values attached to spans and events. *)
+
+type t
+(** A telemetry handle: either disabled (all operations no-ops) or an
+    enabled recorder with an in-memory aggregator and an optional JSONL
+    trace channel. Handles are single-threaded, like the engine. *)
+
+val disabled : t
+(** The null sink. [enabled disabled = false]; every operation is a
+    no-op. This is the default everywhere. *)
+
+val create : ?trace:out_channel -> unit -> t
+(** An enabled recorder. Aggregation (counter totals, per-span-name call
+    counts and cumulative durations) is always on; [trace] additionally
+    streams spans, events and final counter totals as JSONL (one object
+    per line) to the channel. The caller owns the channel; call {!close}
+    before closing it. *)
+
+val enabled : t -> bool
+
+(** {1 Spans}
+
+    Spans nest: the innermost open span is the parent of the next one
+    opened. Counter increments are attributed to every open span, so a
+    finished span knows the deltas of all counters that moved while it was
+    open ("12 pivots happened inside this linear check"). *)
+
+val span : t -> ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a span named [name]. Exception-safe:
+    the span is closed (and traced) even if [f] raises. *)
+
+val span_open : t -> ?attrs:(string * value) list -> string -> int
+(** Manual span begin, for non-lexical extents. Returns a span id
+    ([-1] when disabled). *)
+
+val span_close : t -> ?attrs:(string * value) list -> int -> unit
+(** Close the span [id] (and any spans opened after it that are still
+    open — closing is properly nested by construction). Extra [attrs] are
+    appended to the span's record. *)
+
+val event : t -> ?attrs:(string * value) list -> string -> unit
+(** A point-in-time occurrence, attributed to the innermost open span. *)
+
+(** {1 Counters and gauges} *)
+
+val add : t -> string -> int -> unit
+(** [add t name d] bumps the monotone counter [name] by [d] (negative
+    deltas are ignored: counters are monotone by contract). *)
+
+val set_gauge : t -> string -> float -> unit
+(** Record the latest value of a non-monotone quantity. *)
+
+val counter : t -> string -> int
+(** Current total of a counter (0 when disabled or never bumped). *)
+
+(** {1 Reading the aggregate} *)
+
+type span_agg = {
+  agg_calls : int;
+  agg_total_s : float;  (** cumulative duration over all calls *)
+  agg_max_s : float;
+}
+
+val counters : t -> (string * int) list
+(** All counter totals, sorted by name. Empty when disabled. *)
+
+val gauges : t -> (string * float) list
+
+val span_aggregates : t -> (string * span_agg) list
+(** Per-span-name aggregates, sorted by name. Empty when disabled. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable summary: span table (calls, total, max) then counter
+    totals then gauges — the body of the CLI's [--stats]. *)
+
+val stats_json : t -> string
+(** The aggregate as one JSON object:
+    [{"counters":{...},"gauges":{...},"spans":{name:{"calls":..,"total_s":..,"max_s":..}}}]. *)
+
+val close : t -> unit
+(** Close any spans left open, emit the final counter/gauge totals to the
+    trace channel (if any) and flush it. The handle stays readable
+    (aggregates survive) but must not record further spans. *)
+
+(** {1 JSON helpers}
+
+    Shared by the CLI and bench harness so every JSON we emit escapes
+    strings and formats floats the same way. *)
+module Json : sig
+  val escape : string -> string
+  (** Contents properly escaped for a double-quoted JSON string (quotes
+      not included). *)
+
+  val of_value : value -> string
+  val of_float : float -> string
+  (** Plain decimal, never OCaml's [nan]/[infinity] (clamped to null). *)
+
+  val obj : (string * string) list -> string
+  (** [obj [(k, v); ...]] where each [v] is already-rendered JSON. *)
+end

@@ -44,6 +44,26 @@ All-models enumeration with a limit.
   $ ../../bin/absolver_cli.exe solve multi.cnf --all-models | head -1
   2 solution(s)
 
+Telemetry: --trace streams JSONL (first line is the meta object), and
+--stats-json writes one JSON object with run stats and telemetry.
+
+  $ ../../bin/absolver_cli.exe solve fig2.cnf --trace trace.jsonl --stats-json stats.json > /dev/null
+  $ head -c 48 trace.jsonl
+  {"type":"meta","format":"absolver-trace","versio
+  $ grep -c '"type":"span"' trace.jsonl > /dev/null && echo has-spans
+  has-spans
+  $ grep -o '"name":"solve"' trace.jsonl | head -1
+  "name":"solve"
+  $ grep -o '"run_stats"' stats.json
+  "run_stats"
+  $ grep -o '"telemetry"' stats.json
+  "telemetry"
+
+--stats prints the per-span summary after the verdict.
+
+  $ ../../bin/absolver_cli.exe solve fig2.cnf --stats | grep -c '^span'
+  1
+
 The circuit renderer emits GraphViz.
 
   $ ../../bin/absolver_cli.exe circuit fig2.cnf | head -2

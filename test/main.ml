@@ -12,6 +12,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("encodings", Test_encodings.suite);
       ("preprocess", Test_preprocess.suite);
+      ("telemetry", Test_telemetry.suite);
       ("integration", Test_integration.suite);
       ("extra", Test_extra.suite);
       ("proof-diagnosis", Test_proof_diagnosis.suite);

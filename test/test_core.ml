@@ -283,7 +283,11 @@ let test_engine_all_models_limit () =
 let test_engine_count_models () =
   let text = "p cnf 2 1\n1 2 0\n" in
   match A.Engine.count_models (parse text) with
-  | Ok n -> check int_t "count" 3 n
+  | Ok (n, stats) ->
+    check int_t "count" 3 n;
+    (* count_models now carries the run's stats like every entry point. *)
+    check bool_t "stats examine at least n models" true
+      (stats.A.Engine.bool_models >= n)
   | Error e -> Alcotest.fail e
 
 let test_engine_chaff_registry_agrees () =

@@ -1,0 +1,312 @@
+(* Telemetry: clock monotonicity, span nesting and aggregation, counter
+   semantics, the JSONL trace schema, and the on/off equivalence the
+   engine promises (observation only — never a different answer). *)
+
+module T = Absolver_telemetry.Telemetry
+module A = Absolver_core
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* ---- clock ---- *)
+
+let test_clock_monotone () =
+  let prev = ref (T.Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = T.Clock.now () in
+    if t < !prev then Alcotest.failf "clock went backwards: %f < %f" t !prev;
+    prev := t
+  done
+
+let test_clock_advances () =
+  let t0 = T.Clock.now () in
+  (* burn a little real time *)
+  let s = ref 0 in
+  for i = 1 to 1_000_000 do
+    s := !s + i
+  done;
+  ignore (Sys.opaque_identity !s);
+  check bool_t "now() eventually advances" true (T.Clock.now () >= t0)
+
+(* ---- disabled handle ---- *)
+
+let test_disabled_noops () =
+  let tel = T.disabled in
+  check bool_t "disabled is not enabled" false (T.enabled tel);
+  let r = T.span tel "anything" (fun () -> 42) in
+  check int_t "span passes the result through" 42 r;
+  T.add tel "c" 5;
+  T.set_gauge tel "g" 1.0;
+  T.event tel "e";
+  check int_t "counter reads 0" 0 (T.counter tel "c");
+  check int_t "no counters" 0 (List.length (T.counters tel));
+  check int_t "no gauges" 0 (List.length (T.gauges tel));
+  check int_t "no span aggregates" 0 (List.length (T.span_aggregates tel));
+  T.close tel
+
+(* ---- spans, counters, gauges ---- *)
+
+let test_counters_monotone () =
+  let tel = T.create () in
+  T.add tel "work" 3;
+  T.add tel "work" 2;
+  T.add tel "work" (-7);
+  (* ignored: monotone *)
+  T.add tel "work" 0;
+  (* ignored *)
+  check int_t "total" 5 (T.counter tel "work");
+  check int_t "unknown counter" 0 (T.counter tel "nope");
+  T.set_gauge tel "depth" 3.0;
+  T.set_gauge tel "depth" 1.5;
+  (match T.gauges tel with
+  | [ ("depth", v) ] -> check bool_t "gauge keeps last" true (v = 1.5)
+  | other -> Alcotest.failf "unexpected gauges (%d)" (List.length other));
+  T.close tel
+
+let test_span_aggregation () =
+  let tel = T.create () in
+  for _ = 1 to 3 do
+    T.span tel "outer" (fun () -> T.span tel "inner" (fun () -> ()))
+  done;
+  T.span tel "inner" (fun () -> ());
+  T.close tel;
+  let agg name =
+    match List.assoc_opt name (T.span_aggregates tel) with
+    | Some a -> a
+    | None -> Alcotest.failf "span %s not aggregated" name
+  in
+  check int_t "outer calls" 3 (agg "outer").T.agg_calls;
+  check int_t "inner calls" 4 (agg "inner").T.agg_calls;
+  let o = agg "outer" in
+  check bool_t "total >= 0" true (o.T.agg_total_s >= 0.0);
+  check bool_t "max <= total" true (o.T.agg_max_s <= o.T.agg_total_s +. 1e-9)
+
+let test_span_exception_safe () =
+  let tel = T.create () in
+  (try T.span tel "boom" (fun () -> failwith "kaput") with Failure _ -> ());
+  let r = T.span tel "after" (fun () -> "ok") in
+  check string_t "usable after exception" "ok" r;
+  T.close tel;
+  check int_t "raising span still recorded" 1
+    (match List.assoc_opt "boom" (T.span_aggregates tel) with
+    | Some a -> a.T.agg_calls
+    | None -> 0);
+  check int_t "after span at top level again" 1
+    (match List.assoc_opt "after" (T.span_aggregates tel) with
+    | Some a -> a.T.agg_calls
+    | None -> 0)
+
+let test_manual_spans_nest () =
+  let tel = T.create () in
+  let a = T.span_open tel "a" in
+  let _b = T.span_open tel "b" in
+  (* closing [a] also closes the still-open [b]: nesting is structural *)
+  T.span_close tel a;
+  T.close tel;
+  let calls name =
+    match List.assoc_opt name (T.span_aggregates tel) with
+    | Some a -> a.T.agg_calls
+    | None -> 0
+  in
+  check int_t "a closed" 1 (calls "a");
+  check int_t "b auto-closed" 1 (calls "b")
+
+(* ---- JSON helpers ---- *)
+
+let test_json_helpers () =
+  check string_t "escape quotes" "a\\\"b" (T.Json.escape "a\"b");
+  check string_t "escape newline" "a\\nb" (T.Json.escape "a\nb");
+  check string_t "nan clamps to null" "null" (T.Json.of_float Float.nan);
+  check string_t "infinity clamps to null" "null"
+    (T.Json.of_float Float.infinity);
+  check string_t "obj" "{\"a\":1,\"b\":\"x\"}"
+    (T.Json.obj [ ("a", "1"); ("b", "\"x\"") ]);
+  check string_t "int value" "3" (T.Json.of_value (T.Int 3));
+  check string_t "bool value" "true" (T.Json.of_value (T.Bool true))
+
+(* ---- trace schema ---- *)
+
+let fig2_text =
+  {|p cnf 3 3
+1 0
+-2 3 0
+3 0
+c def int 1 i >= 0
+c def int 1 j >= 0
+c def int 2 2*i + j < 10
+c def int 3 i + j < 5
+|}
+
+let parse text =
+  match A.Dimacs_ext.parse_string text with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let test_trace_schema () =
+  let path = Filename.temp_file "absolver_trace" ".jsonl" in
+  let oc = open_out path in
+  let tel = T.create ~trace:oc () in
+  let options = { A.Engine.default_options with A.Engine.telemetry = tel } in
+  let result, _stats = A.Engine.solve ~options (parse fig2_text) in
+  (match result with
+  | A.Engine.R_sat _ -> ()
+  | _ -> Alcotest.fail "fig2 fragment should be sat");
+  T.close tel;
+  close_out oc;
+  let lines = read_lines path in
+  Sys.remove path;
+  check bool_t "trace nonempty" true (List.length lines > 3);
+  (* every line is one JSON object with a type tag *)
+  List.iter
+    (fun line ->
+      let n = String.length line in
+      if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then
+        Alcotest.failf "not a JSON object line: %s" line;
+      let has fragment =
+        let fl = String.length fragment in
+        let rec at i =
+          i + fl <= n && (String.sub line i fl = fragment || at (i + 1))
+        in
+        at 0
+      in
+      if not (has "\"type\":\"") then Alcotest.failf "missing type: %s" line)
+    lines;
+  let starts_with prefix line =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
+  (match lines with
+  | first :: _ ->
+    check bool_t "first line is the meta object" true
+      (starts_with "{\"type\":\"meta\",\"format\":\"absolver-trace\"" first)
+  | [] -> Alcotest.fail "empty trace");
+  let contains fragment line =
+    let n = String.length line and fl = String.length fragment in
+    let rec at i = i + fl <= n && (String.sub line i fl = fragment || at (i + 1)) in
+    at 0
+  in
+  let spans = List.filter (contains "\"type\":\"span\"") lines in
+  check bool_t "has span lines" true (spans <> []);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun key ->
+          if not (contains key s) then Alcotest.failf "span missing %s: %s" key s)
+        [ "\"id\":"; "\"parent\":"; "\"name\":\""; "\"start\":"; "\"dur\":" ])
+    spans;
+  let span_named name = List.exists (contains ("\"name\":\"" ^ name ^ "\"")) spans in
+  check bool_t "solve root span" true (span_named "solve");
+  check bool_t "presolve span" true (span_named "presolve");
+  check bool_t "bool_model span" true (span_named "bool_model");
+  check bool_t "linear_check span" true (span_named "linear_check");
+  (* the root solve span has parent 0 (no parent) and children point at it *)
+  check bool_t "some span nests under another" true
+    (List.exists (fun s -> not (contains "\"parent\":0" s)) spans);
+  (* final counter totals are emitted on close, one line per counter *)
+  check bool_t "counter totals at close" true
+    (List.exists (contains "\"type\":\"counter\"") lines)
+
+(* ---- on/off equivalence ---- *)
+
+let nonlinear_text =
+  {|p cnf 1 1
+1 0
+c def real 1 x * x + y * y <= 1
+c def real 1 x * y >= 2
+c bound x -10 10
+c bound y -10 10
+|}
+
+let unsat_text = {|p cnf 2 2
+1 0
+2 0
+c def real 1 u <= 1
+c def real 2 u >= 2
+|}
+
+let multi_text = {|p cnf 2 1
+1 2 0
+c def real 1 u <= 1
+c def real 2 u >= 2
+|}
+
+let verdict = function
+  | A.Engine.R_sat _ -> "sat"
+  | A.Engine.R_unsat -> "unsat"
+  | A.Engine.R_unknown _ -> "unknown"
+
+let structural (st : A.Engine.run_stats) =
+  ( st.A.Engine.bool_models,
+    st.A.Engine.linear_checks,
+    st.A.Engine.linear_conflicts,
+    st.A.Engine.nonlinear_calls,
+    st.A.Engine.blocking_clauses,
+    st.A.Engine.eq_branches,
+    st.A.Engine.sat_decisions,
+    st.A.Engine.simplex_pivots )
+
+let test_on_off_equivalence () =
+  List.iter
+    (fun (name, text) ->
+      let solve tel =
+        let options = { A.Engine.default_options with A.Engine.telemetry = tel } in
+        A.Engine.solve ~options (parse text)
+      in
+      let r_off, st_off = solve T.disabled in
+      let tel = T.create () in
+      let r_on, st_on = solve tel in
+      T.close tel;
+      check string_t (name ^ ": same verdict") (verdict r_off) (verdict r_on);
+      check bool_t
+        (name ^ ": same structural stats")
+        true
+        (structural st_off = structural st_on))
+    [
+      ("fig2", fig2_text);
+      ("nonlinear_unsat", nonlinear_text);
+      ("unsat", unsat_text);
+      ("multi", multi_text);
+    ]
+
+let test_all_models_equivalence () =
+  let solve tel =
+    let options = { A.Engine.default_options with A.Engine.telemetry = tel } in
+    match A.Engine.all_models ~options (parse multi_text) with
+    | Ok (models, st) -> (List.length models, structural st)
+    | Error e -> failwith e
+  in
+  let off = solve T.disabled in
+  let tel = T.create () in
+  let on = solve tel in
+  T.close tel;
+  check bool_t "all_models identical with telemetry on" true (off = on)
+
+let suite =
+  [
+    Alcotest.test_case "clock is monotone" `Quick test_clock_monotone;
+    Alcotest.test_case "clock advances" `Quick test_clock_advances;
+    Alcotest.test_case "disabled handle is a no-op" `Quick test_disabled_noops;
+    Alcotest.test_case "counters are monotone" `Quick test_counters_monotone;
+    Alcotest.test_case "spans aggregate per name" `Quick test_span_aggregation;
+    Alcotest.test_case "spans survive exceptions" `Quick test_span_exception_safe;
+    Alcotest.test_case "manual spans close nested" `Quick test_manual_spans_nest;
+    Alcotest.test_case "json helpers" `Quick test_json_helpers;
+    Alcotest.test_case "JSONL trace schema" `Quick test_trace_schema;
+    Alcotest.test_case "solve: telemetry on/off equivalence" `Quick
+      test_on_off_equivalence;
+    Alcotest.test_case "all_models: telemetry on/off equivalence" `Quick
+      test_all_models_equivalence;
+  ]
