@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json fmt clean
+.PHONY: all build test check bench bench-json fuzz fmt clean
 
 all: build
 
@@ -19,6 +19,13 @@ bench:
 # breakdowns, written to BENCH_presolve.json.
 bench-json:
 	dune exec bench/main.exe json
+
+# Resource-governor robustness: the seeded differential fuzzer (500
+# random problems, engine and DPLL(T) baseline under tight budgets vs
+# the unbudgeted reference) plus the deterministic fault-injection
+# sweep over every pipeline boundary.
+fuzz:
+	dune exec test/main.exe -- test resource
 
 # The reference container has no ocamlformat binary and .ocamlformat sets
 # disable=true, so this is a guarded no-op there (see README).

@@ -14,6 +14,7 @@ module S = Absolver_encodings.Sudoku
 module P = Absolver_encodings.Puzzles
 module Q = Absolver_numeric.Rational
 module Telemetry = Absolver_telemetry.Telemetry
+module Budget = Absolver_resource.Budget
 open Cmdliner
 
 let read_problem path =
@@ -79,8 +80,27 @@ let solve_cmd =
                  (meta, nested spans with per-span counter deltas, events, \
                  final counter totals).")
   in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock deadline (monotonic clock). A run cut short \
+                 answers unknown (timeout) with partial statistics and \
+                 exits 0: resource exhaustion is a graceful outcome, not \
+                 an error.")
+  in
+  let max_steps =
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Abstract work budget: total solver steps (CDCL search \
+                 iterations, simplex pivots, contraction rounds) before \
+                 the run degrades to unknown.")
+  in
+  let mem_budget =
+    Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"WORDS"
+           ~doc:"Approximate allocation budget in heap words (measured via \
+                 the GC's minor counters) before the run degrades to \
+                 unknown.")
+  in
   let run file all_models limit bool_solver minimize no_presolve verbose
-      stats_flag stats_json trace =
+      stats_flag stats_json trace timeout max_steps mem_budget =
     match (read_problem file, registry_of_name bool_solver) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -92,12 +112,20 @@ let solve_cmd =
           Telemetry.create ?trace:trace_oc ()
         else Telemetry.disabled
       in
+      let budget =
+        if timeout = None && max_steps = None && mem_budget = None then
+          Budget.unlimited
+        else
+          Budget.create ?deadline_seconds:timeout ?max_steps
+            ?max_words:mem_budget ()
+      in
       let options =
         {
           A.Engine.default_options with
           A.Engine.minimize_conflicts = minimize;
           use_presolve = not no_presolve;
           telemetry = tel;
+          budget;
         }
       in
       (* Shared epilogue: human summary, JSON dump, trace flush. *)
@@ -131,6 +159,11 @@ let solve_cmd =
           1
         | Ok (models, stats) ->
           Printf.printf "%d solution(s)\n" (List.length models);
+          (match stats.A.Engine.budget_exhausted with
+          | Some e ->
+            Printf.printf "stopped early (%s); the enumeration is partial\n"
+              (Absolver_resource.Absolver_error.to_string e)
+          | None -> ());
           List.iteri
             (fun i sol ->
               Format.printf "@[<v>-- solution %d:@,%a@]@." (i + 1)
@@ -148,14 +181,18 @@ let solve_cmd =
         match result with
         | A.Engine.R_sat _ -> 0
         | A.Engine.R_unsat -> 20
-        | A.Engine.R_unknown _ -> 30
+        | A.Engine.R_unknown _ ->
+          (* Running out of budget is the requested behaviour, not a
+             failure: exit 0 so timed batch runs don't read as errors. *)
+          if stats.A.Engine.budget_exhausted <> None then 0 else 30
       end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide an AB-problem (extended DIMACS).")
     Term.(
       const run $ file $ all_models $ limit $ bool_solver $ minimize
-      $ no_presolve $ verbose $ stats_flag $ stats_json $ trace)
+      $ no_presolve $ verbose $ stats_flag $ stats_json $ trace $ timeout
+      $ max_steps $ mem_budget)
 
 (* ---- convert ---- *)
 

@@ -11,6 +11,9 @@ module Hc4 = Absolver_nlp.Hc4
 module Newton = Absolver_nlp.Newton
 module Branch_prune = Absolver_nlp.Branch_prune
 module Telemetry = Absolver_telemetry.Telemetry
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
+module Err = Absolver_resource.Absolver_error
 
 type options = {
   minimize_conflicts : bool;
@@ -22,6 +25,7 @@ type options = {
   use_linear_relaxation : bool;
   use_presolve : bool;
   telemetry : Telemetry.t;
+  budget : Budget.t;
 }
 
 let default_options =
@@ -35,6 +39,7 @@ let default_options =
     use_linear_relaxation = true;
     use_presolve = true;
     telemetry = Telemetry.disabled;
+    budget = Budget.unlimited;
   }
 
 type result = R_sat of Solution.t | R_unsat | R_unknown of string
@@ -61,6 +66,7 @@ type run_stats = {
   mutable sat_propagations : int;
   mutable sat_restarts : int;
   mutable simplex_pivots : int;
+  mutable budget_exhausted : Err.t option;
 }
 
 let mk_stats () =
@@ -81,6 +87,7 @@ let mk_stats () =
     sat_propagations = 0;
     sat_restarts = 0;
     simplex_pivots = 0;
+    budget_exhausted = None;
   }
 
 (* New counters are appended after the original columns: tools (and
@@ -92,7 +99,10 @@ let pp_run_stats fmt s =
     s.blocking_clauses s.eq_branches s.wall_seconds s.presolve_fixed_literals
     s.presolve_removed_clauses s.presolve_tightened_bounds s.presolve_seconds
     s.sat_decisions s.sat_conflicts s.sat_propagations s.sat_restarts
-    s.simplex_pivots
+    s.simplex_pivots;
+  match s.budget_exhausted with
+  | None -> ()
+  | Some e -> Format.fprintf fmt " budget-exhausted=%s" (Err.code e)
 
 (* Fold the SAT solver's cumulative [Types.stats] into the run record and
    telemetry as deltas against [snap] (which is advanced), so the same
@@ -144,6 +154,10 @@ let run_stats_json s =
       ("sat_propagations", i s.sat_propagations);
       ("sat_restarts", i s.sat_restarts);
       ("simplex_pivots", i s.simplex_pivots);
+      ( "budget_exhausted",
+        match s.budget_exhausted with
+        | None -> "null"
+        | Some e -> "\"" ^ Telemetry.Json.escape (Err.to_string e) ^ "\"" );
     ]
 
 (* Outcome of checking one Boolean model arithmetically. *)
@@ -250,6 +264,7 @@ end
 
 let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
   let tel = options.telemetry in
+  let budget = options.budget in
   let defs = Ab_problem.defs problem in
   (* Presolve-tightened bounds and box: sound in every Boolean model,
      since presolve only derives facts implied by the whole problem. *)
@@ -283,6 +298,10 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
     M_unknown
       (Printf.sprintf "more than %d negated equations in one Boolean model"
          options.eq_split_limit)
+  else if registry.Registry.linear = [] then
+    (* An empty solver list is a configuration error, not a crash: report
+       it as an undecidable model (pre-refactor this was a [failwith]). *)
+    M_unknown "no linear solver registered"
   else begin
     let all_combos = combinations groups in
     let cores = ref [] in
@@ -304,11 +323,7 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
       (* Linear filter, including relaxations of the nonlinear part. *)
       stats.linear_checks <- stats.linear_checks + 1;
       Telemetry.add tel "engine.linear_checks" 1;
-      let lsolver =
-        match registry.Registry.linear with
-        | s :: _ -> s
-        | [] -> failwith "no linear solver registered"
-      in
+      let lsolver = List.hd registry.Registry.linear in
       let lp_input =
         if options.use_linear_relaxation && nonlinear <> [] then begin
           let st = Relax.create ~first_aux:nvars ~box:(Box.copy pre.Preprocess.box) in
@@ -331,11 +346,12 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
           ~attrs:[ ("constraints", Telemetry.Int (List.length lp_input)) ]
           (fun () ->
             let p0 = Simplex.total_pivots () in
-            let v = lsolver.Registry.ls_solve ~int_vars lp_input in
+            let v = lsolver.Registry.ls_solve ~int_vars ~budget lp_input in
             Telemetry.add tel "lp.pivots" (Simplex.total_pivots () - p0);
             v)
       in
       match lp_verdict with
+      | Registry.L_unknown e -> unknown := Some (Err.to_string e)
       | Registry.L_unsat tags ->
         stats.linear_conflicts <- stats.linear_conflicts + 1;
         Telemetry.add tel "engine.linear_conflicts" 1;
@@ -364,7 +380,7 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
           let rec try_solvers = function
             | [] -> Registry.N_unknown
             | (s : Registry.nonlinear_solver) :: rest -> (
-              match s.Registry.ns_solve ~nvars ~box rels with
+              match s.Registry.ns_solve ~budget ~nvars ~box rels with
               | Registry.N_unknown -> try_solvers rest
               | verdict -> verdict)
           in
@@ -424,9 +440,9 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
                 nl_vars
             in
             let exact_part =
-              match lsolver.Registry.ls_solve ~int_vars (fixes @ linear) with
+              match lsolver.Registry.ls_solve ~int_vars ~budget (fixes @ linear) with
               | Registry.L_sat m -> Some m
-              | Registry.L_unsat _ -> None
+              | Registry.L_unsat _ | Registry.L_unknown _ -> None
             in
             let arith = Array.make nvars None in
             (match exact_part with
@@ -493,6 +509,13 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
       M_conflict (blocking_of_tags model union)
   end
 
+(* A [Types.Unknown] out of CDCL either means its conflict cap fired or
+   the shared budget tripped; the budget's sticky reason disambiguates. *)
+let sat_unknown_reason options =
+  match Budget.tripped options.budget with
+  | Some e -> Err.to_string e
+  | None -> "SAT conflict budget exhausted"
+
 (* Enumerate Boolean models according to the configured strategy, invoking
    [on_model]; the callback's verdict drives blocking. *)
 let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
@@ -539,6 +562,7 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
         ]
   in
   let handle_model solver_model add_blocking =
+    Faults.hit "engine.bool_model" options.budget;
     stats.bool_models <- stats.bool_models + 1;
     Telemetry.add tel "engine.bool_models" 1;
     if stats.bool_models > options.max_bool_models then begin
@@ -593,7 +617,10 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
     let snap = Types.mk_stats () in
     let sat_solve () =
       Telemetry.span tel "sat_search" (fun () ->
-          let out = Cdcl.solve ~max_conflicts:options.sat_max_conflicts solver in
+          let out =
+            Cdcl.solve ~max_conflicts:options.sat_max_conflicts
+              ~budget:options.budget solver
+          in
           absorb_sat_stats tel stats snap (Cdcl.stats solver);
           out)
     in
@@ -601,7 +628,7 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
       if not !finished then
         match sat_solve () with
         | Types.Unsat -> ()
-        | Types.Unknown -> had_unknown := Some "SAT conflict budget exhausted"
+        | Types.Unknown -> had_unknown := Some (sat_unknown_reason options)
         | Types.Sat ->
           let model = Cdcl.model solver in
           Preprocess.restore_model pre model;
@@ -623,14 +650,15 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
         let out =
           Telemetry.span tel "sat_search" (fun () ->
               let out =
-                Cdcl.solve ~max_conflicts:options.sat_max_conflicts solver
+                Cdcl.solve ~max_conflicts:options.sat_max_conflicts
+                  ~budget:options.budget solver
               in
               absorb_sat_stats tel stats (Types.mk_stats ()) (Cdcl.stats solver);
               out)
         in
         match out with
         | Types.Unsat -> ()
-        | Types.Unknown -> had_unknown := Some "SAT conflict budget exhausted"
+        | Types.Unknown -> had_unknown := Some (sat_unknown_reason options)
         | Types.Sat ->
           let model = Cdcl.model solver in
           Preprocess.restore_model pre model;
@@ -653,7 +681,8 @@ let prepare ~options ?(protect_also = []) ~stats problem =
   let pre =
     Telemetry.span tel "presolve" (fun () ->
         if options.use_presolve then
-          Preprocess.run ~protect_also ~telemetry:tel problem
+          Preprocess.run ~protect_also ~telemetry:tel ~budget:options.budget
+            problem
         else Preprocess.identity problem)
   in
   stats.presolve_fixed_literals <- pre.Preprocess.stats.Preprocess.fixed_literals;
@@ -674,6 +703,20 @@ let problem_attrs problem =
     ("nonlinear", Telemetry.Int s.Ab_problem.n_nonlinear);
   ]
 
+(* The engine's last line of defense: nothing — not [Budget.Exhausted],
+   not an injected fault, not a stray exception from a plugged-in solver —
+   crosses the public entry points. Typed reasons become [R_unknown] and
+   are mirrored into [run_stats.budget_exhausted] from the budget's sticky
+   trip, which also covers unknowns produced deep inside the loop. *)
+let guarded_result ~options ~stats f =
+  let result =
+    match Budget.guard options.budget f with
+    | Ok r -> r
+    | Error e -> R_unknown (Err.to_string e)
+  in
+  stats.budget_exhausted <- Budget.tripped options.budget;
+  result
+
 let solve ?(registry = Registry.default) ?(options = default_options) problem =
   let tel = options.telemetry in
   let stats = mk_stats () in
@@ -681,9 +724,11 @@ let solve ?(registry = Registry.default) ?(options = default_options) problem =
   let p0 = Simplex.total_pivots () in
   let result =
     Telemetry.span tel "solve" ~attrs:(problem_attrs problem) (fun () ->
-        let pre = prepare ~options ~stats problem in
-        enumerate ~registry ~options ~stats ~pre problem ~on_feasible:(fun _ ->
-            `Stop))
+        guarded_result ~options ~stats (fun () ->
+            Faults.hit "engine.solve" options.budget;
+            let pre = prepare ~options ~stats problem in
+            enumerate ~registry ~options ~stats ~pre problem
+              ~on_feasible:(fun _ -> `Stop)))
   in
   stats.simplex_pivots <- Simplex.total_pivots () - p0;
   stats.wall_seconds <- Telemetry.Clock.now () -. t0;
@@ -699,20 +744,26 @@ let all_models ?projection ?(registry = Registry.default)
   let n = ref 0 in
   let result =
     Telemetry.span tel "all_models" ~attrs:(problem_attrs problem) (fun () ->
-        let pre =
-          prepare ~options
-            ?protect_also:(match projection with Some vs -> Some vs | None -> None)
-            ~stats problem
-        in
-        enumerate ?projection ~registry ~options ~stats ~pre problem
-          ~on_feasible:(fun sol ->
-            acc := sol :: !acc;
-            incr n;
-            if !n >= limit then `Stop else `Continue))
+        guarded_result ~options ~stats (fun () ->
+            let pre =
+              prepare ~options
+                ?protect_also:
+                  (match projection with Some vs -> Some vs | None -> None)
+                ~stats problem
+            in
+            enumerate ?projection ~registry ~options ~stats ~pre problem
+              ~on_feasible:(fun sol ->
+                acc := sol :: !acc;
+                incr n;
+                if !n >= limit then `Stop else `Continue)))
   in
   stats.simplex_pivots <- Simplex.total_pivots () - p0;
   stats.wall_seconds <- Telemetry.Clock.now () -. t0;
   match result with
+  (* Anytime contract: when the budget is the reason the enumeration is
+     incomplete, return the models found so far with the typed reason in
+     [stats.budget_exhausted] instead of discarding them. *)
+  | R_unknown _ when stats.budget_exhausted <> None -> Ok (List.rev !acc, stats)
   | R_unknown why when !acc = [] -> Error why
   | R_unknown why when !n < limit -> Error why
   | R_sat _ | R_unsat | R_unknown _ -> Ok (List.rev !acc, stats)
@@ -727,6 +778,7 @@ let count_models ?registry ?options problem =
 
 type opt_outcome =
   | Opt_best of Q.t * Solution.t
+  | Opt_incumbent of Q.t * Solution.t
   | Opt_unbounded
   | Opt_unsat
   | Opt_unknown of string
@@ -750,6 +802,9 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
     let nvars = Ab_problem.num_arith_vars problem in
     Telemetry.span options.telemetry "optimize" ~attrs:(problem_attrs problem)
       (fun () ->
+    let hit_limit = ref false in
+    let guarded =
+      Budget.guard options.budget (fun () ->
     let pre = prepare ~options ~stats problem in
     let bound_cons =
       List.filter_map
@@ -760,8 +815,10 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
         pre.Preprocess.bound_rels
     in
     let optimize_valuation (sol : Solution.t) =
-      (* Rebuild this delta-valuation's linear system and optimize it. *)
-      let simplex = Absolver_lp.Simplex.create () in
+      (* Rebuild this delta-valuation's linear system and optimize it.
+         The budgeted tableau may raise [Exhausted] out of [maximize];
+         the surrounding [Budget.guard] is the boundary that catches it. *)
+      let simplex = Absolver_lp.Simplex.create ~budget:options.budget () in
       Absolver_lp.Simplex.ensure_vars simplex nvars;
       let add (r : Expr.rel) =
         match Expr.linearize r.Expr.expr with
@@ -827,16 +884,38 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
                   ~certified:true )
         end
     in
-    match
-      enumerate ~registry ~options ~stats ~pre problem ~on_feasible:(fun sol ->
-          optimize_valuation sol;
-          if stats.bool_models >= limit then `Stop else `Continue)
-    with
-    | exception Opt_stop o -> o
-    | R_unknown why when !best = None -> Opt_unknown why
-    | R_unsat when !best = None -> Opt_unsat
-    | R_sat _ | R_unsat | R_unknown _ -> (
+    try
+      `Res
+        (enumerate ~registry ~options ~stats ~pre problem
+           ~on_feasible:(fun sol ->
+             optimize_valuation sol;
+             if stats.bool_models >= limit then begin
+               hit_limit := true;
+               `Stop
+             end
+             else `Continue))
+    with Opt_stop o -> `Stopped o)
+    in
+    stats.budget_exhausted <- Budget.tripped options.budget;
+    match guarded with
+    | Ok (`Stopped o) -> o
+    | Error e -> (
+      (* Budget exhausted (or a stray exception was contained): degrade to
+         the incumbent rather than losing it. *)
       match !best with
-      | Some (v, sol) -> Opt_best (v, sol)
-      | None -> Opt_unsat))
+      | Some (v, sol) -> Opt_incumbent (v, sol)
+      | None -> Opt_unknown (Err.to_string e))
+    | Ok (`Res r) -> (
+      (* [Opt_best] requires a complete enumeration: neither the
+         delta-valuation limit nor an undecided model may have cut it
+         short — otherwise a better vertex could exist in the unexplored
+         part and claiming optimality would overclaim. *)
+      let complete =
+        (not !hit_limit) && match r with R_unknown _ -> false | _ -> true
+      in
+      match (r, !best) with
+      | R_unknown why, None -> Opt_unknown why
+      | _, None -> Opt_unsat
+      | _, Some (v, sol) ->
+        if complete then Opt_best (v, sol) else Opt_incumbent (v, sol)))
   end

@@ -46,6 +46,17 @@ type options = {
           one [blocking_clause] event per learned blocking clause with
           its conflict-set size. Results are bit-identical with telemetry
           on or off; only observation is added. *)
+  budget : Absolver_resource.Budget.t;
+      (** Resource governor handle, threaded through every hot loop of the
+          pipeline (presolve passes, CDCL search, simplex pivoting,
+          branch-and-prune). [Budget.unlimited] by default — a no-op with
+          bit-identical results. When a deadline, step budget, memory
+          budget or cancellation trips, the engine degrades gracefully:
+          the result becomes [R_unknown] with the typed reason mirrored in
+          [run_stats.budget_exhausted], and partial results (models found
+          so far, the optimization incumbent) are preserved. Budget
+          pressure may turn SAT/UNSAT into UNKNOWN but never flips an
+          answer, and no exception ever escapes a public entry point. *)
 }
 
 val default_options : options
@@ -78,6 +89,10 @@ type run_stats = {
   mutable simplex_pivots : int;
       (** Simplex pivots attributable to this run (linear checks, witness
           re-solves, optimization). *)
+  mutable budget_exhausted : Absolver_resource.Absolver_error.t option;
+      (** [Some reason] iff the run's budget tripped (or a stray exception
+          was contained at the boundary); [None] on unbudgeted runs and on
+          runs that finished within budget. *)
 }
 
 val pp_run_stats : Format.formatter -> run_stats -> unit
@@ -100,7 +115,12 @@ val all_models :
   (Solution.t list * run_stats, string) Stdlib.result
 (** Every arithmetically-feasible Boolean model, each with a witness —
     the LSAT-powered mode the paper recommends for consistency-based
-    diagnosis and test-case generation (Sec. 4, Sec. 6). *)
+    diagnosis and test-case generation (Sec. 4, Sec. 6).
+
+    Anytime semantics under a budget: if the enumeration is cut short by
+    the budget, the call still returns [Ok] with the models found so far
+    and [run_stats.budget_exhausted = Some reason]; only non-budget
+    unknowns (and unbudgeted incompleteness) use the [Error] path. *)
 
 val count_models :
   ?registry:Registry.t ->
@@ -119,7 +139,13 @@ val count_models :
 
 type opt_outcome =
   | Opt_best of Absolver_numeric.Rational.t * Solution.t
-      (** optimal value and an attaining solution *)
+      (** optimal value and an attaining solution — claimed only when the
+          delta-valuation enumeration ran to completion *)
+  | Opt_incumbent of Absolver_numeric.Rational.t * Solution.t
+      (** best value found before the search was cut short (budget
+          exhausted, [limit] reached, or an undecidable model): a sound
+          lower bound on the optimum for [`Maximize] (upper for
+          [`Minimize]), not a proof of optimality *)
   | Opt_unbounded
   | Opt_unsat
   | Opt_unknown of string
@@ -135,4 +161,8 @@ val optimize :
 (** Rejects problems with nonlinear definitions ([Opt_unknown]); [limit]
     caps the number of delta-valuations explored (default 10000). Negated
     equalities are disjunctive; they are optimized within the branch the
-    enumeration witness satisfies. *)
+    enumeration witness satisfies.
+
+    An incomplete search that holds an incumbent reports {!Opt_incumbent},
+    never {!Opt_best} (historically this overclaimed optimality) and never
+    silently [Opt_unknown]. *)

@@ -8,6 +8,8 @@ module Sat_simplify = Absolver_preprocess.Sat_simplify
 module Lp_presolve = Absolver_preprocess.Lp_presolve
 module Icp = Absolver_preprocess.Icp
 module Telemetry = Absolver_telemetry.Telemetry
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
 
 type stats = {
   mutable fixed_literals : int;
@@ -112,7 +114,7 @@ let bound_rels_of_lb nvars (lb : Lp_presolve.bounds) =
   !rels
 
 let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = [])
-    ?(telemetry = Telemetry.disabled) problem =
+    ?(telemetry = Telemetry.disabled) ?(budget = Budget.unlimited) problem =
   let tel = telemetry in
   let t0 = Telemetry.Clock.now () in
   let stats = mk_stats () in
@@ -149,8 +151,16 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = [])
   let pure_tbl : (Types.var, bool) Hashtbl.t = Hashtbl.create 16 in
   let box = ref (initial_box problem) in
   let unsat = ref false in
-  (let continue_ = ref true in
-   while (not !unsat) && !continue_ && stats.rounds < max_rounds do
+  (* Every pass below catches its own budget exhaustion and returns a
+     sound partial result; between rounds a non-raising poll stops the
+     fixpoint. The fault point covers presolve orchestration itself. *)
+  (try
+   Faults.hit "presolve.run" budget;
+   let continue_ = ref true in
+   while
+     (not !unsat) && !continue_ && stats.rounds < max_rounds
+     && Budget.check budget = None
+   do
      stats.rounds <- stats.rounds + 1;
      continue_ := false;
      Telemetry.span tel "presolve.round"
@@ -159,7 +169,8 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = [])
      (* 1. SAT-level simplification. *)
      (match
         Telemetry.span tel "presolve.sat_simplify" (fun () ->
-            Sat_simplify.simplify ~probe_limit ~protect ~nvars:nvars_b !clauses)
+            Sat_simplify.simplify ~probe_limit ~protect ~budget ~nvars:nvars_b
+              !clauses)
       with
      | Sat_simplify.Unsat -> unsat := true
      | Sat_simplify.Simplified s ->
@@ -184,7 +195,7 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = [])
        in
        (match
           Telemetry.span tel "presolve.lp" (fun () ->
-              Lp_presolve.presolve ~is_int lb rows)
+              Lp_presolve.presolve ~is_int ~budget lb rows)
         with
        | Lp_presolve.Infeasible_rows _ -> unsat := true
        | Lp_presolve.Presolved { tightened; _ } ->
@@ -202,7 +213,7 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = [])
            match
              Telemetry.span tel "presolve.icp" (fun () ->
                  let h0 = Absolver_nlp.Hc4.total_revisions () in
-                 let r = Icp.contract ~box:start implied in
+                 let r = Icp.contract ~budget ~box:start implied in
                  Telemetry.add tel "nlp.hc4_revisions"
                    (Absolver_nlp.Hc4.total_revisions () - h0);
                  r)
@@ -277,7 +288,8 @@ let run ?(max_rounds = 3) ?(probe_limit = 2000) ?(protect_also = [])
            continue_ := true
          end))
      )
-   done);
+   done
+   with Budget.Exhausted _ -> ());
   stats.fixed_literals <- Hashtbl.length fixed_tbl;
   stats.pure_literals <- Hashtbl.length pure_tbl;
   stats.removed_clauses <-

@@ -62,6 +62,7 @@ val run :
   ?probe_limit:int ->
   ?protect_also:Types.var list ->
   ?telemetry:Absolver_telemetry.Telemetry.t ->
+  ?budget:Absolver_resource.Budget.t ->
   Ab_problem.t ->
   t
 (** Presolve to a fixpoint bounded by [max_rounds] (default 3) cross-domain
@@ -70,7 +71,10 @@ val run :
     [telemetry] (default disabled) records one [presolve.round] span per
     fixpoint round with [presolve.sat_simplify] / [presolve.lp] /
     [presolve.icp] / [presolve.feedback] children, and mirrors the
-    headline counters as [presolve.*]. *)
+    headline counters as [presolve.*]. [budget] is threaded into every
+    pass; exhaustion stops presolve early with whatever sound
+    simplification was completed (never an exception — the typed reason
+    stays sticky in the budget). *)
 
 val identity : Ab_problem.t -> t
 (** The no-op presolve: original clauses, bounds and box, zero stats —

@@ -4,16 +4,22 @@ module Expr = Absolver_nlp.Expr
 module Linexpr = Absolver_lp.Linexpr
 module Simplex = Absolver_lp.Simplex
 module Branch_prune = Absolver_nlp.Branch_prune
+module Budget = Absolver_resource.Budget
+module Err = Absolver_resource.Absolver_error
 
 type bool_strategy = Lsat_incremental | Chaff_restarting
 
 type bool_solver = { bs_name : string; bs_strategy : bool_strategy }
 
-type linear_verdict = L_sat of (int * Q.t) list | L_unsat of int list
+type linear_verdict =
+  | L_sat of (int * Q.t) list
+  | L_unsat of int list
+  | L_unknown of Err.t
 
 type linear_solver = {
   ls_name : string;
-  ls_solve : int_vars:int list -> Linexpr.cons list -> linear_verdict;
+  ls_solve :
+    int_vars:int list -> budget:Budget.t -> Linexpr.cons list -> linear_verdict;
 }
 
 type nonlinear_verdict =
@@ -25,7 +31,11 @@ type nonlinear_verdict =
 type nonlinear_solver = {
   ns_name : string;
   ns_solve :
-    nvars:int -> box:Absolver_nlp.Box.t -> Expr.rel list -> nonlinear_verdict;
+    budget:Budget.t ->
+    nvars:int ->
+    box:Absolver_nlp.Box.t ->
+    Expr.rel list ->
+    nonlinear_verdict;
 }
 
 type t = {
@@ -41,18 +51,19 @@ let simplex_solver =
   {
     ls_name = "simplex (COIN-like)";
     ls_solve =
-      (fun ~int_vars constraints ->
-        match Simplex.solve_system ~int_vars constraints with
+      (fun ~int_vars ~budget constraints ->
+        match Simplex.solve_system ~int_vars ~budget constraints with
         | Simplex.Sat model -> L_sat model
-        | Simplex.Unsat tags -> L_unsat tags);
+        | Simplex.Unsat tags -> L_unsat tags
+        | Simplex.Unknown e -> L_unknown e);
   }
 
 let branch_prune_solver ?(config = Branch_prune.default_config) () =
   {
     ns_name = "branch-and-prune (IPOPT-like)";
     ns_solve =
-      (fun ~nvars ~box rels ->
-        match Branch_prune.solve ~config ~nvars ~box rels with
+      (fun ~budget ~nvars ~box rels ->
+        match Branch_prune.solve ~config ~budget ~nvars ~box rels with
         | Branch_prune.Sat p, _ -> N_sat p
         | Branch_prune.Approx_sat p, _ -> N_approx p
         | Branch_prune.Unsat, _ -> N_unsat

@@ -24,11 +24,20 @@ type bool_solver = { bs_name : string; bs_strategy : bool_strategy }
 type linear_verdict =
   | L_sat of (int * Q.t) list (** values for the structural variables *)
   | L_unsat of int list (** tags of an inconsistent subset *)
+  | L_unknown of Absolver_resource.Absolver_error.t
+      (** the solver gave up (budget exhausted, cancelled, internal cap) *)
 
 type linear_solver = {
   ls_name : string;
-  ls_solve : int_vars:int list -> Linexpr.cons list -> linear_verdict;
+  ls_solve :
+    int_vars:int list ->
+    budget:Absolver_resource.Budget.t ->
+    Linexpr.cons list ->
+    linear_verdict;
 }
+(** Solver closures receive the engine's budget and must honour the
+    no-escape contract: exhaustion is reported as [L_unknown] /
+    [N_unknown], never raised across the registry boundary. *)
 
 type nonlinear_verdict =
   | N_sat of float array (** certified witness (indexed by arith var) *)
@@ -39,7 +48,11 @@ type nonlinear_verdict =
 type nonlinear_solver = {
   ns_name : string;
   ns_solve :
-    nvars:int -> box:Absolver_nlp.Box.t -> Expr.rel list -> nonlinear_verdict;
+    budget:Absolver_resource.Budget.t ->
+    nvars:int ->
+    box:Absolver_nlp.Box.t ->
+    Expr.rel list ->
+    nonlinear_verdict;
 }
 
 type t = {

@@ -3,6 +3,6 @@ let name = "CVC-Lite-like (cooperating checker)"
 let default_memory_budget = 12_000_000
 
 let solve ?(memory_budget = default_memory_budget) ?max_conflicts
-    ?deadline_seconds problem =
+    ?deadline_seconds ?budget problem =
   let meter = Budget.create ~limit:memory_budget in
-  Dpllt.solve ~meter ?max_conflicts ?deadline_seconds problem
+  Dpllt.solve ~meter ?max_conflicts ?deadline_seconds ?budget problem

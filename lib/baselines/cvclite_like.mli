@@ -18,5 +18,6 @@ val solve :
   ?memory_budget:int ->
   ?max_conflicts:int ->
   ?deadline_seconds:float ->
+  ?budget:Absolver_resource.Budget.t ->
   Absolver_core.Ab_problem.t ->
   Common.result

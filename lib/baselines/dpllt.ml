@@ -6,6 +6,9 @@ module Linexpr = Absolver_lp.Linexpr
 module Simplex = Absolver_lp.Simplex
 module Ab_problem = Absolver_core.Ab_problem
 module Solution = Absolver_core.Solution
+module Clock = Absolver_telemetry.Telemetry.Clock
+module Rbudget = Absolver_resource.Budget
+module Err = Absolver_resource.Absolver_error
 
 type frame = {
   pushed : bool; (* paired with a simplex push *)
@@ -19,6 +22,11 @@ let no_frame = { pushed = false; asserted = []; deferred = [] }
 
 exception Deadline
 
+(* The theory solver could not decide (its branch-and-bound cap or the
+   shared budget fired inside [Simplex.solve_system]): neither a model nor
+   a conflict — unwind to the boundary and answer unknown. *)
+exception Theory_gave_up of Err.t
+
 (* Memory metering (for the CVC-Lite-like configuration): a never-freed
    term database is charged per asserted constraint and per case split. *)
 let charge meter n = match meter with None -> () | Some m -> Budget.alloc m n
@@ -26,13 +34,13 @@ let charge meter n = match meter with None -> () | Some m -> Budget.alloc m n
 let cons_size (c : Linexpr.cons) = 2 + List.length (Linexpr.coeffs c.Linexpr.expr)
 
 let solve ?meter ?(max_conflicts = 50_000_000) ?(deadline_seconds = 3600.0)
-    problem =
+    ?(budget = Rbudget.unlimited) problem =
   match Common.nonlinear_defs problem with
   | n when n > 0 ->
     Common.B_rejected
       (Printf.sprintf "%d nonlinear arithmetic constraint(s)" n)
   | _ ->
-    let t_start = Unix.gettimeofday () in
+    let t_start = Clock.now () in
     let nvars_arith = Ab_problem.num_arith_vars problem in
     let simplex = Simplex.create () in
     Simplex.ensure_vars simplex nvars_arith;
@@ -85,7 +93,7 @@ let solve ?meter ?(max_conflicts = 50_000_000) ?(deadline_seconds = 3600.0)
              else None)
       in
       let on_assign lit =
-        if Unix.gettimeofday () -. t_start > deadline_seconds then raise Deadline;
+        if Clock.now () -. t_start > deadline_seconds then raise Deadline;
         let v = Types.var_of lit in
         if v < Array.length tassign then
           tassign.(v) <- (if Types.is_pos lit then 1 else -1);
@@ -169,7 +177,7 @@ let solve ?meter ?(max_conflicts = 50_000_000) ?(deadline_seconds = 3600.0)
         @ Absolver_sat.Vec.fold (fun acc f -> f.asserted @ acc) [] frames
       in
       let check ~final =
-        if Unix.gettimeofday () -. t_start > deadline_seconds then raise Deadline;
+        if Clock.now () -. t_start > deadline_seconds then raise Deadline;
         (* Proof/lemma recording per consistency check. *)
         charge meter 48;
         match !pending with
@@ -222,7 +230,7 @@ let solve ?meter ?(max_conflicts = 50_000_000) ?(deadline_seconds = 3600.0)
                    active constraint set (the slow path of Table 3). *)
                 let active = active_cons () in
                 charge meter (64 * List.length active * max 1 (List.length int_vars));
-                match Simplex.solve_system ~int_vars active with
+                match Simplex.solve_system ~int_vars ~budget active with
                 | Simplex.Sat m when
                     int_ok m
                     && List.for_all
@@ -251,6 +259,10 @@ let solve ?meter ?(max_conflicts = 50_000_000) ?(deadline_seconds = 3600.0)
                 | Simplex.Sat _ | Simplex.Unsat _ ->
                   (* Coarse conflict: the full current theory assignment. *)
                   Some (true_theory_lits ())
+                | Simplex.Unknown e ->
+                  (* No conflict was proven — learning one here could flip
+                     a satisfiable answer to unsat. Give up instead. *)
+                  raise (Theory_gave_up e)
               end
               else Some (true_theory_lits ())
             end)
@@ -265,11 +277,15 @@ let solve ?meter ?(max_conflicts = 50_000_000) ?(deadline_seconds = 3600.0)
       let solver = Cdcl.create ~theory () in
       Cdcl.ensure_vars solver (Ab_problem.num_bool_vars problem);
       List.iter (Cdcl.add_clause solver) (Ab_problem.clauses problem);
-      match Cdcl.solve ~max_conflicts solver with
+      match Cdcl.solve ~max_conflicts ~budget solver with
       | exception Deadline -> Common.B_unknown "deadline exceeded"
       | exception Budget.Simulated_out_of_memory -> Common.B_out_of_memory
+      | exception Theory_gave_up e -> Common.B_unknown (Err.to_string e)
       | Types.Unsat -> Common.B_unsat
-      | Types.Unknown -> Common.B_unknown "conflict budget exhausted"
+      | Types.Unknown -> (
+        match Rbudget.tripped budget with
+        | Some e -> Common.B_unknown (Err.to_string e)
+        | None -> Common.B_unknown "conflict budget exhausted")
       | Types.Sat ->
         let bools = Cdcl.model solver in
         let bools =

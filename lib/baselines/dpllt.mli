@@ -12,5 +12,10 @@ val solve :
   ?meter:Budget.t ->
   ?max_conflicts:int ->
   ?deadline_seconds:float ->
+  ?budget:Absolver_resource.Budget.t ->
   Absolver_core.Ab_problem.t ->
   Common.result
+(** [deadline_seconds] is measured on the monotonic telemetry clock.
+    [budget] is the shared resource governor, polled inside the CDCL
+    search and the integer-repair simplex; exhaustion yields [B_unknown]
+    with the typed reason — never an escaped exception. *)

@@ -1,4 +1,4 @@
 let name = "MathSAT-like (tight DPLL(T))"
 
-let solve ?max_conflicts ?deadline_seconds problem =
-  Dpllt.solve ?max_conflicts ?deadline_seconds problem
+let solve ?max_conflicts ?deadline_seconds ?budget problem =
+  Dpllt.solve ?max_conflicts ?deadline_seconds ?budget problem

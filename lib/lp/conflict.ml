@@ -1,5 +1,10 @@
+(* [Unknown] (budget exhausted mid-minimization) conservatively counts as
+   "not proven infeasible": the candidate constraint is kept, so the core
+   stays a superset of a minimal one — sound, just less minimal. *)
 let is_infeasible cs =
-  match Simplex.solve_system cs with Simplex.Sat _ -> false | Simplex.Unsat _ -> true
+  match Simplex.solve_system cs with
+  | Simplex.Sat _ | Simplex.Unknown _ -> false
+  | Simplex.Unsat _ -> true
 
 (* Deletion filtering: drop each constraint in turn; if the rest is still
    infeasible the constraint is redundant for the conflict. *)

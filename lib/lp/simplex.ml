@@ -1,6 +1,9 @@
 module Q = Absolver_numeric.Rational
 module DR = Absolver_numeric.Delta_rational
 module IM = Map.Make (Int)
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
+module Err = Absolver_resource.Absolver_error
 
 type bound = { value : DR.t; tag : int }
 
@@ -15,13 +18,14 @@ type t = {
   defs : (string, int) Hashtbl.t; (* canonical expression -> slack var *)
   mutable trail : (int * bound_kind * bound option) list list;
   mutable pivots : int;
+  mutable budget : Budget.t;
 }
 
 and bound_kind = Lower | Upper
 
 type result = Feasible | Infeasible of int list
 
-let create () =
+let create ?(budget = Budget.unlimited) () =
   {
     nvars = 0;
     rows = Array.make 16 None;
@@ -31,7 +35,10 @@ let create () =
     defs = Hashtbl.create 16;
     trail = [];
     pivots = 0;
+    budget;
   }
+
+let set_budget t budget = t.budget <- budget
 
 let grow t n =
   let cap = Array.length t.rows in
@@ -191,6 +198,7 @@ let total_pivots () = !global_pivots
 let pivot t x y =
   t.pivots <- t.pivots + 1;
   incr global_pivots;
+  Budget.tick t.budget;
   let row_x = match t.rows.(x) with Some r -> r | None -> assert false in
   let a = IM.find y row_x in
   let inv_a = Q.inv a in
@@ -373,11 +381,16 @@ let concrete_model t ~vars =
 (* ------------------------------------------------------------------ *)
 (* One-shot interface with optional integer branch-and-bound.          *)
 
-type verdict = Sat of (Linexpr.var * Q.t) list | Unsat of int list
+type verdict =
+  | Sat of (Linexpr.var * Q.t) list
+  | Unsat of int list
+  | Unknown of Err.t
 
 let branch_tag = -1
 
-let solve_system ?(int_vars = []) constraints =
+exception Bb_budget
+
+let solve_system ?(int_vars = []) ?(budget = Budget.unlimited) constraints =
   (* Constant constraints never reach the tableau. *)
   let const_conflict =
     List.find_opt
@@ -391,7 +404,7 @@ let solve_system ?(int_vars = []) constraints =
     let constraints =
       List.filter (fun (c : Linexpr.cons) -> not (Linexpr.is_constant c.expr)) constraints
     in
-    let t = create () in
+    let t = create ~budget () in
     let structural =
       List.sort_uniq compare (List.concat_map (fun (c : Linexpr.cons) -> Linexpr.vars c.expr) constraints)
     in
@@ -403,14 +416,21 @@ let solve_system ?(int_vars = []) constraints =
         | Feasible -> assert_all rest
         | Infeasible tags -> Some tags)
     in
-    (match assert_all constraints with
+    (match
+       Faults.hit "lp.solve_system" budget;
+       assert_all constraints
+     with
+    | exception Budget.Exhausted e -> Unknown e
     | Some tags -> Unsat (List.filter (fun g -> g <> branch_tag) tags)
     | None -> (
-      let budget = ref 200_000 in
+      (* Defensive node cap, kept alongside the caller's budget: a
+         reachable condition, so it degrades to a typed Unknown instead
+         of an escaped exception. *)
+      let bb_nodes = ref 200_000 in
       (* Branch and bound on integer variables on top of rational check. *)
       let rec bb () =
-        decr budget;
-        if !budget <= 0 then failwith "Simplex.solve_system: branch-and-bound budget exhausted";
+        decr bb_nodes;
+        if !bb_nodes <= 0 then raise Bb_budget;
         match check t with
         | Infeasible tags -> Unsat tags
         | Feasible -> (
@@ -438,7 +458,7 @@ let solve_system ?(int_vars = []) constraints =
             in
             pop t;
             (match left with
-            | Sat _ -> left
+            | Sat _ | Unknown _ -> left
             | Unsat tags_l -> (
               push t;
               let right =
@@ -450,7 +470,7 @@ let solve_system ?(int_vars = []) constraints =
               in
               pop t;
               match right with
-              | Sat _ -> right
+              | Sat _ | Unknown _ -> right
               | Unsat tags_r ->
                 Unsat
                   (List.sort_uniq compare
@@ -458,7 +478,11 @@ let solve_system ?(int_vars = []) constraints =
       in
       match bb () with
       | Sat model -> Sat model
-      | Unsat tags -> Unsat (List.filter (fun g -> g <> branch_tag) tags)))
+      | Unsat tags -> Unsat (List.filter (fun g -> g <> branch_tag) tags)
+      | Unknown _ as u -> u
+      | exception Bb_budget ->
+        Unknown (Err.Out_of_budget Err.Steps)
+      | exception Budget.Exhausted e -> Unknown e))
 
 (* ------------------------------------------------------------------ *)
 (* Primal simplex optimization over the bounded-variable tableau.      *)

@@ -20,7 +20,14 @@ type result = Feasible | Infeasible of int list
 (** [Infeasible tags]: the referenced asserted bounds are jointly
     inconsistent (a theory conflict ready to be learned). *)
 
-val create : unit -> t
+val create : ?budget:Absolver_resource.Budget.t -> unit -> t
+(** An empty tableau. With a [budget], every pivot ticks it: the
+    incremental operations ({!check}, {!maximize}) may then raise
+    {!Absolver_resource.Budget.Exhausted} — callers of the incremental
+    interface own the boundary and must catch it. The one-shot
+    {!solve_system} is exception-safe. *)
+
+val set_budget : t -> Absolver_resource.Budget.t -> unit
 
 val new_var : t -> Linexpr.var
 (** A fresh structural variable. *)
@@ -48,7 +55,10 @@ val assert_cons : t -> Linexpr.cons -> result
 
 val check : t -> result
 (** Run pivoting to a verdict. Sound and complete; terminates by Bland's
-    rule. *)
+    rule.
+    @raise Absolver_resource.Budget.Exhausted if the tableau carries a
+    budget and a pivot exhausts it (the tableau is left consistent: the
+    interrupted pivot has not modified it). *)
 
 val push : t -> unit
 val pop : t -> unit
@@ -74,12 +84,20 @@ val total_pivots : unit -> int
 type verdict =
   | Sat of (Linexpr.var * Q.t) list
   | Unsat of int list (** tags of an inconsistent subset of the input *)
+  | Unknown of Absolver_resource.Absolver_error.t
+      (** gave up: budget exhausted, cancellation, or the internal
+          branch-and-bound node cap *)
 
-val solve_system : ?int_vars:Linexpr.var list -> Linexpr.cons list -> verdict
+val solve_system :
+  ?int_vars:Linexpr.var list ->
+  ?budget:Absolver_resource.Budget.t ->
+  Linexpr.cons list ->
+  verdict
 (** Decide a conjunction of linear constraints. With [int_vars], a
     branch-and-bound refinement additionally requires those variables to
-    take integer values (bounded search; raises [Failure] if the search
-    exceeds its node budget, which no workload in this repository does). *)
+    take integer values. This is a library boundary: exhaustion of the
+    [budget] (or of the internal branch-and-bound node cap) returns
+    [Unknown] with the typed reason — no exception escapes. *)
 
 (** {1 Optimization}
 

@@ -1,4 +1,6 @@
 module I = Absolver_numeric.Interval
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
 
 type outcome =
   | Sat of float array
@@ -63,13 +65,13 @@ let feasible_at ~tol rels p =
   List.for_all (fun rel -> Expr.holds_float ~tol (fun v -> p.(v)) rel) rels
 
 (* Contract univariate equalities with interval Newton. *)
-let newton_pass box rels =
+let newton_pass ?budget box rels =
   List.iter
     (fun (rel : Expr.rel) ->
       if rel.Expr.op = Absolver_lp.Linexpr.Eq then
         match Expr.vars rel.Expr.expr with
         | [ v ] ->
-          let x = Newton.contract rel.Expr.expr ~var:v (Box.get box v) in
+          let x = Newton.contract ?budget rel.Expr.expr ~var:v (Box.get box v) in
           Box.set box v x
         | _ -> ())
     rels
@@ -83,7 +85,8 @@ let global_prunings = ref 0
 let total_nodes () = !global_nodes
 let total_prunings () = !global_prunings
 
-let solve ?(config = default_config) ~nvars ~box rels =
+let solve ?(config = default_config) ?(budget = Budget.unlimited) ~nvars ~box
+    rels =
   let nodes = ref 0 and prunings = ref 0 and max_depth = ref 0 in
   let candidate = ref None in
   let note_candidate p =
@@ -94,6 +97,7 @@ let solve ?(config = default_config) ~nvars ~box rels =
   let stack = ref [ (Box.copy box, 0) ] in
   let outcome =
     try
+      Faults.hit "nlp.branch_prune" budget;
       while !stack <> [] do
         let b, depth =
           match !stack with
@@ -103,16 +107,18 @@ let solve ?(config = default_config) ~nvars ~box rels =
           | [] -> assert false
         in
         incr nodes;
+        Budget.tick budget;
         if !nodes > config.max_nodes then
           raise
             (Done (match !candidate with Some p -> Approx_sat p | None -> Unknown));
         if depth > !max_depth then max_depth := depth;
         let alive =
-          if config.use_hc4 then Hc4.contract b rels else not (Box.is_empty b)
+          if config.use_hc4 then Hc4.contract ~budget b rels
+          else not (Box.is_empty b)
         in
         if not alive then incr prunings
         else begin
-          if config.use_newton then newton_pass b rels;
+          if config.use_newton then newton_pass ~budget b rels;
           if Box.is_empty b then incr prunings
           else begin
             (* Whole-box certificate first, then midpoint certificate. *)
@@ -147,7 +153,13 @@ let solve ?(config = default_config) ~nvars ~box rels =
         end
       done;
       match !candidate with Some p -> Approx_sat p | None -> Unsat
-    with Done o -> o
+    with
+    | Done o -> o
+    | Budget.Exhausted _ ->
+      (* Same degradation as the node cap: best tolerance-feasible point
+         found so far, else unknown.  The typed reason stays sticky in the
+         budget for the engine to report. *)
+      (match !candidate with Some p -> Approx_sat p | None -> Unknown)
   in
   global_nodes := !global_nodes + !nodes;
   global_prunings := !global_prunings + !prunings;

@@ -45,8 +45,19 @@ val total_prunings : unit -> int
     for telemetry differencing (cf. {!Absolver_lp.Simplex.total_pivots}). *)
 
 val solve :
-  ?config:config -> nvars:int -> box:Box.t -> Expr.rel list -> outcome * stats
+  ?config:config ->
+  ?budget:Absolver_resource.Budget.t ->
+  nvars:int ->
+  box:Box.t ->
+  Expr.rel list ->
+  outcome * stats
 (** Decide feasibility of the conjunction over the box. Variables absent
-    from all constraints keep their box midpoint in witness points. *)
+    from all constraints keep their box midpoint in witness points.
+
+    The [budget] is ticked once per search node (and threaded into the HC4
+    and Newton contractors). Exhaustion degrades exactly like the node
+    cap — [Approx_sat] with the best candidate found so far, else
+    [Unknown] — and never escapes as an exception; the typed reason stays
+    sticky in the budget ({!Absolver_resource.Budget.tripped}). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,5 +1,6 @@
 module I = Absolver_numeric.Interval
 module F = Absolver_numeric.Float_ops
+module Budget = Absolver_resource.Budget
 
 exception Empty
 
@@ -173,10 +174,11 @@ let revise box (rel : Expr.rel) =
   | () -> not (Box.is_empty box)
   | exception Empty -> false
 
-let contract ?(max_rounds = 10) box rels =
+let contract ?(max_rounds = 10) ?(budget = Budget.unlimited) box rels =
   let rec loop round =
     if round >= max_rounds then true
     else begin
+      Budget.tick budget;
       let before = Box.copy box in
       let alive = List.for_all (fun rel -> revise box rel) rels in
       if not alive then false
@@ -184,4 +186,9 @@ let contract ?(max_rounds = 10) box rels =
       else true
     end
   in
-  loop 0
+  (* Contraction only narrows the box while preserving every solution, so
+     stopping the fixpoint early is sound: report what is known so far.
+     The budget's sticky trip reason lets the caller's own poll fire. *)
+  match loop 0 with
+  | alive -> alive
+  | exception Budget.Exhausted _ -> not (Box.is_empty box)

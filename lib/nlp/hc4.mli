@@ -20,6 +20,14 @@ val revise : Box.t -> Expr.rel -> bool
     place. Returns [false] iff the box became empty (the constraint cannot
     hold anywhere in it). *)
 
-val contract : ?max_rounds:int -> Box.t -> Expr.rel list -> bool
+val contract :
+  ?max_rounds:int ->
+  ?budget:Absolver_resource.Budget.t ->
+  Box.t ->
+  Expr.rel list ->
+  bool
 (** Fixpoint of {!revise} over all constraints. Returns [false] iff the
-    box became empty. *)
+    box became empty. The [budget] is ticked once per fixpoint round;
+    exhaustion stops the fixpoint early (sound: contraction preserves all
+    solutions) and never escapes — the trip reason stays sticky in the
+    budget for the caller to observe. *)

@@ -1,4 +1,5 @@
 module I = Absolver_numeric.Interval
+module Budget = Absolver_resource.Budget
 
 (* Process-wide step total, differenced by telemetry (same pattern as
    Simplex.total_pivots). *)
@@ -24,16 +25,20 @@ let step f ~var x =
       I.inter x (I.sub (I.of_float m) quot)
   end
 
-let contract ?(max_steps = 20) f ~var x =
+let contract ?(max_steps = 20) ?(budget = Budget.unlimited) f ~var x =
   let rec loop i x =
     if i >= max_steps || I.is_empty x then x
-    else
+    else begin
+      Budget.tick budget;
       let x' = step f ~var x in
       if I.is_empty x' then x'
       else if I.width x' < 0.9 *. I.width x then loop (i + 1) x'
       else x'
+    end
   in
-  loop 0 x
+  (* Each Newton step preserves all roots, so an early stop returns a
+     sound (merely wider) enclosure; the trip stays sticky in the budget. *)
+  match loop 0 x with v -> v | exception Budget.Exhausted _ -> x
 
 let proves_root f ~var x =
   if I.is_empty x || not (Float.is_finite (I.width x)) then false

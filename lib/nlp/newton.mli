@@ -16,8 +16,16 @@ val step : Expr.t -> var:int -> I.t -> I.t
 (** One Newton contraction step of [f = 0] on the interval; returns a
     (possibly empty) subinterval still containing all roots. *)
 
-val contract : ?max_steps:int -> Expr.t -> var:int -> I.t -> I.t
-(** Iterate {!step} until no further progress. *)
+val contract :
+  ?max_steps:int ->
+  ?budget:Absolver_resource.Budget.t ->
+  Expr.t ->
+  var:int ->
+  I.t ->
+  I.t
+(** Iterate {!step} until no further progress. The [budget] is ticked once
+    per step; exhaustion returns the input interval unchanged (sound: every
+    Newton step preserves all roots) and never escapes. *)
 
 val proves_root : Expr.t -> var:int -> I.t -> bool
 (** True when one Newton step maps the interval strictly into its own

@@ -2,19 +2,29 @@ module I = Absolver_numeric.Interval
 module Box = Absolver_nlp.Box
 module Expr = Absolver_nlp.Expr
 module Hc4 = Absolver_nlp.Hc4
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
 
-let contract ?max_rounds ~box rels =
+let contract ?max_rounds ?(budget = Budget.unlimited) ~box rels =
   let b = Box.copy box in
-  let ok =
-    match max_rounds with
-    | None -> Hc4.contract b rels
-    | Some r -> Hc4.contract ~max_rounds:r b rels
+  let finish alive =
+    if not alive then `Empty
+    else begin
+      let narrowed = ref 0 in
+      Array.iteri
+        (fun i iv -> if not (I.equal iv (Box.get b i)) then incr narrowed)
+        box;
+      `Box (b, !narrowed)
+    end
   in
-  if not ok then `Empty
-  else begin
-    let narrowed = ref 0 in
-    Array.iteri
-      (fun i iv -> if not (I.equal iv (Box.get b i)) then incr narrowed)
-      box;
-    `Box (b, !narrowed)
-  end
+  match
+    Faults.hit "presolve.icp" budget;
+    match max_rounds with
+    | None -> Hc4.contract ~budget b rels
+    | Some r -> Hc4.contract ~max_rounds:r ~budget b rels
+  with
+  | alive -> finish alive
+  | exception Budget.Exhausted _ ->
+    (* Contraction so far only narrowed [b] while preserving solutions;
+       return the partial result. *)
+    finish (not (Box.is_empty b))

@@ -9,10 +9,13 @@ module Expr = Absolver_nlp.Expr
 
 val contract :
   ?max_rounds:int ->
+  ?budget:Absolver_resource.Budget.t ->
   box:Box.t ->
   Expr.rel list ->
   [ `Empty | `Box of Box.t * int ]
 (** Contract a copy of [box] with the HC4 fixpoint over [rels]. [`Empty]
     means the relations exclude every point of the box; [`Box (b, n)]
     returns the contracted box and the number of variables whose interval
-    strictly narrowed. *)
+    strictly narrowed. Budget exhaustion stops the sweep early and returns
+    the partially contracted box (sound: contraction preserves solutions);
+    no exception escapes. *)

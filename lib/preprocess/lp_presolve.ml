@@ -1,5 +1,7 @@
 module Q = Absolver_numeric.Rational
 module Linexpr = Absolver_lp.Linexpr
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
 
 type bounds = { lo : Q.t option array; hi : Q.t option array }
 
@@ -142,10 +144,12 @@ type outcome =
 
 exception Found_infeasible of int
 
-let presolve ?(max_rounds = 4) ?(is_int = fun _ -> false) b rows =
+let presolve ?(max_rounds = 4) ?(is_int = fun _ -> false)
+    ?(budget = Budget.unlimited) b rows =
   let tightened = ref 0 and dropped = ref 0 in
   let active = ref rows in
   try
+    Faults.hit "presolve.lp" budget;
     let continue_ = ref true and round = ref 0 in
     while !continue_ && !round < max_rounds do
       incr round;
@@ -153,6 +157,7 @@ let presolve ?(max_rounds = 4) ?(is_int = fun _ -> false) b rows =
       active :=
         List.filter
           (fun (c : Linexpr.cons) ->
+            Budget.tick budget;
             match status b c with
             | Infeasible -> raise (Found_infeasible c.Linexpr.tag)
             | Redundant ->
@@ -169,4 +174,10 @@ let presolve ?(max_rounds = 4) ?(is_int = fun _ -> false) b rows =
       continue_ := !tightened > t0
     done;
     Presolved { tightened = !tightened; kept = !active; dropped = !dropped }
-  with Found_infeasible tag -> Infeasible_rows [ tag ]
+  with
+  | Found_infeasible tag -> Infeasible_rows [ tag ]
+  | Budget.Exhausted _ ->
+    (* Early stop: bounds derived so far are sound relaxations; the rows
+       of the interrupted pass stay in [kept] (conservative — a row
+       filtered as redundant in that pass is merely kept). *)
+    Presolved { tightened = !tightened; kept = !active; dropped = !dropped }

@@ -1,4 +1,6 @@
 module Types = Absolver_sat.Types
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
 
 type stats = {
   mutable fixed_literals : int;
@@ -170,7 +172,7 @@ let pure_pass s =
    literal, and for each l ∈ C strengthen every D ⊇ (C \ {l}) ∪ {¬l} by
    dropping ¬l — the resolvent subsumes D. Both transformations preserve
    the model set exactly. *)
-let subsumption_pass s =
+let subsumption_pass ~budget s =
   let stamp = Array.make (2 * s.nvars) (-1) in
   let order =
     List.sort
@@ -179,6 +181,7 @@ let subsumption_pass s =
   in
   List.iter
     (fun ci ->
+      Budget.tick budget;
       let c = s.cls.(ci) in
       if (not c.dead) && c.lits <> [] then begin
         List.iter (fun l -> stamp.(l) <- ci) c.lits;
@@ -242,7 +245,10 @@ exception Probe_conflict
 (* Failed-literal probing: assume a literal, propagate without modifying
    the clause database; a conflict proves the negation at root level. The
    shared [visits] budget bounds total clause scans across all probes. *)
-let probe_pass ~probe_limit ~visits s =
+(* The budget is polled only {e between} probes: a probe restores its
+   trail before returning, and interrupting it mid-propagation would leave
+   probe assumptions looking like root-level assignments. *)
+let probe_pass ~probe_limit ~visits ~budget s =
   let probe l =
     let trail = ref [] in
     let q = Queue.create () in
@@ -290,6 +296,7 @@ let probe_pass ~probe_limit ~visits s =
   in
   let v = ref 0 in
   while !v < s.nvars && s.st.probes < probe_limit && !visits > 0 do
+    Budget.tick budget;
     if s.assign.(!v) = Types.V_undef then begin
       s.st.probes <- s.st.probes + 1;
       if not (probe (Types.pos !v)) then begin
@@ -306,24 +313,32 @@ let probe_pass ~probe_limit ~visits s =
     incr v
   done
 
-let simplify ?(probe_limit = 2000) ?(protect = fun _ -> false) ~nvars clause_list =
+let simplify ?(probe_limit = 2000) ?(protect = fun _ -> false)
+    ?(budget = Budget.unlimited) ~nvars clause_list =
   try
     let s = init ~nvars ~probe_limit ~protect clause_list in
     propagate s;
-    let visits = ref 300_000 in
-    let rounds = ref 0 and continue_ = ref true in
-    while !continue_ && !rounds < 3 do
-      incr rounds;
-      let progress st =
-        st.fixed_literals + st.pure_literals + st.removed_clauses
-        + st.strengthened_literals + st.failed_literals
-      in
-      let before = progress s.st in
-      subsumption_pass s;
-      probe_pass ~probe_limit ~visits s;
-      pure_pass s;
-      continue_ := progress s.st > before
-    done;
+    (* Budget exhaustion stops inprocessing early but soundly: every
+       transformation already applied preserves the model set exactly, and
+       clauses reduced to units but not yet propagated simply stay in the
+       database as unit clauses.  The typed reason is sticky in the budget. *)
+    (try
+       Faults.hit "presolve.sat_simplify" budget;
+       let visits = ref 300_000 in
+       let rounds = ref 0 and continue_ = ref true in
+       while !continue_ && !rounds < 3 do
+         incr rounds;
+         let progress st =
+           st.fixed_literals + st.pure_literals + st.removed_clauses
+           + st.strengthened_literals + st.failed_literals
+         in
+         let before = progress s.st in
+         subsumption_pass ~budget s;
+         probe_pass ~probe_limit ~visits ~budget s;
+         pure_pass s;
+         continue_ := progress s.st > before
+       done
+     with Budget.Exhausted _ -> ());
     let units =
       List.rev_map
         (fun (v, b) -> [ (if b then Types.pos v else Types.neg_of_var v) ])

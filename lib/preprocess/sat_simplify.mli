@@ -44,13 +44,16 @@ type result = Unsat | Simplified of simplified
 val simplify :
   ?probe_limit:int ->
   ?protect:(Types.var -> bool) ->
+  ?budget:Absolver_resource.Budget.t ->
   nvars:int ->
   Types.lit list list ->
   result
 (** [simplify ~nvars clauses] simplifies to a propagation/subsumption/
     probing fixpoint (bounded internally). [probe_limit] caps the number
     of failed-literal probes (default 2000); [protect] exempts variables
-    from pure-literal elimination (default: none). *)
+    from pure-literal elimination (default: none). Budget exhaustion stops
+    inprocessing early and returns the (equivalent) partially simplified
+    CNF; no exception escapes this boundary. *)
 
 val restore : pure:(Types.var * bool) list -> bool array -> unit
 (** Patch the eliminated variables' satisfying polarities into a model of

@@ -1,0 +1,122 @@
+module Clock = Absolver_telemetry.Telemetry.Clock
+
+exception Exhausted of Absolver_error.t
+
+(* Words allocated by this process so far (minor + major, promoted counted
+   once).  [Gc.allocated_bytes] is a few loads — cheap enough for the slow
+   path of [tick]. *)
+let words_now () = Gc.allocated_bytes () /. float_of_int (Sys.word_size / 8)
+
+type state = {
+  deadline : float option; (* absolute, on the monotonic telemetry clock *)
+  max_steps : int;
+  max_words : float;
+  words0 : float;
+  mutable charged : int; (* explicitly metered words, on top of the GC's *)
+  mutable steps : int;
+  mutable cancelled : bool;
+  mutable tripped : Absolver_error.t option;
+}
+
+type t = Unlimited | Limited of state
+
+let unlimited = Unlimited
+
+let create ?deadline_seconds ?max_steps ?max_words () =
+  Limited
+    {
+      deadline = Option.map (fun d -> Clock.now () +. d) deadline_seconds;
+      max_steps = Option.value ~default:max_int max_steps;
+      max_words =
+        (match max_words with Some w -> float_of_int w | None -> infinity);
+      words0 = words_now ();
+      charged = 0;
+      steps = 0;
+      cancelled = false;
+      tripped = None;
+    }
+
+let is_unlimited = function Unlimited -> true | Limited _ -> false
+
+let cancel = function
+  | Unlimited -> ()
+  | Limited s -> s.cancelled <- true
+
+let trip t err =
+  match t with
+  | Unlimited -> ()
+  | Limited s -> if s.tripped = None then s.tripped <- Some err
+
+let tripped = function Unlimited -> None | Limited s -> s.tripped
+let steps = function Unlimited -> 0 | Limited s -> s.steps
+
+let remaining_seconds = function
+  | Unlimited -> None
+  | Limited s ->
+    Option.map (fun d -> Float.max 0.0 (d -. Clock.now ())) s.deadline
+
+(* The expensive part of a poll: clock and allocation reads.  Kept out of
+   the per-tick fast path — [tick] runs it every [interval] steps. *)
+let slow_check s =
+  match s.tripped with
+  | Some _ -> s.tripped
+  | None ->
+    let verdict =
+      if s.cancelled then Some Absolver_error.Cancelled
+      else if
+        match s.deadline with Some d -> Clock.now () > d | None -> false
+      then Some Absolver_error.Timeout
+      else if
+        Float.is_finite s.max_words
+        && words_now () -. s.words0 +. float_of_int s.charged > s.max_words
+      then Some (Absolver_error.Out_of_budget Absolver_error.Memory)
+      else None
+    in
+    (match verdict with Some _ -> s.tripped <- verdict | None -> ());
+    s.tripped
+
+let check = function
+  | Unlimited -> None
+  | Limited s ->
+    if s.steps > s.max_steps && s.tripped = None then
+      s.tripped <- Some (Absolver_error.Out_of_budget Absolver_error.Steps);
+    slow_check s
+
+(* Full polls every [interval] ticks: hot loops pay an int increment, a
+   compare and a mask almost always. *)
+let interval_mask = 0xFF
+
+let tick = function
+  | Unlimited -> ()
+  | Limited s ->
+    s.steps <- s.steps + 1;
+    if s.steps > s.max_steps then begin
+      if s.tripped = None then
+        s.tripped <- Some (Absolver_error.Out_of_budget Absolver_error.Steps);
+      raise (Exhausted (Option.get s.tripped))
+    end
+    else if s.steps land interval_mask = 0 then begin
+      match slow_check s with None -> () | Some e -> raise (Exhausted e)
+    end
+
+let charge t n =
+  match t with
+  | Unlimited -> ()
+  | Limited s -> (
+    s.charged <- s.charged + n;
+    if Float.is_finite s.max_words then
+      match slow_check s with None -> () | Some e -> raise (Exhausted e))
+
+let check_exn t =
+  match check t with None -> () | Some e -> raise (Exhausted e)
+
+let guard t f =
+  match f () with
+  | v -> Ok v
+  | exception Exhausted e -> Error e
+  | exception e ->
+    (* A stray exception must not cross the boundary either; record it so
+       the caller's sticky reason survives. *)
+    let err = Absolver_error.Internal (Printexc.to_string e) in
+    trip t err;
+    Error err

@@ -1,0 +1,58 @@
+exception Injected of string
+
+type action = Trip of Absolver_error.t | Raise
+
+(* The static inventory: one point per solver boundary the engine relies
+   on.  Keep DESIGN.md Sec. 10's fault-point table in sync. *)
+let known =
+  [
+    "engine.solve";
+    "engine.bool_model";
+    "presolve.run";
+    "presolve.sat_simplify";
+    "presolve.lp";
+    "presolve.icp";
+    "sat.solve";
+    "sat.all_sat";
+    "lp.solve_system";
+    "nlp.branch_prune";
+  ]
+
+type armed = { mutable countdown : int; action : action }
+
+let armed_tbl : (string, armed) Hashtbl.t = Hashtbl.create 8
+let hit_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 8
+let enabled = ref false
+
+let arm ?(after = 1) ~point action =
+  if not (List.mem point known) then
+    invalid_arg (Printf.sprintf "Faults.arm: unknown fault point %S" point);
+  Hashtbl.replace armed_tbl point { countdown = max 1 after; action };
+  enabled := true
+
+let disarm_all () =
+  Hashtbl.reset armed_tbl;
+  Hashtbl.reset hit_tbl;
+  enabled := false
+
+let hits point =
+  match Hashtbl.find_opt hit_tbl point with Some r -> !r | None -> 0
+
+let hit point budget =
+  if !enabled then begin
+    (match Hashtbl.find_opt hit_tbl point with
+    | Some r -> incr r
+    | None -> Hashtbl.add hit_tbl point (ref 1));
+    match Hashtbl.find_opt armed_tbl point with
+    | None -> ()
+    | Some a ->
+      a.countdown <- a.countdown - 1;
+      if a.countdown <= 0 then begin
+        Hashtbl.remove armed_tbl point;
+        match a.action with
+        | Trip err ->
+          Budget.trip budget err;
+          raise (Budget.Exhausted err)
+        | Raise -> raise (Injected point)
+      end
+  end

@@ -1,0 +1,41 @@
+(** Deterministic fault injection at solver boundaries.
+
+    Each boundary of the solve pipeline calls [hit point budget] with its
+    own name; a test arms a point and the [n]th hit fires — either
+    tripping the budget (simulating a timeout or cancellation exactly
+    where the real poll would notice it) or raising {!Injected}
+    (simulating an internal solver crash).  Disarmed, a hit is a single
+    flag test, so the points stay in production code permanently.
+
+    The harness is deliberately deterministic: tests choose the point and
+    the hit count, so every failure replays exactly. *)
+
+exception Injected of string
+(** The injected "solver crash".  Must never escape [Engine.solve] — the
+    engine's boundary converts it to [R_unknown (internal: ...)]. *)
+
+type action =
+  | Trip of Absolver_error.t
+      (** Trip the budget with this reason and raise
+          {!Budget.Exhausted}, as a real exhaustion would. *)
+  | Raise  (** Raise {!Injected}, as an internal fault would. *)
+
+val known : string list
+(** The static fault-point inventory (see DESIGN.md Sec. 10). *)
+
+val arm : ?after:int -> point:string -> action -> unit
+(** Fire [action] on the [after]th hit of [point] (default: the first).
+    A point fires once per arming.
+    @raise Invalid_argument for a point not in {!known}. *)
+
+val disarm_all : unit -> unit
+(** Disarm every point and reset hit counts.  Tests call this in a
+    [Fun.protect] finaliser. *)
+
+val hit : string -> Budget.t -> unit
+(** Called by pipeline code at each boundary.  No-op unless some point
+    has been armed since the last {!disarm_all}. *)
+
+val hits : string -> int
+(** Observed hits of a point since the last {!disarm_all} (counted only
+    while any point is armed). *)

@@ -1,3 +1,7 @@
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
+module Err = Absolver_resource.Absolver_error
+
 type strategy = Incremental | Restarting
 
 let blocking_clause ?projection solver =
@@ -23,37 +27,50 @@ let project ?projection solver =
     List.iter (fun v -> m.(v) <- Cdcl.value solver v = Types.V_true) vs;
     m
 
-let iter ?projection ?(limit = max_int) ~solver f () =
-  let rec loop n =
-    if n >= limit then Ok n
-    else
-      match Cdcl.solve solver with
-      | Types.Unsat -> Ok n
-      | Types.Unknown -> Error "model enumeration: conflict budget exhausted"
-      | Types.Sat -> (
-        let m = project ?projection solver in
-        let block = blocking_clause ?projection solver in
-        match f m with
-        | `Stop -> Ok (n + 1)
-        | `Continue ->
-          (* An empty blocking clause means the projection is fully
-             unconstrained: there is exactly one projected model. *)
-          if block = [] then Ok (n + 1)
-          else begin
-            Cdcl.add_clause solver block;
-            loop (n + 1)
-          end)
-  in
-  loop 0
+(* The typed reason an enumeration stopped early: a tripped budget wins
+   over the solver's generic conflict-budget exhaustion. *)
+let stop_reason budget =
+  match Budget.tripped budget with
+  | Some e -> e
+  | None -> Err.Internal "model enumeration: conflict budget exhausted"
 
-let enumerate ?projection ?limit ?max_conflicts ~num_vars clauses =
+let iter ?projection ?(limit = max_int) ?(budget = Budget.unlimited) ~solver f
+    () =
+  match
+    Faults.hit "sat.all_sat" budget;
+    let rec loop n =
+      if n >= limit then Ok n
+      else
+        match Cdcl.solve ~budget solver with
+        | Types.Unsat -> Ok n
+        | Types.Unknown -> Error (stop_reason budget)
+        | Types.Sat -> (
+          let m = project ?projection solver in
+          let block = blocking_clause ?projection solver in
+          match f m with
+          | `Stop -> Ok (n + 1)
+          | `Continue ->
+            (* An empty blocking clause means the projection is fully
+               unconstrained: there is exactly one projected model. *)
+            if block = [] then Ok (n + 1)
+            else begin
+              Cdcl.add_clause solver block;
+              loop (n + 1)
+            end)
+    in
+    loop 0
+  with
+  | r -> r
+  | exception Budget.Exhausted e -> Error e
+
+let enumerate ?projection ?limit ?max_conflicts ?budget ~num_vars clauses =
   ignore max_conflicts;
   let solver = Cdcl.create () in
   Cdcl.ensure_vars solver num_vars;
   List.iter (Cdcl.add_clause solver) clauses;
   let acc = ref [] in
   match
-    iter ?projection ?limit ~solver
+    iter ?projection ?limit ?budget ~solver
       (fun m ->
         acc := Array.copy m :: !acc;
         `Continue)
@@ -62,7 +79,8 @@ let enumerate ?projection ?limit ?max_conflicts ~num_vars clauses =
   | Ok _ -> Ok (List.rev !acc)
   | Error e -> Error e
 
-let enumerate_restarting ?projection ?(limit = max_int) ~num_vars clauses =
+let enumerate_restarting ?projection ?(limit = max_int)
+    ?(budget = Budget.unlimited) ~num_vars clauses =
   (* Fresh solver per model; blocking clauses accumulate externally. *)
   let blocked = ref [] in
   let rec loop acc n =
@@ -72,9 +90,9 @@ let enumerate_restarting ?projection ?(limit = max_int) ~num_vars clauses =
       Cdcl.ensure_vars solver num_vars;
       List.iter (Cdcl.add_clause solver) clauses;
       List.iter (Cdcl.add_clause solver) !blocked;
-      match Cdcl.solve solver with
+      match Cdcl.solve ~budget solver with
       | Types.Unsat -> Ok (List.rev acc)
-      | Types.Unknown -> Error "model enumeration: conflict budget exhausted"
+      | Types.Unknown -> Error (stop_reason budget)
       | Types.Sat ->
         let m = project ?projection solver in
         let block = blocking_clause ?projection solver in
@@ -87,7 +105,7 @@ let enumerate_restarting ?projection ?(limit = max_int) ~num_vars clauses =
   in
   loop [] 0
 
-let count ?projection ~num_vars clauses =
-  match enumerate ?projection ~num_vars clauses with
+let count ?projection ?budget ~num_vars clauses =
+  match enumerate ?projection ?budget ~num_vars clauses with
   | Ok models -> Ok (List.length models)
   | Error e -> Error e

@@ -19,32 +19,40 @@ val enumerate :
   ?projection:Types.var list ->
   ?limit:int ->
   ?max_conflicts:int ->
+  ?budget:Absolver_resource.Budget.t ->
   num_vars:int ->
   Types.lit list list ->
-  (bool array list, string) result
+  (bool array list, Absolver_resource.Absolver_error.t) result
 (** [enumerate ~num_vars clauses] returns the list of models (arrays of
     length [num_vars]). With [projection] the models are projected onto the
     given variables and duplicates w.r.t. the projection are suppressed
     (blocking clauses mention only projected variables). [limit] stops
-    after that many models; [max_conflicts] bounds each solver call and
-    yields [Error] on exhaustion. *)
+    after that many models; [budget] bounds the whole enumeration and
+    yields [Error] with the typed exhaustion reason. *)
 
 val enumerate_restarting :
   ?projection:Types.var list ->
   ?limit:int ->
+  ?budget:Absolver_resource.Budget.t ->
   num_vars:int ->
   Types.lit list list ->
-  (bool array list, string) result
+  (bool array list, Absolver_resource.Absolver_error.t) result
 
 val iter :
   ?projection:Types.var list ->
   ?limit:int ->
+  ?budget:Absolver_resource.Budget.t ->
   solver:Cdcl.t ->
   (bool array -> [ `Continue | `Stop ]) ->
   unit ->
-  (int, string) result
+  (int, Absolver_resource.Absolver_error.t) result
 (** Streaming interface over an already-loaded solver: calls the callback
     on each model, blocking it afterwards; returns the number of models
     visited. The solver is left with the blocking clauses installed. *)
 
-val count : ?projection:Types.var list -> num_vars:int -> Types.lit list list -> (int, string) result
+val count :
+  ?projection:Types.var list ->
+  ?budget:Absolver_resource.Budget.t ->
+  num_vars:int ->
+  Types.lit list list ->
+  (int, Absolver_resource.Absolver_error.t) result

@@ -1,4 +1,6 @@
 open Types
+module Budget = Absolver_resource.Budget
+module Faults = Absolver_resource.Faults
 
 type clause = {
   mutable lits : int array;
@@ -525,9 +527,10 @@ let handle_conflict_clause s clause_lits =
   s.var_inc <- s.var_inc *. var_decay;
   s.cla_inc <- s.cla_inc *. cla_decay
 
-let search s assumptions conflict_budget =
+let search s budget assumptions conflict_budget =
   let conflicts_here = ref 0 in
   let rec loop () =
+    Budget.tick budget;
     match propagate s with
     | Some confl ->
       s.stats.conflicts <- s.stats.conflicts + 1;
@@ -597,22 +600,28 @@ let search s assumptions conflict_budget =
   in
   loop ()
 
-let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
+let solve ?(assumptions = []) ?(max_conflicts = max_int)
+    ?(budget = Budget.unlimited) s =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
     s.max_learnts <- max 1000.0 (float_of_int (Vec.size s.clauses) /. 3.0);
     let result = ref Unknown in
     (try
+       Faults.hit "sat.solve" budget;
+       (* Fail fast when the budget tripped before this search began
+          (e.g. during presolve): a fresh phase must not start on an
+          exhausted budget just because the periodic poll hasn't fired. *)
+       Budget.check_exn budget;
        let restart = ref 0 in
        let total_conflicts = ref 0 in
        while !result = Unknown do
-         let budget = int_of_float (luby 100.0 !restart) in
+         let conflict_budget = int_of_float (luby 100.0 !restart) in
          incr restart;
          s.stats.restarts <- s.stats.restarts + 1;
-         (match search s assumptions budget with
+         (match search s budget assumptions conflict_budget with
          | `Restart ->
-           total_conflicts := !total_conflicts + budget;
+           total_conflicts := !total_conflicts + conflict_budget;
            if !total_conflicts >= max_conflicts then raise Exit;
            cancel_until s 0);
          ()
@@ -624,7 +633,11 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
       emit_learnt s [];
       result := Unsat
     | Assumption_failed -> result := Unsat
-    | Exit -> result := Unknown);
+    | Exit -> result := Unknown
+    | Budget.Exhausted _ ->
+      (* The reason stays sticky in the budget; the boundary contract is
+         a plain Unknown, never an escaped exception. *)
+      result := Unknown);
     (match !result with
     | Sat -> () (* keep trail for model reading *)
     | Unsat | Unknown -> cancel_until s 0);

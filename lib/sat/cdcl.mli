@@ -46,10 +46,18 @@ val add_clause : t -> Types.lit list -> unit
     permanently unsatisfiable. *)
 
 val solve :
-  ?assumptions:Types.lit list -> ?max_conflicts:int -> t -> Types.outcome
+  ?assumptions:Types.lit list ->
+  ?max_conflicts:int ->
+  ?budget:Absolver_resource.Budget.t ->
+  t ->
+  Types.outcome
 (** Solve under optional assumptions. [max_conflicts] bounds the search
-    ([Unknown] when exhausted). The model of a [Sat] answer stays readable
-    through {!value} / {!model} until the next solver call. *)
+    ([Unknown] when exhausted). [budget] is polled once per
+    propagate/decide iteration; on exhaustion the result is [Unknown]
+    with the typed reason left sticky in the budget
+    ({!Absolver_resource.Budget.tripped}) — no exception escapes. The
+    model of a [Sat] answer stays readable through {!value} / {!model}
+    until the next solver call. *)
 
 val value : t -> Types.var -> Types.value
 (** Value in the most recent model. *)

@@ -64,6 +64,27 @@ Telemetry: --trace streams JSONL (first line is the meta object), and
   $ ../../bin/absolver_cli.exe solve fig2.cnf --stats | grep -c '^span'
   1
 
+Resource limits: a run cut short by --timeout is a graceful outcome,
+not an error — unknown verdict, partial statistics, exit status 0.
+
+  $ ../../bin/absolver_cli.exe gen fischer 5 -o fischer.cnf
+  wrote fischer.cnf
+  $ ../../bin/absolver_cli.exe solve fischer.cnf --timeout 0.01 --stats-json budget.json
+  unknown (timeout)
+  $ grep -o '"budget_exhausted":"timeout"' budget.json
+  "budget_exhausted":"timeout"
+  $ grep -o '"run_stats"' budget.json
+  "run_stats"
+
+A deterministic work budget (--max-steps) degrades the same way; an
+unbudgeted run reports no exhaustion.
+
+  $ ../../bin/absolver_cli.exe solve fischer.cnf --max-steps 1000
+  unknown (step budget exhausted)
+  $ ../../bin/absolver_cli.exe solve fig2.cnf --stats-json nolimit.json > /dev/null
+  $ grep -o '"budget_exhausted":null' nolimit.json
+  "budget_exhausted":null
+
 The circuit renderer emits GraphViz.
 
   $ ../../bin/absolver_cli.exe circuit fig2.cnf | head -2

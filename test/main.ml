@@ -13,6 +13,7 @@ let () =
       ("encodings", Test_encodings.suite);
       ("preprocess", Test_preprocess.suite);
       ("telemetry", Test_telemetry.suite);
+      ("resource", Test_resource.suite);
       ("integration", Test_integration.suite);
       ("extra", Test_extra.suite);
       ("proof-diagnosis", Test_proof_diagnosis.suite);

@@ -31,7 +31,7 @@ let test_nonlinear_solver_fallback () =
     {
       A.Registry.ns_name = "always-unknown";
       ns_solve =
-        (fun ~nvars:_ ~box:_ _ ->
+        (fun ~budget:_ ~nvars:_ ~box:_ _ ->
           incr gave_up_calls;
           A.Registry.N_unknown);
     }
@@ -55,7 +55,7 @@ let test_nonlinear_all_solvers_fail () =
   let give_up =
     {
       A.Registry.ns_name = "always-unknown";
-      ns_solve = (fun ~nvars:_ ~box:_ _ -> A.Registry.N_unknown);
+      ns_solve = (fun ~budget:_ ~nvars:_ ~box:_ _ -> A.Registry.N_unknown);
     }
   in
   let registry = { A.Registry.default with A.Registry.nonlinear = [ give_up ] } in
@@ -176,12 +176,12 @@ let test_allsat_iter_stop () =
   | Ok n ->
     check int_t "visited" 2 n;
     check int_t "callback count" 2 !seen
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Absolver_resource.Absolver_error.to_string e)
 
 let test_allsat_count () =
   match AS.count ~num_vars:3 [ [ T.pos 0 ] ] with
   | Ok n -> check int_t "count" 4 n
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Absolver_resource.Absolver_error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Model round-trips at scale.                                         *)

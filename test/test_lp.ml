@@ -66,7 +66,7 @@ let test_simplex_simple_sat () =
     ]
   in
   match solve cs with
-  | S.Unsat _ -> Alcotest.fail "expected sat"
+  | S.Unsat _ | S.Unknown _ -> Alcotest.fail "expected sat"
   | S.Sat model ->
     let env v = Option.value ~default:Q.zero (List.assoc_opt v model) in
     check bool_t "all hold" true (List.for_all (L.holds env) cs)
@@ -80,7 +80,7 @@ let test_simplex_simple_unsat () =
     ]
   in
   match solve cs with
-  | S.Sat _ -> Alcotest.fail "expected unsat"
+  | S.Sat _ | S.Unknown _ -> Alcotest.fail "expected unsat"
   | S.Unsat tags -> check bool_t "core is {0,1}" true (List.sort compare tags = [ 0; 1 ])
 
 let test_simplex_strict () =
@@ -93,7 +93,7 @@ let test_simplex_strict () =
     ]
   in
   (match solve cs with
-  | S.Unsat _ -> Alcotest.fail "expected sat"
+  | S.Unsat _ | S.Unknown _ -> Alcotest.fail "expected sat"
   | S.Sat model ->
     let v = List.assoc 0 model in
     check bool_t "0 < x < 1" true (Q.gt v Q.zero && Q.lt v Q.one));
@@ -105,7 +105,7 @@ let test_simplex_strict () =
     ]
   in
   match solve cs2 with
-  | S.Sat _ -> Alcotest.fail "expected unsat"
+  | S.Sat _ | S.Unknown _ -> Alcotest.fail "expected unsat"
   | S.Unsat _ -> ()
 
 let test_simplex_strict_boundary () =
@@ -117,16 +117,16 @@ let test_simplex_strict_boundary () =
     ]
   in
   match solve cs with
-  | S.Sat _ -> Alcotest.fail "expected unsat (strictness)"
+  | S.Sat _ | S.Unknown _ -> Alcotest.fail "expected unsat (strictness)"
   | S.Unsat _ -> ()
 
 let test_simplex_constant_constraints () =
   (* Constraints with no variables. *)
   (match solve [ cons (L.constant (q (-1))) L.Le 0 ] with
   | S.Sat _ -> ()
-  | S.Unsat _ -> Alcotest.fail "-1 <= 0 should hold");
+  | S.Unsat _ | S.Unknown _ -> Alcotest.fail "-1 <= 0 should hold");
   match solve [ cons (L.constant (q 1)) L.Le 7 ] with
-  | S.Sat _ -> Alcotest.fail "1 <= 0 should fail"
+  | S.Sat _ | S.Unknown _ -> Alcotest.fail "1 <= 0 should fail"
   | S.Unsat tags -> check bool_t "tag" true (tags = [ 7 ])
 
 let test_simplex_shared_slack () =
@@ -173,11 +173,11 @@ let test_simplex_integer_bb () =
   in
   (match S.solve_system ~int_vars:[ 0 ] cs with
   | S.Sat [ (0, v) ] -> check bool_t "x = 1" true (Q.equal v Q.one)
-  | S.Sat _ | S.Unsat _ -> Alcotest.fail "expected x=1");
+  | S.Sat _ | S.Unsat _ | S.Unknown _ -> Alcotest.fail "expected x=1");
   (* 2x = 1 has no integer solution. *)
   let cs2 = [ cons (L.of_list [ (q 2, 0) ] (Q.neg Q.one)) L.Eq 0 ] in
   match S.solve_system ~int_vars:[ 0 ] cs2 with
-  | S.Sat _ -> Alcotest.fail "2x=1 has no integer solution"
+  | S.Sat _ | S.Unknown _ -> Alcotest.fail "2x=1 has no integer solution"
   | S.Unsat _ -> ()
 
 let test_simplex_big_coefficients () =
@@ -191,7 +191,7 @@ let test_simplex_big_coefficients () =
   in
   match solve cs with
   | S.Sat model -> check bool_t "x=3" true (Q.equal (List.assoc 0 model) (q 3))
-  | S.Unsat _ -> Alcotest.fail "expected consistent"
+  | S.Unsat _ | S.Unknown _ -> Alcotest.fail "expected consistent"
 
 (* Property: planted-solution systems are found satisfiable with valid
    models; reported cores re-verify as infeasible. *)
@@ -224,7 +224,7 @@ let prop_planted_sat =
           rows
       in
       match solve cs with
-      | S.Unsat _ -> false
+      | S.Unsat _ | S.Unknown _ -> false
       | S.Sat model ->
         let env v = Option.value ~default:Q.zero (List.assoc_opt v model) in
         List.for_all (L.holds env) cs)
@@ -248,6 +248,7 @@ let prop_unsat_core_infeasible =
           rows
       in
       match solve cs with
+      | S.Unknown _ -> false
       | S.Sat model ->
         let env v = Option.value ~default:Q.zero (List.assoc_opt v model) in
         List.for_all (L.holds env) cs

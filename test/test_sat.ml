@@ -223,7 +223,7 @@ let test_allsat_counts () =
   List.iter
     (fun (n, clauses) ->
       match AS.enumerate ~num_vars:n clauses with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Absolver_resource.Absolver_error.to_string e)
       | Ok models ->
         check int_t "model count" (count_brute n clauses) (List.length models))
     cases
@@ -232,12 +232,12 @@ let test_allsat_projection () =
   (* Projecting onto x0: the two x1 values collapse. *)
   let clauses = [ [ T.pos 0; T.pos 1 ] ] in
   match AS.enumerate ~projection:[ 0 ] ~num_vars:2 clauses with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Absolver_resource.Absolver_error.to_string e)
   | Ok models -> check int_t "projected count" 2 (List.length models)
 
 let test_allsat_limit () =
   match AS.enumerate ~limit:3 ~num_vars:4 [] with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Absolver_resource.Absolver_error.to_string e)
   | Ok models -> check int_t "limit respected" 3 (List.length models)
 
 let test_allsat_strategies_agree () =
@@ -251,12 +251,12 @@ let test_allsat_strategies_agree () =
               if Random.State.bool st then T.pos v else T.neg_of_var v))
     in
     let a =
-      match AS.enumerate ~num_vars:n clauses with Ok m -> List.length m | Error e -> Alcotest.fail e
+      match AS.enumerate ~num_vars:n clauses with Ok m -> List.length m | Error e -> Alcotest.fail (Absolver_resource.Absolver_error.to_string e)
     in
     let b =
       match AS.enumerate_restarting ~num_vars:n clauses with
       | Ok m -> List.length m
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Absolver_resource.Absolver_error.to_string e)
     in
     check int_t "strategies agree" a b;
     check int_t "brute agrees" (count_brute n clauses) a
@@ -271,7 +271,7 @@ let models_of_formula num_vars f =
   let clauses, total = TS.assert_cnf ~num_vars f in
   match AS.enumerate ~projection:(List.init num_vars Fun.id) ~num_vars:total clauses with
   | Ok models -> List.length models
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Absolver_resource.Absolver_error.to_string e)
 
 let test_tseitin_equisatisfiable () =
   let a = TS.atom 0 and b = TS.atom 1 and c = TS.atom 2 in
