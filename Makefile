@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json fuzz fmt clean
+.PHONY: all build test check bench bench-json bench-parallel fuzz fmt clean
 
 all: build
 
@@ -19,6 +19,11 @@ bench:
 # breakdowns, written to BENCH_presolve.json.
 bench-json:
 	dune exec bench/main.exe json
+
+# Parallel branch-and-prune at --jobs 1/2/4 with per-case speedups and a
+# portfolio run per case, written to BENCH_parallel.json.
+bench-parallel:
+	dune exec bench/main.exe parallel
 
 # Resource-governor robustness: the seeded differential fuzzer (500
 # random problems, engine and DPLL(T) baseline under tight budgets vs

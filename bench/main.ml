@@ -9,6 +9,9 @@
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe json       -- presolve on/off comparison,
                                             written to BENCH_presolve.json
+     dune exec bench/main.exe parallel   -- --jobs 1/2/4 speedups and the
+                                            portfolio, written to
+                                            BENCH_parallel.json
 
    Absolute times are not expected to match a 2007 notebook; the shapes
    (who wins, rough factors, where solvers reject or abort) are. *)
@@ -509,6 +512,116 @@ let json_mode () =
     (fmt_time !tot_on) (fmt_time !tot_off)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel mode: the Table-1 nonlinear instances at --jobs 1/2/4 with *)
+(* per-case speedups, plus a portfolio run per case, dumped as JSON.   *)
+
+let parallel_mode () =
+  let job_counts = [ 1; 2; 4 ] in
+  let cores = Absolver_parallel.Pool.available_cores () in
+  Printf.printf "cores available: %d\n" cores;
+  let entries = ref [] in
+  let case ~name ?(config = BP.default_config) mk =
+    let run jobs =
+      let registry =
+        {
+          A.Registry.default with
+          A.Registry.nonlinear = [ A.Registry.branch_prune_solver ~config ~jobs () ];
+        }
+      in
+      let (r, _), t = time (fun () -> A.Engine.solve ~registry (mk ())) in
+      (engine_verdict r, t)
+    in
+    let runs = List.map (fun j -> (j, run j)) job_counts in
+    let t1 =
+      match runs with (1, (_, t)) :: _ -> t | _ -> assert false
+    in
+    let verdicts = List.map (fun (_, (v, _)) -> v) runs in
+    let agree = List.for_all (fun v -> v = List.hd verdicts) verdicts in
+    if not agree then
+      Printf.printf "!! %s: verdicts differ across job counts: %s\n" name
+        (String.concat "/" verdicts);
+    (* Portfolio: engine (with this case's oracle config) vs baselines. *)
+    let registry =
+      {
+        A.Registry.default with
+        A.Registry.nonlinear = [ A.Registry.branch_prune_solver ~config () ];
+      }
+    in
+    let (pr, pwinner), pt =
+      time (fun () -> B.Portfolio.solve ~registry (mk ()))
+    in
+    let runs_json =
+      List.map
+        (fun (j, (v, t)) ->
+          Telemetry.Json.obj
+            [
+              ("jobs", string_of_int j);
+              ("verdict", Printf.sprintf "%S" v);
+              ("seconds", Telemetry.Json.of_float t);
+              ( "speedup_vs_jobs1",
+                Telemetry.Json.of_float (t1 /. Float.max 1e-9 t) );
+            ])
+        runs
+    in
+    entries :=
+      Telemetry.Json.obj
+        [
+          ("name", Printf.sprintf "%S" name);
+          ("verdicts_agree", string_of_bool agree);
+          ("runs", "[" ^ String.concat "," runs_json ^ "]");
+          ( "portfolio",
+            Telemetry.Json.obj
+              [
+                ("verdict", Printf.sprintf "%S" (engine_verdict pr));
+                ( "winner",
+                  match pwinner with
+                  | Some w -> Printf.sprintf "%S" w
+                  | None -> "null" );
+                ("seconds", Telemetry.Json.of_float pt);
+              ] );
+        ]
+      :: !entries;
+    Printf.printf "%-26s %s  portfolio %s (winner %s)\n" name
+      (String.concat "  "
+         (List.map
+            (fun (j, (v, t)) ->
+              Printf.sprintf "j%d %s/%s (%.2fx)" j v (fmt_time t)
+                (t1 /. Float.max 1e-9 t))
+            runs))
+      (fmt_time pt)
+      (Option.value ~default:"-" pwinner);
+    flush stdout
+  in
+  case ~name:"car_steering"
+    ~config:
+      {
+        BP.default_config with
+        BP.max_nodes = 600;
+        samples_per_node = 2;
+        root_samples = 2048;
+      }
+    (fun () -> M.Steering.problem ());
+  case ~name:"esat_n11_m8_nonlinear" esat_problem;
+  case ~name:"nonlinear_unsat" nonlinear_unsat_problem;
+  case ~name:"div_operator" div_operator_problem;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"parallel branch-and-prune\",\n\
+      \  \"cores_available\": %d,\n\
+      \  \"job_counts\": [%s],\n\
+      \  \"cases\": [\n%s\n  ]\n}\n"
+      cores
+      (String.concat "," (List.map string_of_int job_counts))
+      (String.concat ",\n"
+         (List.map (fun e -> "    " ^ e) (List.rev !entries)))
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_parallel.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 
 let micro () =
@@ -558,6 +671,7 @@ let () =
   | "ablations" -> ablations ()
   | "micro" -> micro ()
   | "json" -> json_mode ()
+  | "parallel" -> parallel_mode ()
   | "all" ->
     table1 ();
     table2 ();
@@ -565,6 +679,6 @@ let () =
     ablations ()
   | other ->
     Printf.eprintf
-      "unknown benchmark %S (expected table1|table2|table3|ablations|micro|json|all)\n"
+      "unknown benchmark %S (expected table1|table2|table3|ablations|micro|json|parallel|all)\n"
       other;
     exit 2

@@ -58,12 +58,14 @@ let simplex_solver =
         | Simplex.Unknown e -> L_unknown e);
   }
 
-let branch_prune_solver ?(config = Branch_prune.default_config) () =
+let branch_prune_solver ?(config = Branch_prune.default_config) ?(jobs = 1) () =
   {
-    ns_name = "branch-and-prune (IPOPT-like)";
+    ns_name =
+      (if jobs <= 1 then "branch-and-prune (IPOPT-like)"
+       else Printf.sprintf "branch-and-prune (IPOPT-like, %d jobs)" jobs);
     ns_solve =
       (fun ~budget ~nvars ~box rels ->
-        match Branch_prune.solve ~config ~budget ~nvars ~box rels with
+        match Branch_prune.solve ~config ~budget ~jobs ~nvars ~box rels with
         | Branch_prune.Sat p, _ -> N_sat p
         | Branch_prune.Approx_sat p, _ -> N_approx p
         | Branch_prune.Unsat, _ -> N_unsat

@@ -71,8 +71,15 @@ val simplex_solver : linear_solver
 (** COIN stand-in: exact rational simplex with branch-and-bound for
     integer variables. *)
 
-val branch_prune_solver : ?config:Absolver_nlp.Branch_prune.config -> unit -> nonlinear_solver
-(** IPOPT stand-in: interval branch-and-prune. *)
+val branch_prune_solver :
+  ?config:Absolver_nlp.Branch_prune.config ->
+  ?jobs:int ->
+  unit ->
+  nonlinear_solver
+(** IPOPT stand-in: interval branch-and-prune.  [jobs > 1] runs the
+    oracle's box worklist on that many worker domains (see
+    {!Absolver_nlp.Branch_prune.solve}); the default 1 is the historical
+    sequential search. *)
 
 val default : t
 (** LSAT + simplex + branch-and-prune (the combination used for Tables 1

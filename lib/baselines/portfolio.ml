@@ -1,0 +1,38 @@
+module Engine = Absolver_core.Engine
+
+(* The DPLL(T) baselines as portfolio competitors.  Their own results map
+   into the engine's vocabulary: rejections (nonlinear input) and
+   out-of-memory are indecisive — they must lose the race rather than be
+   mistaken for verdicts. *)
+let of_baseline name solve =
+  {
+    Engine.cp_name = name;
+    cp_solve =
+      (fun ~budget ~telemetry:_ problem ->
+        match solve ~budget problem with
+        | Common.B_sat s -> Engine.R_sat s
+        | Common.B_unsat -> Engine.R_unsat
+        | Common.B_rejected why -> Engine.R_unknown ("rejected: " ^ why)
+        | Common.B_out_of_memory -> Engine.R_unknown "out of memory"
+        | Common.B_unknown why -> Engine.R_unknown why);
+  }
+
+let cvclite_competitor () =
+  of_baseline Cvclite_like.name (fun ~budget p ->
+      Cvclite_like.solve ~budget p)
+
+let mathsat_competitor () =
+  of_baseline Mathsat_like.name (fun ~budget p ->
+      Mathsat_like.solve ~budget p)
+
+let default_competitors ?registry ?options () =
+  [
+    Engine.engine_competitor ?registry ?options ();
+    mathsat_competitor ();
+    cvclite_competitor ();
+  ]
+
+let solve ?registry ?(options = Engine.default_options) problem =
+  Engine.solve_portfolio ~options
+    ~competitors:(default_competitors ?registry ~options ())
+    problem

@@ -1,0 +1,33 @@
+(** The concrete solver portfolio: ABSOLVER's engine raced against the
+    DPLL(T) baselines on separate domains (paper Sec. 5's comparison,
+    run concurrently; first definitive verdict wins).
+
+    The generic racing machinery is {!Absolver_core.Engine.solve_portfolio};
+    this module only supplies competitors, because the baselines library
+    depends on the core and not vice versa.
+
+    Soundness under disagreement: a race only {e selects} a verdict, it
+    never synthesizes one — each competitor is individually sound, so the
+    first [R_sat]/[R_unsat] stands on its own.  Baselines reject
+    nonlinear input ([B_rejected]) which maps to [R_unknown] and simply
+    loses the race, so on nonlinear problems the portfolio degenerates to
+    the engine alone plus two immediate losers. *)
+
+val cvclite_competitor : unit -> Absolver_core.Engine.competitor
+val mathsat_competitor : unit -> Absolver_core.Engine.competitor
+
+val default_competitors :
+  ?registry:Absolver_core.Registry.t ->
+  ?options:Absolver_core.Engine.options ->
+  unit ->
+  Absolver_core.Engine.competitor list
+(** Engine first (its verdict is kept when nobody is decisive), then
+    MathSAT-like, then CVC-Lite-like. *)
+
+val solve :
+  ?registry:Absolver_core.Registry.t ->
+  ?options:Absolver_core.Engine.options ->
+  Absolver_core.Ab_problem.t ->
+  Absolver_core.Engine.result * string option
+(** Race the default competitors; returns the verdict and the winner's
+    name ([None] when every competitor came back unknown). *)

@@ -191,13 +191,13 @@ let assert_cons t (c : Linexpr.cons) =
    throwaway solvers inside [solve_system]), so callers that only see
    verdicts can still attribute pivot work to their own phases by
    differencing this counter. *)
-let global_pivots = ref 0
-let total_pivots () = !global_pivots
+let global_pivots = Atomic.make 0
+let total_pivots () = Atomic.get global_pivots
 
 (* Pivot basic x with nonbasic y (coefficient a = row(x)(y) <> 0). *)
 let pivot t x y =
   t.pivots <- t.pivots + 1;
-  incr global_pivots;
+  Atomic.incr global_pivots;
   Budget.tick t.budget;
   let row_x = match t.rows.(x) with Some r -> r | None -> assert false in
   let a = IM.find y row_x in

@@ -79,14 +79,18 @@ let newton_pass ?budget box rels =
 exception Done of outcome
 
 (* Process-wide branch-and-prune totals, differenced by telemetry (same
-   pattern as Simplex.total_pivots). *)
-let global_nodes = ref 0
-let global_prunings = ref 0
-let total_nodes () = !global_nodes
-let total_prunings () = !global_prunings
+   pattern as Simplex.total_pivots).  Atomic: parallel workers flush their
+   per-worker tallies concurrently. *)
+let global_nodes = Atomic.make 0
+let global_prunings = Atomic.make 0
+let total_nodes () = Atomic.get global_nodes
+let total_prunings () = Atomic.get global_prunings
 
-let solve ?(config = default_config) ?(budget = Budget.unlimited) ~nvars ~box
-    rels =
+(* Sequential search, the jobs <= 1 path.  This is the original code and
+   stays bit-for-bit identical: one RNG seeded once, depth-first explicit
+   stack, so [--jobs 1] reproduces historical witnesses exactly. *)
+let solve_seq ?(config = default_config) ?(budget = Budget.unlimited) ~nvars
+    ~box rels =
   let nodes = ref 0 and prunings = ref 0 and max_depth = ref 0 in
   let candidate = ref None in
   let note_candidate p =
@@ -161,6 +165,152 @@ let solve ?(config = default_config) ?(budget = Budget.unlimited) ~nvars ~box
          budget for the engine to report. *)
       (match !candidate with Some p -> Approx_sat p | None -> Unknown)
   in
-  global_nodes := !global_nodes + !nodes;
-  global_prunings := !global_prunings + !prunings;
+  ignore (Atomic.fetch_and_add global_nodes !nodes);
+  ignore (Atomic.fetch_and_add global_prunings !prunings);
   (outcome, { nodes = !nodes; prunings = !prunings; max_depth = !max_depth })
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search (jobs > 1)                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Absolver_parallel.Pool
+
+(* Work items of the shared frontier.  [Explore] is one search node;
+   [Sample] is a chunk of the root multistart sampling, split off so the
+   sampling-heavy root (the dominant cost on e.g. car_steering) spreads
+   over the workers instead of serializing on whoever pops the root box.
+
+   Determinism of the search tree: every random draw comes from an RNG
+   seeded by the item's {e path} — the bit-string of split decisions from
+   the root (left = 2p, right = 2p+1, wrapping harmlessly past 62 bits) —
+   never by worker identity or arrival order.  The set of boxes explored
+   and points sampled is therefore schedule-independent; only which
+   certificate is found {e first} can vary, and any certificate is sound. *)
+type par_item =
+  | Explore of Box.t * int * int (* box, depth, path *)
+  | Sample of Box.t * int * int (* box, count, chunk index *)
+
+(* First-win terminal events: a rigorous certificate, or the shared node
+   cap (which voids exhaustiveness exactly like the sequential cap). *)
+type par_fin = Certificate of float array | Capped
+
+let sample_chunk = 64
+
+let solve_par ~(config : config) ~budget ~jobs ~nvars ~box rels =
+  let nodes = Atomic.make 0
+  and prunings = Atomic.make 0
+  and max_depth = Atomic.make 0 in
+  let candidate = Atomic.make None in
+  let note_candidate p =
+    if
+      Atomic.get candidate = None
+      && feasible_at ~tol:config.tol rels p
+    then
+      (* First tolerance-feasible point wins; losing the CAS just means
+         another worker already recorded one. *)
+      ignore (Atomic.compare_and_set candidate None (Some (Array.copy p)))
+  in
+  let rec bump_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
+  in
+  let work (ctx : (par_item, par_fin) Pool.Frontier.ctx) item =
+    match item with
+    | Sample (b, count, chunk) ->
+      Budget.tick ctx.budget;
+      let rng = Random.State.make [| config.seed; chunk; 0x5a17 |] in
+      for _ = 1 to count do
+        let sp = sample_point rng b in
+        if certified_at rels sp then ctx.finish (Certificate sp)
+        else note_candidate sp
+      done
+    | Explore (b, depth, path) ->
+      let n = Atomic.fetch_and_add nodes 1 + 1 in
+      if n > config.max_nodes then ctx.finish Capped
+      else begin
+        Budget.tick ctx.budget;
+        bump_max max_depth depth;
+        let alive =
+          if config.use_hc4 then Hc4.contract ~budget:ctx.budget b rels
+          else not (Box.is_empty b)
+        in
+        if not alive then Atomic.incr prunings
+        else begin
+          if config.use_newton then newton_pass ~budget:ctx.budget b rels;
+          if Box.is_empty b then Atomic.incr prunings
+          else begin
+            let p = Box.midpoint b in
+            if
+              List.for_all
+                (fun rel -> Expr.certainly_holds (Box.env b) rel)
+                rels
+            then ctx.finish (Certificate p)
+            else if certified_at rels p then ctx.finish (Certificate p)
+            else begin
+              note_candidate p;
+              (* Root multistart already ran as [Sample] chunks, so every
+                 depth gets the per-node allowance only. *)
+              let n_samples = config.samples_per_node in
+              let rng = Random.State.make [| config.seed; path |] in
+              let stop = ref false in
+              for _ = 1 to n_samples do
+                if not !stop then begin
+                  let sp = sample_point rng b in
+                  if certified_at rels sp then begin
+                    ctx.finish (Certificate sp);
+                    stop := true
+                  end
+                  else note_candidate sp
+                end
+              done;
+              if Box.max_width b > config.eps && nvars > 0 then begin
+                let v = Box.widest_var b in
+                match I.split (Box.get b v) with
+                | exception Invalid_argument _ -> ()
+                | left, right ->
+                  let b_left = Box.copy b and b_right = Box.copy b in
+                  Box.set b_left v left;
+                  Box.set b_right v right;
+                  ctx.push (Explore (b_left, depth + 1, (2 * path) land max_int));
+                  ctx.push
+                    (Explore (b_right, depth + 1, ((2 * path) + 1) land max_int))
+              end
+            end
+          end
+        end
+      end
+  in
+  (* Root multistart sampling as independent chunks, then the root box. *)
+  let init =
+    let total = max config.root_samples config.samples_per_node in
+    let rec chunks i off acc =
+      if off >= total then List.rev acc
+      else
+        let c = min sample_chunk (total - off) in
+        chunks (i + 1) (off + c) (Sample (Box.copy box, c, i) :: acc)
+    in
+    chunks 0 0 [ Explore (Box.copy box, 0, 1) ]
+  in
+  let outcome =
+    match Pool.Frontier.run ~budget ~jobs ~init work with
+    | Pool.Frontier.Finished (Certificate p) -> Sat p
+    | Pool.Frontier.Finished Capped | Pool.Frontier.Stopped -> (
+      (* Node cap or a tripped budget: same degradation as sequential. *)
+      match Atomic.get candidate with Some p -> Approx_sat p | None -> Unknown)
+    | Pool.Frontier.Drained -> (
+      match Atomic.get candidate with Some p -> Approx_sat p | None -> Unsat)
+  in
+  let n = Atomic.get nodes and pr = Atomic.get prunings in
+  ignore (Atomic.fetch_and_add global_nodes n);
+  ignore (Atomic.fetch_and_add global_prunings pr);
+  (outcome, { nodes = n; prunings = pr; max_depth = Atomic.get max_depth })
+
+let solve ?(config = default_config) ?(budget = Budget.unlimited) ?(jobs = 1)
+    ~nvars ~box rels =
+  if jobs <= 1 then solve_seq ~config ~budget ~nvars ~box rels
+  else begin
+    match Budget.guard budget (fun () -> Faults.hit "nlp.branch_prune" budget)
+    with
+    | Error _ -> (Unknown, { nodes = 0; prunings = 0; max_depth = 0 })
+    | Ok () -> solve_par ~config ~budget ~jobs ~nvars ~box rels
+  end

@@ -47,6 +47,7 @@ val total_prunings : unit -> int
 val solve :
   ?config:config ->
   ?budget:Absolver_resource.Budget.t ->
+  ?jobs:int ->
   nvars:int ->
   box:Box.t ->
   Expr.rel list ->
@@ -58,6 +59,19 @@ val solve :
     and Newton contractors). Exhaustion degrades exactly like the node
     cap — [Approx_sat] with the best candidate found so far, else
     [Unknown] — and never escapes as an exception; the typed reason stays
-    sticky in the budget ({!Absolver_resource.Budget.tripped}). *)
+    sticky in the budget ({!Absolver_resource.Budget.tripped}).
+
+    [jobs] (default 1) sets the number of worker domains. [jobs <= 1]
+    runs the historical sequential search, bit-for-bit.  [jobs > 1] runs
+    the box worklist as a work-stealing frontier
+    ({!Absolver_parallel.Pool.Frontier}): workers contract and split
+    boxes concurrently, the root multistart sampling is spread over the
+    pool in chunks, and the first rigorous certificate cancels everyone
+    else through forked budgets.  Every random draw is seeded by the
+    node's split path, so the explored tree is schedule-independent:
+    [Sat]/[Unsat] verdicts agree at every job count (witness points and
+    [Approx_sat]/[Unknown] under a tripped cap may differ, since they
+    depend on which worker reports first).  [Unsat] is only reported when
+    the frontier fully drained (see DESIGN.md §11). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -161,12 +161,13 @@ let required_of_op (op : Absolver_lp.Linexpr.op) =
   | Absolver_lp.Linexpr.Eq -> I.of_float 0.0
 
 (* Process-wide revision total; telemetry attributes contraction work to
-   phases by differencing it (see Simplex.total_pivots for the pattern). *)
-let global_revisions = ref 0
-let total_revisions () = !global_revisions
+   phases by differencing it (see Simplex.total_pivots for the pattern).
+   Atomic: parallel branch-and-prune workers revise concurrently. *)
+let global_revisions = Atomic.make 0
+let total_revisions () = Atomic.get global_revisions
 
 let revise box (rel : Expr.rel) =
-  incr global_revisions;
+  Atomic.incr global_revisions;
   match
     let ann = forward box rel.Expr.expr in
     backward box ann (required_of_op rel.Expr.op)

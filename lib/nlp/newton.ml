@@ -2,12 +2,13 @@ module I = Absolver_numeric.Interval
 module Budget = Absolver_resource.Budget
 
 (* Process-wide step total, differenced by telemetry (same pattern as
-   Simplex.total_pivots). *)
-let global_steps = ref 0
-let total_steps () = !global_steps
+   Simplex.total_pivots).  Atomic: parallel branch-and-prune workers run
+   Newton passes concurrently. *)
+let global_steps = Atomic.make 0
+let total_steps () = Atomic.get global_steps
 
 let step f ~var x =
-  incr global_steps;
+  Atomic.incr global_steps;
   if I.is_empty x then I.empty
   else begin
     let m = I.mid x in

@@ -45,6 +45,19 @@ let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
 let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
 let abs t = if t.sign < 0 then neg t else t
 
+(* Native fast path: a magnitude of at most two limbs (60 bits) round-trips
+   exactly through a native int, and two such values add — and, with a bit
+   check, multiply — without leaving OCaml's 63-bit range.  The arithmetic
+   entry points below try this shape first and fall back to the limb
+   routines; rationals normalize constantly, so in practice almost all of
+   the solvers' bignum traffic stays on machine integers. *)
+let small_opt t =
+  match Array.length t.mag with
+  | 0 -> Some 0
+  | 1 -> Some (t.sign * t.mag.(0))
+  | 2 -> Some (t.sign * ((t.mag.(1) lsl base_bits) lor t.mag.(0)))
+  | _ -> None
+
 (* Magnitude comparison: -1, 0, 1. *)
 let compare_mag a b =
   let la = Array.length a and lb = Array.length b in
@@ -61,6 +74,11 @@ let compare x y =
   if x.sign <> y.sign then compare x.sign y.sign
   else if x.sign >= 0 then compare_mag x.mag y.mag
   else compare_mag y.mag x.mag
+
+let compare x y =
+  match (small_opt x, small_opt y) with
+  | Some a, Some b -> Int.compare a b
+  | _ -> compare x y
 
 let equal x y = compare x y = 0
 let min x y = if compare x y <= 0 then x else y
@@ -133,8 +151,6 @@ let add x y =
     | 0 -> zero
     | c when c > 0 -> normalize x.sign (sub_mag x.mag y.mag)
     | _ -> normalize y.sign (sub_mag y.mag x.mag)
-
-let sub x y = add x (neg y)
 
 let mul x y =
   if x.sign = 0 || y.sign = 0 then zero
@@ -267,12 +283,44 @@ let divmod x y =
     let r = normalize x.sign rmag in
     (q, r)
 
+let rec gcd x y =
+  let x = abs x and y = abs y in
+  if is_zero y then x else gcd y (snd (divmod x y))
+
+(* Machine-arithmetic shadows of the hot entry points (see [small_opt]).
+   Two 60-bit operands sum below 2^61; a product is native-safe when the
+   factors' combined bit length is at most 62; native [/] and [mod]
+   truncate toward zero, exactly the sign-magnitude semantics above. *)
+let add x y =
+  match (small_opt x, small_opt y) with
+  | Some a, Some b -> of_small (a + b)
+  | _ -> add x y
+
+let sub x y = add x (neg y)
+
+let mul x y =
+  match (small_opt x, small_opt y) with
+  | Some a, Some b
+    when limb_bits (Stdlib.abs a) + limb_bits (Stdlib.abs b) <= 62 ->
+    of_small (a * b)
+  | _ -> mul x y
+
+let divmod x y =
+  match (small_opt x, small_opt y) with
+  | Some a, Some b ->
+    if b = 0 then raise Division_by_zero
+    else (of_small (a / b), of_small (a mod b))
+  | _ -> divmod x y
+
 let div x y = fst (divmod x y)
 let rem x y = snd (divmod x y)
 
-let rec gcd x y =
-  let x = abs x and y = abs y in
-  if is_zero y then x else gcd y (rem x y)
+let gcd x y =
+  match (small_opt x, small_opt y) with
+  | Some a, Some b ->
+    let rec go a b = if b = 0 then a else go b (a mod b) in
+    of_small (go (Stdlib.abs a) (Stdlib.abs b))
+  | _ -> gcd x y
 
 (* [of_small] requires a negatable argument; [min_int] cannot be negated,
    so decompose it as h * base + low first. *)

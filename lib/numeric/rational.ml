@@ -5,6 +5,7 @@ type t = { num : B.t; den : B.t }
 let normalize num den =
   if B.is_zero den then raise Division_by_zero
   else if B.is_zero num then { num = B.zero; den = B.one }
+  else if B.is_one den then { num; den }
   else
     let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
     let g = B.gcd num den in

@@ -1,0 +1,247 @@
+module Budget = Absolver_resource.Budget
+module Telemetry = Absolver_telemetry.Telemetry
+
+let available_cores () =
+  try Domain.recommended_domain_count () with _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* First-win racing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type 'a race_report = {
+  winner : (string * 'a) option;
+  results : (string * ('a, exn) result) list;
+}
+
+(* Run every entrant on its own domain under a budget forked from
+   [budget].  The first entrant whose result satisfies [decisive] wins:
+   its (name, value) is CASed into the winner slot and every other
+   entrant's budget is cancelled, so cooperative competitors unwind at
+   their next poll.  All domains are joined before returning — no entrant
+   outlives the race.
+
+   Exception policy: an entrant's exception is contained in its [results]
+   slot.  If no entrant was decisive and at least one raised, the first
+   exception (in entrant order) is re-raised at the join, so a programming
+   error cannot masquerade as "everyone lost".  Losers' exceptions after a
+   win are expected (cancellation unwinding) and stay in [results]. *)
+let race ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
+    ~decisive entrants =
+  match entrants with
+  | [] -> { winner = None; results = [] }
+  | [ (name, f) ] ->
+    (* Degenerate race: run inline, no domain, same budget discipline. *)
+    let b = Budget.fork budget in
+    let v = f ~budget:b ~telemetry in
+    {
+      winner = (if decisive v then Some (name, v) else None);
+      results = [ (name, Ok v) ];
+    }
+  | _ ->
+    let n = List.length entrants in
+    let budgets = Array.init n (fun _ -> Budget.fork budget) in
+    let winner = Atomic.make None in
+    let cancel_losers me =
+      Array.iteri (fun i b -> if i <> me then Budget.cancel b) budgets
+    in
+    let run i (name, f) =
+      (* Per-entrant telemetry handle, merged by the spawner at join:
+         enabled handles are lock-protected, but per-domain handles keep
+         span nesting meaningful (see Telemetry.merge). *)
+      let tele =
+        if Telemetry.enabled telemetry then Telemetry.create () else telemetry
+      in
+      let outcome =
+        match f ~budget:budgets.(i) ~telemetry:tele with
+        | v ->
+          if
+            decisive v
+            && Atomic.compare_and_set winner None (Some (i, name, v))
+          then cancel_losers i;
+          Ok v
+        | exception e -> Error e
+      in
+      (outcome, tele)
+    in
+    let domains =
+      List.mapi (fun i entrant -> Domain.spawn (fun () -> run i entrant)) entrants
+    in
+    let results =
+      List.map2
+        (fun (name, _) d ->
+          let outcome, tele = Domain.join d in
+          if Telemetry.enabled telemetry then Telemetry.merge telemetry tele;
+          (name, outcome))
+        entrants domains
+    in
+    let winner =
+      match Atomic.get winner with
+      | Some (_, name, v) -> Some (name, v)
+      | None -> None
+    in
+    (match winner with
+    | Some _ -> ()
+    | None -> (
+      (* Nobody was decisive: surface the first contained exception, if
+         any, rather than silently reporting an indecisive race. *)
+      match
+        List.find_opt (fun (_, r) -> Result.is_error r) results
+      with
+      | Some (_, Error e) -> raise e
+      | _ -> ()));
+    { winner; results }
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing frontier                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Frontier = struct
+  type ('a, 'r) ctx = {
+    push : 'a -> unit;
+    finish : 'r -> unit;
+    worker : int;
+    budget : Budget.t;
+    telemetry : Telemetry.t;
+  }
+
+  type 'r outcome = Finished of 'r | Drained | Stopped
+
+  type ('a, 'r) shared = {
+    deques : 'a Ws_deque.t array;
+    pending : int Atomic.t; (* items pushed, not yet fully processed *)
+    win : 'r option Atomic.t;
+    stop : bool Atomic.t; (* set on win, abort, or budget trip *)
+    aborted : bool Atomic.t; (* a worker died before draining its items *)
+    first_exn : exn option Atomic.t;
+    budgets : Budget.t array;
+  }
+
+  let should_stop sh = Atomic.get sh.stop
+
+  let finish sh r =
+    if Atomic.compare_and_set sh.win None (Some r) then begin
+      Atomic.set sh.stop true;
+      Array.iter Budget.cancel sh.budgets
+    end
+
+  (* Round-robin steal attempt over every other worker's deque. *)
+  let try_steal sh me =
+    let n = Array.length sh.deques in
+    let rec go k =
+      if k >= n then None
+      else
+        let v = (me + k) mod n in
+        match Ws_deque.steal sh.deques.(v) with
+        | Some _ as x -> x
+        | None -> go (k + 1)
+    in
+    go 1
+
+  let worker_loop sh me work tele =
+    let dq = sh.deques.(me) in
+    let ctx =
+      {
+        push =
+          (fun x ->
+            Atomic.incr sh.pending;
+            Ws_deque.push dq x);
+        finish = (fun r -> finish sh r);
+        worker = me;
+        budget = sh.budgets.(me);
+        telemetry = tele;
+      }
+    in
+    let process item =
+      (* [pending] is decremented only after [work] returns: an item lost
+         to an exception leaves the count positive, so no other worker can
+         mistake an aborted run for a drained frontier. *)
+      match work ctx item with
+      | () -> Atomic.decr sh.pending
+      | exception Budget.Exhausted _ ->
+        Atomic.set sh.aborted true;
+        Atomic.set sh.stop true
+      | exception e ->
+        ignore (Atomic.compare_and_set sh.first_exn None (Some e));
+        Atomic.set sh.aborted true;
+        Atomic.set sh.stop true
+    in
+    let rec loop idle =
+      if should_stop sh then ()
+      else
+        match Ws_deque.pop dq with
+        | Some item ->
+          process item;
+          loop 0
+        | None -> (
+          match try_steal sh me with
+          | Some item ->
+            process item;
+            loop 0
+          | None ->
+            if Atomic.get sh.pending = 0 then () (* drained *)
+            else begin
+              (* Out of work but the frontier is not drained: spin
+                 politely, with an occasional budget poll so a deadline
+                 can interrupt even an idle worker. *)
+              Domain.cpu_relax ();
+              if idle land 0xFF = 0xFF then begin
+                match Budget.check sh.budgets.(me) with
+                | Some _ ->
+                  Atomic.set sh.aborted true;
+                  Atomic.set sh.stop true
+                | None -> ()
+              end;
+              loop (idle + 1)
+            end)
+    in
+    loop 0
+
+  let run ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) ~jobs
+      ~init work =
+    let jobs = max 1 jobs in
+    let sh =
+      {
+        deques = Array.init jobs (fun _ -> Ws_deque.create ());
+        pending = Atomic.make 0;
+        win = Atomic.make None;
+        stop = Atomic.make false;
+        aborted = Atomic.make false;
+        first_exn = Atomic.make None;
+        budgets = Array.init jobs (fun _ -> Budget.fork budget);
+      }
+    in
+    (* Seed items round-robin so workers start without stealing. *)
+    List.iteri
+      (fun i x ->
+        Atomic.incr sh.pending;
+        Ws_deque.push sh.deques.(i mod jobs) x)
+      init;
+    let spawn me () =
+      let tele =
+        if Telemetry.enabled telemetry then Telemetry.create () else telemetry
+      in
+      worker_loop sh me work tele;
+      tele
+    in
+    if jobs = 1 then begin
+      let tele = spawn 0 () in
+      if Telemetry.enabled telemetry then Telemetry.merge telemetry tele
+    end
+    else begin
+      let domains =
+        Array.init jobs (fun me -> Domain.spawn (fun () -> spawn me ()))
+      in
+      Array.iter
+        (fun d ->
+          let tele = Domain.join d in
+          if Telemetry.enabled telemetry then Telemetry.merge telemetry tele)
+        domains
+    end;
+    (match Atomic.get sh.win with
+    | Some _ -> ()
+    | None -> (
+      match Atomic.get sh.first_exn with Some e -> raise e | None -> ()));
+    match Atomic.get sh.win with
+    | Some r -> Finished r
+    | None -> if Atomic.get sh.aborted then Stopped else Drained
+end

@@ -1,0 +1,86 @@
+(** Domain pool primitives: first-win racing and a work-stealing frontier.
+
+    Two consumers drive the design (DESIGN.md §11): the engine's
+    {e portfolio mode} races whole solvers on separate domains
+    ({!race}), and the nonlinear oracle's parallel branch-and-prune runs
+    its box worklist as a shared {!Frontier}.  Both cancel losers
+    cooperatively through {!Absolver_resource.Budget.fork}ed budgets —
+    there is no preemption anywhere; a competitor that never polls its
+    budget is simply waited for. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()], the sensible cap for [~jobs]. *)
+
+(** {1 First-win racing} *)
+
+type 'a race_report = {
+  winner : (string * 'a) option;
+      (** the first entrant whose result was decisive, if any *)
+  results : (string * ('a, exn) result) list;
+      (** every entrant's outcome, in entrant order; losers cut short by
+          cancellation typically land here as their degraded verdicts *)
+}
+
+val race :
+  ?budget:Absolver_resource.Budget.t ->
+  ?telemetry:Absolver_telemetry.Telemetry.t ->
+  decisive:('a -> bool) ->
+  (string
+  * (budget:Absolver_resource.Budget.t ->
+     telemetry:Absolver_telemetry.Telemetry.t ->
+     'a))
+  list ->
+  'a race_report
+(** [race ~decisive entrants] runs every entrant on its own domain under
+    a budget forked from [budget] (so an external timeout or cancellation
+    reaches all of them, while cancelling one entrant does not disturb
+    the others).  The first result satisfying [decisive] wins and cancels
+    the rest; all domains are joined before returning.  Each entrant
+    records into a private telemetry handle merged into [telemetry] at
+    join.  If nobody is decisive and some entrant raised, the first
+    exception is re-raised after the join; with a single entrant the race
+    degenerates to an inline call on the caller's domain. *)
+
+(** {1 Work-stealing frontier}
+
+    A worklist distributed over per-worker Chase–Lev deques.  Workers pop
+    their own deque LIFO (depth-first, cache-warm) and steal FIFO from
+    others when empty.  Termination is exact: an atomic pending count is
+    incremented at every push and decremented only {e after} an item is
+    fully processed, so "my deque is empty and nobody advertises work"
+    is never mistaken for global quiescence while an item is in flight —
+    the distinction between {!Frontier.Drained} (exhaustive, sound for
+    Unsat) and {!Frontier.Stopped} (gave up, sound only for Unknown). *)
+module Frontier : sig
+  type ('a, 'r) ctx = {
+    push : 'a -> unit;  (** schedule a new item (this worker's deque) *)
+    finish : 'r -> unit;
+        (** first-win terminal result: records ['r] and cancels every
+            worker's budget; later calls are no-ops *)
+    worker : int;  (** worker index, [0 .. jobs-1] *)
+    budget : Absolver_resource.Budget.t;
+        (** this worker's forked budget — tick it from the work body *)
+    telemetry : Absolver_telemetry.Telemetry.t;
+        (** this worker's private handle, merged at join *)
+  }
+
+  type 'r outcome =
+    | Finished of 'r  (** some worker called [finish] *)
+    | Drained  (** every item was processed and none remain *)
+    | Stopped
+        (** a worker's budget tripped (deadline, cancellation, …) before
+            the frontier drained — exhaustiveness claims are void *)
+
+  val run :
+    ?budget:Absolver_resource.Budget.t ->
+    ?telemetry:Absolver_telemetry.Telemetry.t ->
+    jobs:int ->
+    init:'a list ->
+    (('a, 'r) ctx -> 'a -> unit) ->
+    'r outcome
+  (** [run ~jobs ~init work] processes [init] and everything [work]
+      pushes, on [max 1 jobs] workers ([jobs = 1] runs on the caller's
+      domain, no spawns).  [work] may raise [Budget.Exhausted] (mapped to
+      {!Stopped}); any other exception stops the run and is re-raised at
+      the join unless a [finish] already won. *)
+end

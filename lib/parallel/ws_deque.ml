@@ -1,0 +1,101 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA'05; memory-model
+   treatment after Lê et al., PPoPP'13).  One owner pushes and pops at the
+   bottom; any number of thieves steal at the top.  OCaml [Atomic]
+   operations are sequentially consistent, which subsumes the fences the
+   C11 formulation needs, so the algorithm transcribes directly.
+
+   Correctness notes, stated once here rather than inline:
+
+   - [top] only ever increases (owner and thieves both advance it with a
+     CAS), so a successful CAS proves nobody else consumed that index —
+     no ABA.
+   - A slot is reused by [push] only after [bottom - top] wraps past the
+     buffer size, and growth triggers strictly before that, so a thief
+     that read slot [t mod size] before its CAS can never observe a value
+     overwritten by a concurrent push.
+   - Growth copies live entries into a larger buffer at the same absolute
+     indices and publishes it through an [Atomic]; thieves racing with
+     growth read the old buffer, which the GC keeps valid and whose live
+     slots the owner never mutates.
+
+   Slots hold ['a option] so the owner can null out consumed entries and
+   the GC is not forced to retain popped work items for the lifetime of
+   the buffer. *)
+
+type 'a buffer = { log : int; mask : int; slots : 'a option array }
+
+let mk_buffer log =
+  let size = 1 lsl log in
+  { log; mask = size - 1; slots = Array.make size None }
+
+let buf_get b i = b.slots.(i land b.mask)
+let buf_set b i v = b.slots.(i land b.mask) <- v
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let create () =
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (mk_buffer 5) }
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+let grow t b tp old =
+  let bigger = mk_buffer (old.log + 1) in
+  for i = tp to b - 1 do
+    buf_set bigger i (buf_get old i)
+  done;
+  Atomic.set t.buf bigger;
+  bigger
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf = if b - tp > buf.mask then grow t b tp buf else buf in
+  buf_set buf b (Some x);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let buf = Atomic.get t.buf in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Deque was empty; restore the canonical empty state. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let x = buf_get buf b in
+    if b > tp then begin
+      buf_set buf b None;
+      x
+    end
+    else begin
+      (* Single element: race the thieves for it. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        buf_set buf b None;
+        x
+      end
+      else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf_get buf tp in
+    (* The CAS both claims index [tp] and validates the read: on failure
+       another thief (or the owner's last-element pop) took it. *)
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end

@@ -1,0 +1,29 @@
+(** Chase–Lev work-stealing deque.
+
+    The per-worker frontier structure of the parallel subsystem: exactly
+    one {e owner} domain calls {!push} and {!pop} (LIFO end, so the owner
+    works depth-first and stays cache-warm), while any other domain may
+    {!steal} from the opposite end (FIFO, so thieves take the oldest —
+    typically largest — work items).  All operations are lock-free;
+    [steal] may spuriously return [None] under contention, which callers
+    treat as "try the next victim". *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. Amortized O(1); the buffer grows geometrically. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. Takes the most recently pushed item, or [None] when the
+    deque is empty (including when a thief won the race for the last
+    item). *)
+
+val steal : 'a t -> 'a option
+(** Any domain. Takes the oldest item; [None] when empty {e or} when a
+    concurrent pop/steal won the race — callers must not read [None] as
+    proof of emptiness. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the current length (for heuristics and tests only). *)

@@ -32,7 +32,14 @@ type result = Unsat | Simplified of simplified
 
 exception Root_conflict
 
-type clause = { mutable lits : Types.lit list; mutable dead : bool }
+(* [sig_] is a 64-bit Bloom-style signature of the literal set: bit
+   [l mod 63] per literal.  C ⊆ D implies sig(C) ∧ ¬sig(D) = 0, so one
+   AND refutes most non-subsuming candidate pairs before the O(|D|)
+   stamped-membership walk (the subsumption hot spot on large CNFs). *)
+type clause = { mutable lits : Types.lit list; mutable sig_ : int; mutable dead : bool }
+
+let sig_bit (l : Types.lit) = 1 lsl (l mod 63)
+let compute_sig lits = List.fold_left (fun acc l -> acc lor sig_bit l) 0 lits
 
 type state = {
   nvars : int;
@@ -79,6 +86,7 @@ let assign_implied s l =
         let c = s.cls.(ci) in
         if (not c.dead) && List.mem nl c.lits then begin
           c.lits <- List.filter (fun x -> x <> nl) c.lits;
+          c.sig_ <- compute_sig c.lits;
           match c.lits with
           | [] -> raise Root_conflict
           | [ u ] -> Queue.push u s.queue
@@ -100,7 +108,9 @@ let init ~nvars ~probe_limit:_ ~protect clause_list =
   let cls =
     Array.of_list
       (List.map
-         (fun lits -> { lits = List.sort_uniq compare lits; dead = false })
+         (fun lits ->
+           let lits = List.sort_uniq compare lits in
+           { lits; sig_ = compute_sig lits; dead = false })
          clause_list)
   in
   let occ = Array.make (2 * max 1 nvars) [] in
@@ -172,7 +182,25 @@ let pure_pass s =
    literal, and for each l ∈ C strengthen every D ⊇ (C \ {l}) ∪ {¬l} by
    dropping ¬l — the resolvent subsumes D. Both transformations preserve
    the model set exactly. *)
-let subsumption_pass ~budget s =
+(* Beyond these sizes the quadratic pair exploration stops paying for
+   itself even with signatures; the pass is skipped outright (the other
+   passes still run, and skipping a model-preserving transformation is
+   always sound). *)
+let subsumption_max_clauses = 50_000
+let subsumption_max_lits = 500_000
+
+let subsumption_oversized s =
+  let clauses = ref 0 and lits = ref 0 in
+  Array.iter
+    (fun c ->
+      if not c.dead then begin
+        incr clauses;
+        lits := !lits + List.length c.lits
+      end)
+    s.cls;
+  !clauses > subsumption_max_clauses || !lits > subsumption_max_lits
+
+let subsumption_pass_run ~budget s =
   let stamp = Array.make (2 * s.nvars) (-1) in
   let order =
     List.sort
@@ -200,7 +228,11 @@ let subsumption_pass ~budget s =
           (fun di ->
             if di <> ci then begin
               let d = s.cls.(di) in
-              if (not d.dead) && List.compare_length_with d.lits len_c >= 0 then begin
+              if
+                (not d.dead)
+                && c.sig_ land lnot d.sig_ = 0
+                && List.compare_length_with d.lits len_c >= 0
+              then begin
                 let matched =
                   List.length (List.filter (fun l -> stamp.(l) = ci) d.lits)
                 in
@@ -218,6 +250,10 @@ let subsumption_pass ~budget s =
                   let d = s.cls.(di) in
                   if
                     (not d.dead)
+                    (* C \ {l} ⊆ D is necessary for the resolvent to
+                       subsume D; bit l is forgiven since l itself need
+                       not occur in D. *)
+                    && c.sig_ land lnot (d.sig_ lor sig_bit l) = 0
                     && List.compare_length_with d.lits len_c >= 0
                     && List.mem nl d.lits
                   then begin
@@ -226,6 +262,7 @@ let subsumption_pass ~budget s =
                     in
                     if matched = len_c - 1 then begin
                       d.lits <- List.filter (fun x -> x <> nl) d.lits;
+                      d.sig_ <- compute_sig d.lits;
                       s.st.strengthened_literals <- s.st.strengthened_literals + 1;
                       match d.lits with
                       | [] -> raise Root_conflict
@@ -239,6 +276,9 @@ let subsumption_pass ~budget s =
       end)
     order;
   propagate s
+
+let subsumption_pass ~budget s =
+  if subsumption_oversized s then () else subsumption_pass_run ~budget s
 
 exception Probe_conflict
 

@@ -7,15 +7,29 @@ exception Exhausted of Absolver_error.t
    path of [tick]. *)
 let words_now () = Gc.allocated_bytes () /. float_of_int (Sys.word_size / 8)
 
+(* The shared half of a budget: cancellation and the sticky trip reason
+   live in atomics so any domain may cancel/trip while others poll.  Cells
+   form a tree through [parent]: a child polls its ancestors too, so
+   cancelling a parent reaches every forked worker at its next poll, while
+   a child's own trip (say, a branch-and-prune race settled by a Sat
+   certificate) stays invisible to the parent. *)
+type cell = {
+  cancelled : bool Atomic.t;
+  trip_reason : Absolver_error.t option Atomic.t;
+  parent : cell option;
+}
+
+let mk_cell ?parent () =
+  { cancelled = Atomic.make false; trip_reason = Atomic.make None; parent }
+
 type state = {
+  cell : cell;
   deadline : float option; (* absolute, on the monotonic telemetry clock *)
   max_steps : int;
   max_words : float;
   words0 : float;
   mutable charged : int; (* explicitly metered words, on top of the GC's *)
   mutable steps : int;
-  mutable cancelled : bool;
-  mutable tripped : Absolver_error.t option;
 }
 
 type t = Unlimited | Limited of state
@@ -25,6 +39,7 @@ let unlimited = Unlimited
 let create ?deadline_seconds ?max_steps ?max_words () =
   Limited
     {
+      cell = mk_cell ();
       deadline = Option.map (fun d -> Clock.now () +. d) deadline_seconds;
       max_steps = Option.value ~default:max_int max_steps;
       max_words =
@@ -32,22 +47,54 @@ let create ?deadline_seconds ?max_steps ?max_words () =
       words0 = words_now ();
       charged = 0;
       steps = 0;
-      cancelled = false;
-      tripped = None;
     }
+
+(* A worker/competitor budget: fresh step and allocation meters, the
+   parent's absolute deadline, and a fresh cell linked to the parent's so
+   parent-side cancellation and trips propagate down (never up).  Forking
+   [unlimited] yields a pure cancellation flag — the cheapest budget that
+   can still take part in a first-win race. *)
+let fork = function
+  | Unlimited ->
+    Limited
+      {
+        cell = mk_cell ();
+        deadline = None;
+        max_steps = max_int;
+        max_words = infinity;
+        words0 = 0.0;
+        charged = 0;
+        steps = 0;
+      }
+  | Limited s ->
+    Limited
+      {
+        cell = mk_cell ~parent:s.cell ();
+        deadline = s.deadline;
+        max_steps = max_int;
+        max_words = infinity;
+        words0 = 0.0;
+        charged = 0;
+        steps = 0;
+      }
 
 let is_unlimited = function Unlimited -> true | Limited _ -> false
 
 let cancel = function
   | Unlimited -> ()
-  | Limited s -> s.cancelled <- true
+  | Limited s -> Atomic.set s.cell.cancelled true
+
+(* First trip wins, even when several domains race to report. *)
+let trip_cell c err =
+  ignore (Atomic.compare_and_set c.trip_reason None (Some err))
 
 let trip t err =
-  match t with
-  | Unlimited -> ()
-  | Limited s -> if s.tripped = None then s.tripped <- Some err
+  match t with Unlimited -> () | Limited s -> trip_cell s.cell err
 
-let tripped = function Unlimited -> None | Limited s -> s.tripped
+let tripped = function
+  | Unlimited -> None
+  | Limited s -> Atomic.get s.cell.trip_reason
+
 let steps = function Unlimited -> 0 | Limited s -> s.steps
 
 let remaining_seconds = function
@@ -55,31 +102,42 @@ let remaining_seconds = function
   | Limited s ->
     Option.map (fun d -> Float.max 0.0 (d -. Clock.now ())) s.deadline
 
+(* Cancellation or a trip anywhere up the cell chain exhausts this budget;
+   the ancestor's typed reason is inherited so a worker cut short by the
+   engine's timeout still reports Timeout, not a generic Cancelled. *)
+let rec inherited_verdict c =
+  match Atomic.get c.trip_reason with
+  | Some _ as r -> r
+  | None ->
+    if Atomic.get c.cancelled then Some Absolver_error.Cancelled
+    else ( match c.parent with None -> None | Some p -> inherited_verdict p)
+
 (* The expensive part of a poll: clock and allocation reads.  Kept out of
    the per-tick fast path — [tick] runs it every [interval] steps. *)
 let slow_check s =
-  match s.tripped with
-  | Some _ -> s.tripped
+  match Atomic.get s.cell.trip_reason with
+  | Some _ as r -> r
   | None ->
     let verdict =
-      if s.cancelled then Some Absolver_error.Cancelled
-      else if
-        match s.deadline with Some d -> Clock.now () > d | None -> false
-      then Some Absolver_error.Timeout
-      else if
-        Float.is_finite s.max_words
-        && words_now () -. s.words0 +. float_of_int s.charged > s.max_words
-      then Some (Absolver_error.Out_of_budget Absolver_error.Memory)
-      else None
+      match inherited_verdict s.cell with
+      | Some _ as r -> r
+      | None ->
+        if match s.deadline with Some d -> Clock.now () > d | None -> false
+        then Some Absolver_error.Timeout
+        else if
+          Float.is_finite s.max_words
+          && words_now () -. s.words0 +. float_of_int s.charged > s.max_words
+        then Some (Absolver_error.Out_of_budget Absolver_error.Memory)
+        else None
     in
-    (match verdict with Some _ -> s.tripped <- verdict | None -> ());
-    s.tripped
+    (match verdict with Some e -> trip_cell s.cell e | None -> ());
+    Atomic.get s.cell.trip_reason
 
 let check = function
   | Unlimited -> None
   | Limited s ->
-    if s.steps > s.max_steps && s.tripped = None then
-      s.tripped <- Some (Absolver_error.Out_of_budget Absolver_error.Steps);
+    if s.steps > s.max_steps then
+      trip_cell s.cell (Absolver_error.Out_of_budget Absolver_error.Steps);
     slow_check s
 
 (* Full polls every [interval] ticks: hot loops pay an int increment, a
@@ -91,9 +149,8 @@ let tick = function
   | Limited s ->
     s.steps <- s.steps + 1;
     if s.steps > s.max_steps then begin
-      if s.tripped = None then
-        s.tripped <- Some (Absolver_error.Out_of_budget Absolver_error.Steps);
-      raise (Exhausted (Option.get s.tripped))
+      trip_cell s.cell (Absolver_error.Out_of_budget Absolver_error.Steps);
+      raise (Exhausted (Option.get (Atomic.get s.cell.trip_reason)))
     end
     else if s.steps land interval_mask = 0 then begin
       match slow_check s with None -> () | Some e -> raise (Exhausted e)

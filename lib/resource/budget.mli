@@ -16,7 +16,12 @@
       the typed {!Absolver_error.t}.
     - Deadlines use the monotonic telemetry clock
       ({!Absolver_telemetry.Telemetry.Clock}), never the raw wall clock,
-      so NTP steps cannot corrupt them. *)
+      so NTP steps cannot corrupt them.
+    - The cancellation flag and the sticky trip reason are atomics, so any
+      domain may {!cancel} or {!trip} a budget that other domains poll.
+      {!fork} builds the cancellation {e tree} used by the parallel
+      subsystem: parent-side cancellation reaches every fork at its next
+      poll, while a fork's own trip stays invisible to the parent. *)
 
 type t
 
@@ -38,9 +43,19 @@ val create :
 
 val is_unlimited : t -> bool
 
+val fork : t -> t
+(** A worker/competitor budget for one branch of a parallel computation:
+    fresh step and allocation meters, the parent's absolute deadline, and
+    a cancellation cell {e linked} to the parent's — cancelling or
+    tripping the parent exhausts the fork at its next poll, but the
+    fork's own {!cancel}/{!trip} never propagates up.  Forking
+    {!unlimited} yields a pure cancellation flag (no limits), the
+    cheapest budget that can still take part in a first-win race. *)
+
 val cancel : t -> unit
 (** Request cooperative cancellation: the next poll trips the budget with
-    {!Absolver_error.Cancelled}.  Safe to call from a signal handler. *)
+    {!Absolver_error.Cancelled}.  Safe to call from a signal handler or
+    another domain. *)
 
 val trip : t -> Absolver_error.t -> unit
 (** Force exhaustion with the given reason (first trip wins).  Used by

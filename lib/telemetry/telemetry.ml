@@ -4,22 +4,19 @@
    in place permanently. *)
 
 module Clock = struct
-  (* Monotonized wall clock: remember the largest reading handed out and
-     absorb backward wall-clock jumps into a growing offset. *)
+  (* Monotonized wall clock: remember the largest reading handed out (in
+     an atomic, so every domain shares one monotone timeline) and never
+     hand out anything smaller.  A backward wall-clock jump freezes the
+     clock at the high-water mark until real time passes it again. *)
   let start = Unix.gettimeofday ()
-  let last = ref 0.0
-  let offset = ref 0.0
+  let last = Atomic.make 0.0
 
-  let now () =
-    let w = Unix.gettimeofday () -. start +. !offset in
-    if w < !last then begin
-      offset := !offset +. (!last -. w);
-      !last
-    end
-    else begin
-      last := w;
-      w
-    end
+  let rec now () =
+    let w = Unix.gettimeofday () -. start in
+    let l = Atomic.get last in
+    if w <= l then l
+    else if Atomic.compare_and_set last l w then w
+    else now ()
 
   let wall = Unix.gettimeofday
 end
@@ -81,6 +78,12 @@ type state = {
   aggs : (string, agg_cell) Hashtbl.t;
   trace : out_channel option;
   mutable closed : bool;
+  (* Every public operation takes this lock, so one handle may be shared
+     across domains without corrupting the hash tables or the trace.  The
+     span stack still interleaves nonsensically under concurrent spans —
+     parallel workers should use their own handle and [merge] it at join
+     (the lock only makes the shared-handle case safe, not meaningful). *)
+  lock : Mutex.t;
 }
 
 type t = Disabled | Enabled of state
@@ -105,6 +108,7 @@ let create ?trace () =
       aggs = Hashtbl.create 32;
       trace;
       closed = false;
+      lock = Mutex.create ();
     }
   in
   emit st
@@ -123,38 +127,42 @@ let add t name d =
   match t with
   | Disabled -> ()
   | Enabled st ->
-    if d > 0 then begin
-      match Hashtbl.find_opt st.cnt name with
-      | Some r -> r := !r + d
-      | None -> Hashtbl.add st.cnt name (ref d)
-    end
+    if d > 0 then
+      Mutex.protect st.lock (fun () ->
+          match Hashtbl.find_opt st.cnt name with
+          | Some r -> r := !r + d
+          | None -> Hashtbl.add st.cnt name (ref d))
 
 let set_gauge t name v =
   match t with
   | Disabled -> ()
-  | Enabled st -> (
-    match Hashtbl.find_opt st.ggs name with
-    | Some r -> r := v
-    | None -> Hashtbl.add st.ggs name (ref v))
+  | Enabled st ->
+    Mutex.protect st.lock (fun () ->
+        match Hashtbl.find_opt st.ggs name with
+        | Some r -> r := v
+        | None -> Hashtbl.add st.ggs name (ref v))
 
 let counter t name =
   match t with
   | Disabled -> 0
-  | Enabled st -> (
-    match Hashtbl.find_opt st.cnt name with Some r -> !r | None -> 0)
+  | Enabled st ->
+    Mutex.protect st.lock (fun () ->
+        match Hashtbl.find_opt st.cnt name with Some r -> !r | None -> 0)
 
 let counters t =
   match t with
   | Disabled -> []
   | Enabled st ->
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.cnt []
+    Mutex.protect st.lock (fun () ->
+        Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.cnt [])
     |> List.sort compare
 
 let gauges t =
   match t with
   | Disabled -> []
   | Enabled st ->
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.ggs []
+    Mutex.protect st.lock (fun () ->
+        Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.ggs [])
     |> List.sort compare
 
 (* ---- spans ---- *)
@@ -166,20 +174,21 @@ let span_open t ?(attrs = []) name =
   match t with
   | Disabled -> -1
   | Enabled st ->
-    let id = st.next_id in
-    st.next_id <- id + 1;
-    let parent = match st.stack with [] -> -1 | s :: _ -> s.id in
-    st.stack <-
-      {
-        id;
-        name;
-        parent;
-        t_start = Clock.now ();
-        attrs;
-        snapshot = snapshot_counters st;
-      }
-      :: st.stack;
-    id
+    Mutex.protect st.lock (fun () ->
+        let id = st.next_id in
+        st.next_id <- id + 1;
+        let parent = match st.stack with [] -> -1 | s :: _ -> s.id in
+        st.stack <-
+          {
+            id;
+            name;
+            parent;
+            t_start = Clock.now ();
+            attrs;
+            snapshot = snapshot_counters st;
+          }
+          :: st.stack;
+        id)
 
 let counter_deltas st (sp : span_rec) =
   Hashtbl.fold
@@ -237,21 +246,21 @@ let span_close t ?(attrs = []) id =
   match t with
   | Disabled -> ()
   | Enabled st ->
-    if id >= 0 then begin
-      (* Close any still-open children first (properly nested). *)
-      let rec pop () =
-        match st.stack with
-        | [] -> ()
-        | sp :: rest ->
-          st.stack <- rest;
-          if sp.id = id then close_one st ~extra_attrs:attrs sp
-          else begin
-            close_one st ~extra_attrs:[] sp;
-            pop ()
-          end
-      in
-      pop ()
-    end
+    if id >= 0 then
+      Mutex.protect st.lock (fun () ->
+          (* Close any still-open children first (properly nested). *)
+          let rec pop () =
+            match st.stack with
+            | [] -> ()
+            | sp :: rest ->
+              st.stack <- rest;
+              if sp.id = id then close_one st ~extra_attrs:attrs sp
+              else begin
+                close_one st ~extra_attrs:[] sp;
+                pop ()
+              end
+          in
+          pop ())
 
 let span t ?attrs name f =
   match t with
@@ -264,7 +273,8 @@ let event t ?(attrs = []) name =
   match t with
   | Disabled -> ()
   | Enabled st ->
-    if st.trace <> None then begin
+    if st.trace <> None then
+      Mutex.protect st.lock (fun () ->
       let parent = match st.stack with [] -> -1 | s :: _ -> s.id in
       let fields =
         [
@@ -281,8 +291,7 @@ let event t ?(attrs = []) name =
               Json.obj (List.map (fun (k, v) -> (k, Json.of_value v)) attrs) );
           ]
       in
-      emit st (Json.obj fields)
-    end
+      emit st (Json.obj fields))
 
 (* ---- aggregate access ---- *)
 
@@ -290,14 +299,60 @@ let span_aggregates t =
   match t with
   | Disabled -> []
   | Enabled st ->
-    Hashtbl.fold
-      (fun k c acc ->
-        ( k,
-          { agg_calls = c.c_calls; agg_total_s = c.c_total; agg_max_s = c.c_max }
-        )
-        :: acc)
-      st.aggs []
+    Mutex.protect st.lock (fun () ->
+        Hashtbl.fold
+          (fun k c acc ->
+            ( k,
+              {
+                agg_calls = c.c_calls;
+                agg_total_s = c.c_total;
+                agg_max_s = c.c_max;
+              } )
+            :: acc)
+          st.aggs [])
     |> List.sort compare
+
+(* Fold a worker handle's totals into a parent handle: counters add,
+   span aggregates combine (calls and totals add, maxima max), gauges
+   last-write-wins.  Trace lines are not merged — workers that need a
+   trace should write their own file.  This is the join-side half of the
+   per-worker-handle discipline used by the parallel subsystem. *)
+let merge dst src =
+  match (dst, src) with
+  | Disabled, _ | _, Disabled -> ()
+  | Enabled dstst, Enabled _ ->
+    let src_counters = counters src in
+    let src_aggs = span_aggregates src in
+    let src_gauges = gauges src in
+    Mutex.protect dstst.lock (fun () ->
+        List.iter
+          (fun (k, v) ->
+            if v > 0 then
+              match Hashtbl.find_opt dstst.cnt k with
+              | Some r -> r := !r + v
+              | None -> Hashtbl.add dstst.cnt k (ref v))
+          src_counters;
+        List.iter
+          (fun (k, (a : span_agg)) ->
+            match Hashtbl.find_opt dstst.aggs k with
+            | Some c ->
+              c.c_calls <- c.c_calls + a.agg_calls;
+              c.c_total <- c.c_total +. a.agg_total_s;
+              if a.agg_max_s > c.c_max then c.c_max <- a.agg_max_s
+            | None ->
+              Hashtbl.add dstst.aggs k
+                {
+                  c_calls = a.agg_calls;
+                  c_total = a.agg_total_s;
+                  c_max = a.agg_max_s;
+                })
+          src_aggs;
+        List.iter
+          (fun (k, v) ->
+            match Hashtbl.find_opt dstst.ggs k with
+            | Some r -> r := v
+            | None -> Hashtbl.add dstst.ggs k (ref v))
+          src_gauges)
 
 let pp_summary fmt t =
   match t with
@@ -344,10 +399,19 @@ let stats_json t =
   Json.obj
     [ ("counters", Json.obj cs); ("gauges", Json.obj gs); ("spans", Json.obj ss) ]
 
+(* [close] already holds the state lock; these lock-free variants avoid
+   re-entering it (the mutex is not recursive). *)
+let counters_unlocked st =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.cnt [] |> List.sort compare
+
+let gauges_unlocked st =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.ggs [] |> List.sort compare
+
 let close t =
   match t with
   | Disabled -> ()
   | Enabled st ->
+    Mutex.protect st.lock (fun () ->
     if not st.closed then begin
       st.closed <- true;
       (* Close any spans left open so the trace is well-formed. *)
@@ -362,7 +426,7 @@ let close t =
                  ("name", Printf.sprintf "\"%s\"" (Json.escape k));
                  ("total", string_of_int v);
                ]))
-        (counters t);
+        (counters_unlocked st);
       List.iter
         (fun (k, v) ->
           emit st
@@ -372,6 +436,6 @@ let close t =
                  ("name", Printf.sprintf "\"%s\"" (Json.escape k));
                  ("value", Json.of_float v);
                ]))
-        (gauges t);
+        (gauges_unlocked st);
       match st.trace with None -> () | Some oc -> flush oc
-    end
+    end)

@@ -39,7 +39,11 @@ type value = Int of int | Float of float | String of string | Bool of bool
 type t
 (** A telemetry handle: either disabled (all operations no-ops) or an
     enabled recorder with an in-memory aggregator and an optional JSONL
-    trace channel. Handles are single-threaded, like the engine. *)
+    trace channel. Enabled handles are domain-safe — every operation
+    takes an internal lock — but spans opened concurrently from several
+    domains interleave on one stack and nest meaninglessly; parallel
+    workers should record into their own handle and {!merge} it into the
+    parent's at join. *)
 
 val disabled : t
 (** The null sink. [enabled disabled = false]; every operation is a
@@ -104,6 +108,14 @@ val gauges : t -> (string * float) list
 
 val span_aggregates : t -> (string * span_agg) list
 (** Per-span-name aggregates, sorted by name. Empty when disabled. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src]'s aggregate into [dst]: counters add,
+    span aggregates combine (calls and totals add, maxima max), gauges
+    last-write-wins. Trace lines are not merged. No-op when either handle
+    is disabled. This is the join-side half of the per-worker-handle
+    discipline of the parallel subsystem: each worker records into a
+    fresh handle, and the spawner merges at join. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** Human-readable summary: span table (calls, total, max) then counter

@@ -85,6 +85,28 @@ unbudgeted run reports no exhaustion.
   $ grep -o '"budget_exhausted":null' nolimit.json
   "budget_exhausted":null
 
+Parallel solving: --jobs N runs branch-and-prune on a domain pool, with
+verdicts identical to the sequential solver at every job count, and
+--portfolio races the engine against the DPLL(T) baselines.
+
+  $ ../../bin/absolver_cli.exe solve fig2.cnf --jobs 4 | head -1
+  sat
+  $ ../../bin/absolver_cli.exe solve unsat.cnf -j 2
+  unsat
+  [20]
+The nonlinear constraint in fig2.cnf makes the baselines reject, so the
+engine always wins this race; on linear problems any competitor may win,
+so only the verdict is checked.
+
+  $ ../../bin/absolver_cli.exe solve fig2.cnf --portfolio > pf.txt; echo "exit $?"
+  exit 0
+  $ head -1 pf.txt
+  sat
+  $ grep '^portfolio winner' pf.txt
+  portfolio winner: absolver
+  $ ../../bin/absolver_cli.exe solve unsat.cnf --portfolio | head -1
+  unsat
+
 The circuit renderer emits GraphViz.
 
   $ ../../bin/absolver_cli.exe circuit fig2.cnf | head -2

@@ -1,0 +1,524 @@
+(* The multicore layer: Chase–Lev deque invariants, first-win racing
+   with cooperative cancellation, exact frontier termination, and the
+   differential guarantee that branch-and-prune verdicts are identical
+   at every job count.  Also exercises the Bigint machine-word fast
+   paths against the limb-based slow paths around the 2-limb border. *)
+
+module Pool = Absolver_parallel.Pool
+module Ws_deque = Absolver_parallel.Ws_deque
+module Budget = Absolver_resource.Budget
+module Err = Absolver_resource.Absolver_error
+module Telemetry = Absolver_telemetry.Telemetry
+module Bi = Absolver_numeric.Bigint
+module Q = Absolver_numeric.Rational
+module I = Absolver_numeric.Interval
+module E = Absolver_nlp.Expr
+module Box = Absolver_nlp.Box
+module BP = Absolver_nlp.Branch_prune
+module L = Absolver_lp.Linexpr
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Ws_deque.                                                           *)
+
+let test_deque_lifo_pop () =
+  let d = Ws_deque.create () in
+  for i = 1 to 100 do
+    Ws_deque.push d i
+  done;
+  check int_t "size" 100 (Ws_deque.size d);
+  for i = 100 downto 1 do
+    check (Alcotest.option int_t) "pop order" (Some i) (Ws_deque.pop d)
+  done;
+  check (Alcotest.option int_t) "empty pop" None (Ws_deque.pop d)
+
+let test_deque_fifo_steal () =
+  let d = Ws_deque.create () in
+  for i = 1 to 100 do
+    Ws_deque.push d i
+  done;
+  (* Uncontended steals never fail spuriously, and take the oldest. *)
+  for i = 1 to 100 do
+    check (Alcotest.option int_t) "steal order" (Some i) (Ws_deque.steal d)
+  done;
+  check (Alcotest.option int_t) "empty steal" None (Ws_deque.steal d)
+
+let test_deque_grow_and_interleave () =
+  (* Push well past the initial capacity, interleaving pops: the
+     circular buffer must grow without dropping or duplicating items. *)
+  let d = Ws_deque.create () in
+  let seen = Hashtbl.create 64 in
+  let n = 10_000 in
+  for i = 1 to n do
+    Ws_deque.push d i;
+    if i mod 3 = 0 then
+      match Ws_deque.pop d with
+      | Some v -> Hashtbl.replace seen v ()
+      | None -> Alcotest.fail "pop of a non-empty deque"
+  done;
+  let rec drain () =
+    match Ws_deque.pop d with
+    | Some v ->
+      if Hashtbl.mem seen v then Alcotest.fail "duplicated item";
+      Hashtbl.replace seen v ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check int_t "all items accounted for" n (Hashtbl.length seen)
+
+let test_deque_concurrent_steal () =
+  (* One owner pushing/popping, one thief stealing: every item is
+     consumed exactly once, none lost, none duplicated. *)
+  let d = Ws_deque.create () in
+  let n = 20_000 in
+  let owner_done = Atomic.make false in
+  let stolen = ref [] in
+  let thief =
+    Domain.spawn (fun () ->
+        let quiet = ref false in
+        while not !quiet do
+          match Ws_deque.steal d with
+          | Some v -> stolen := v :: !stolen
+          | None ->
+            (* Only a post-completion empty steal proves quiescence:
+               steal's None is spurious under contention. *)
+            if Atomic.get owner_done then quiet := true
+            else Domain.cpu_relax ()
+        done)
+  in
+  let popped = ref [] in
+  for i = 1 to n do
+    Ws_deque.push d i;
+    if i mod 2 = 0 then
+      match Ws_deque.pop d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match Ws_deque.pop d with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set owner_done true;
+  Domain.join thief;
+  let seen = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace seen v ()) !popped;
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v then Alcotest.fail "item both popped and stolen";
+      Hashtbl.replace seen v ())
+    !stolen;
+  check int_t "every item consumed once" n (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Budget forking.                                                     *)
+
+let test_budget_fork_parent_cancel () =
+  let parent = Budget.create () in
+  let child = Budget.fork parent in
+  check bool_t "child starts clean" true (Budget.check child = None);
+  Budget.cancel parent;
+  check bool_t "parent cancel reaches child" true
+    (Budget.check child = Some Err.Cancelled)
+
+let test_budget_fork_child_isolated () =
+  let parent = Budget.create () in
+  let c1 = Budget.fork parent in
+  let c2 = Budget.fork parent in
+  Budget.cancel c1;
+  check bool_t "cancelled child trips" true (Budget.check c1 <> None);
+  check bool_t "parent unaffected" true (Budget.check parent = None);
+  check bool_t "sibling unaffected" true (Budget.check c2 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.race.                                                          *)
+
+let test_race_first_win_cancels_losers () =
+  let loser_saw_cancel = Atomic.make false in
+  let entrants =
+    [
+      ( "fast",
+        fun ~budget:_ ~telemetry:_ -> `Decisive );
+      ( "slow",
+        fun ~budget ~telemetry:_ ->
+          (* Poll until cancelled by the winner; a bounded spin keeps the
+             test finite even if cancellation were broken. *)
+          let spins = ref 0 in
+          while Budget.check budget = None && !spins < 100_000_000 do
+            incr spins;
+            Domain.cpu_relax ()
+          done;
+          if Budget.check budget <> None then Atomic.set loser_saw_cancel true;
+          `Gave_up );
+    ]
+  in
+  let report = Pool.race ~decisive:(fun r -> r = `Decisive) entrants in
+  (match report.Pool.winner with
+  | Some ("fast", `Decisive) -> ()
+  | Some (name, _) -> Alcotest.failf "wrong winner %s" name
+  | None -> Alcotest.fail "no winner");
+  check int_t "all results reported" 2 (List.length report.Pool.results);
+  check bool_t "loser was cancelled" true (Atomic.get loser_saw_cancel)
+
+let test_race_exception_contained () =
+  (* A crashing entrant must not take down a decisive one. *)
+  let entrants =
+    [
+      ("crasher", fun ~budget:_ ~telemetry:_ -> failwith "boom");
+      ("steady", fun ~budget:_ ~telemetry:_ -> `Decisive);
+    ]
+  in
+  let report = Pool.race ~decisive:(fun r -> r = `Decisive) entrants in
+  (match report.Pool.winner with
+  | Some ("steady", `Decisive) -> ()
+  | _ -> Alcotest.fail "steady entrant should win");
+  match List.assoc "crasher" report.Pool.results with
+  | Error (Failure msg) when msg = "boom" -> ()
+  | Error _ -> Alcotest.fail "wrong exception recorded"
+  | Ok _ -> Alcotest.fail "crasher cannot have a result"
+
+let test_race_all_indecisive_reraises () =
+  let entrants =
+    [
+      ("a", fun ~budget:_ ~telemetry:_ -> `Meh);
+      ("b", fun ~budget:_ ~telemetry:_ -> failwith "kaboom");
+    ]
+  in
+  match Pool.race ~decisive:(fun _ -> false) entrants with
+  | _ -> Alcotest.fail "should re-raise when nobody is decisive"
+  | exception Failure msg when msg = "kaboom" -> ()
+
+let test_race_merges_telemetry () =
+  let telemetry = Telemetry.create () in
+  let entrants =
+    [
+      ( "a",
+        fun ~budget:_ ~telemetry ->
+          Telemetry.add telemetry "race.work" 3;
+          `A );
+      ( "b",
+        fun ~budget:_ ~telemetry ->
+          Telemetry.add telemetry "race.work" 4;
+          `B );
+    ]
+  in
+  let _ = Pool.race ~telemetry ~decisive:(fun _ -> false) entrants in
+  check int_t "counters merged from both entrants" 7
+    (Telemetry.counter telemetry "race.work")
+
+let test_race_guard_contains_stray_exn () =
+  (* Budget.guard is the outermost wrapper on every public entry point:
+     a crashing competitor degrades to an [Error] payload and trips the
+     budget, it never escapes as an exception. *)
+  let budget = Budget.create () in
+  (match Budget.guard budget (fun () -> failwith "stray") with
+  | Ok _ -> Alcotest.fail "guard must not swallow into Ok"
+  | Error (Err.Internal _) -> ()
+  | Error e -> Alcotest.failf "wrong payload %s" (Err.to_string e));
+  check bool_t "budget tripped" true (Budget.tripped budget <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.Frontier.                                                      *)
+
+let frontier_sum ~jobs n =
+  (* Seed [1..n] and have each item spawn nothing; sum all processed
+     items atomically.  Drained means every item was seen exactly once. *)
+  let total = Atomic.make 0 in
+  let init = List.init n (fun i -> i + 1) in
+  let outcome =
+    Pool.Frontier.run ~jobs ~init (fun _ctx item ->
+        ignore (Atomic.fetch_and_add total item))
+  in
+  (outcome, Atomic.get total)
+
+let test_frontier_drains_exactly () =
+  let n = 1000 in
+  let expected = n * (n + 1) / 2 in
+  List.iter
+    (fun jobs ->
+      match frontier_sum ~jobs n with
+      | Pool.Frontier.Drained, total ->
+        check int_t (Printf.sprintf "sum at jobs=%d" jobs) expected total
+      | (Pool.Frontier.Finished _ | Pool.Frontier.Stopped), _ ->
+        Alcotest.fail "expected Drained")
+    [ 1; 2; 4 ]
+
+let test_frontier_dynamic_pushes () =
+  (* Items push children down to depth 0: a binary tree of 2^d leaves,
+     counted exactly at every job count. *)
+  let depth = 10 in
+  List.iter
+    (fun jobs ->
+      let leaves = Atomic.make 0 in
+      let outcome =
+        Pool.Frontier.run ~jobs ~init:[ depth ] (fun ctx d ->
+            if d = 0 then ignore (Atomic.fetch_and_add leaves 1)
+            else begin
+              ctx.Pool.Frontier.push (d - 1);
+              ctx.Pool.Frontier.push (d - 1)
+            end)
+      in
+      (match outcome with
+      | Pool.Frontier.Drained -> ()
+      | _ -> Alcotest.fail "expected Drained");
+      check int_t
+        (Printf.sprintf "leaves at jobs=%d" jobs)
+        (1 lsl depth) (Atomic.get leaves))
+    [ 1; 2; 4 ]
+
+let test_frontier_finish_wins () =
+  List.iter
+    (fun jobs ->
+      let outcome =
+        Pool.Frontier.run ~jobs ~init:(List.init 100 Fun.id) (fun ctx item ->
+            if item = 42 then ctx.Pool.Frontier.finish "found")
+      in
+      match outcome with
+      | Pool.Frontier.Finished "found" -> ()
+      | _ -> Alcotest.fail "expected Finished")
+    [ 1; 2; 4 ]
+
+let test_frontier_budget_stops () =
+  (* A cancelled parent budget reaches every forked worker: the outcome
+     must be Stopped, never a false Drained (which downstream reads as
+     exhaustive/Unsat).  Worker budgets fork with fresh step meters, so
+     cancellation and deadlines — not step counts — are what propagate. *)
+  let budget = Budget.create () in
+  Budget.cancel budget;
+  let outcome =
+    Pool.Frontier.run ~budget ~jobs:2 ~init:(List.init 10_000 Fun.id)
+      (fun ctx _item -> Budget.check_exn ctx.Pool.Frontier.budget)
+  in
+  match outcome with
+  | Pool.Frontier.Stopped -> ()
+  | Pool.Frontier.Drained -> Alcotest.fail "cancellation must not drain"
+  | Pool.Frontier.Finished _ -> Alcotest.fail "nobody finished"
+
+let test_frontier_exception_reraised () =
+  match
+    Pool.Frontier.run ~jobs:2 ~init:(List.init 100 Fun.id) (fun _ctx item ->
+        if item = 7 then failwith "worker crash")
+  with
+  | _ -> Alcotest.fail "worker exception must re-raise at the join"
+  | exception Failure msg when msg = "worker crash" -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Differential branch-and-prune: jobs 1/2/4 agree.                    *)
+
+let x = E.var 0
+let y = E.var 1
+let q = Q.of_int
+
+let constructor = function
+  | BP.Sat _ -> "sat"
+  | BP.Approx_sat _ -> "approx_sat"
+  | BP.Unsat -> "unsat"
+  | BP.Unknown -> "unknown"
+
+let verdict_class = function
+  | BP.Sat _ | BP.Approx_sat _ -> "sat"
+  | BP.Unsat -> "unsat"
+  | BP.Unknown -> "unknown"
+
+let solve_jobs ~jobs ?(config = BP.default_config) nvars bounds rels =
+  let box = Box.of_bounds bounds nvars in
+  fst (BP.solve ~config ~jobs ~nvars ~box rels)
+
+let check_witness rels = function
+  | BP.Sat p ->
+    check bool_t "rigorous witness" true
+      (List.for_all (fun r -> E.certainly_holds (Box.point_env p) r) rels)
+  | BP.Approx_sat p ->
+    check bool_t "approximate witness" true
+      (List.for_all (E.holds_float ~tol:1e-5 (fun v -> p.(v))) rels)
+  | BP.Unsat | BP.Unknown -> ()
+
+let differential_case name nvars bounds rels =
+  let r1 = solve_jobs ~jobs:1 nvars bounds rels in
+  List.iter
+    (fun jobs ->
+      let r = solve_jobs ~jobs nvars bounds rels in
+      check Alcotest.string
+        (Printf.sprintf "%s verdict class at jobs=%d" name jobs)
+        (verdict_class r1) (verdict_class r);
+      check_witness rels r)
+    [ 2; 4 ]
+
+let test_differential_sat () =
+  (* The unit disk intersected with a half-plane: satisfiable. *)
+  differential_case "disk+halfplane" 2
+    [ (0, I.make (-2.0) 2.0); (1, I.make (-2.0) 2.0) ]
+    [
+      { E.expr = E.sub (E.add (E.pow x 2) (E.pow y 2)) (E.const Q.one); op = L.Le; tag = 0 };
+      { E.expr = E.sub (E.const (Q.of_decimal_string "0.5")) (E.add x y); op = L.Le; tag = 1 };
+    ]
+
+let test_differential_unsat () =
+  (* x^2 + y^2 <= -1: empty, provable by frontier drain only. *)
+  differential_case "negative-disk" 2
+    [ (0, I.make (-2.0) 2.0); (1, I.make (-2.0) 2.0) ]
+    [
+      { E.expr = E.add (E.add (E.pow x 2) (E.pow y 2)) (E.const Q.one); op = L.Le; tag = 0 };
+    ]
+
+let test_differential_transcendental () =
+  differential_case "exp-root" 1
+    [ (0, I.make (-10.0) 10.0) ]
+    [ { E.expr = E.sub (E.exp x) (E.const (q 3)); op = L.Eq; tag = 0 } ]
+
+let test_differential_random () =
+  (* Seeded random conjunctions: the parallel tree is schedule-independent
+     by construction (path-seeded RNG), so Sat/Unsat classes must agree at
+     every job count. *)
+  let st = Random.State.make [| 77 |] in
+  for _ = 1 to 12 do
+    let mk_rel tag =
+      let e =
+        match Random.State.int st 3 with
+        | 0 -> E.add (E.mul x y) (E.neg (E.pow x 2))
+        | 1 -> E.sub (E.pow x 2) (E.mul (E.const (q 2)) y)
+        | _ -> E.add (E.sin x) y
+      in
+      let c = Q.of_float (Random.State.float st 4.0 -. 2.0) in
+      let op = if Random.State.bool st then L.Le else L.Ge in
+      { E.expr = E.sub e (E.const c); op; tag }
+    in
+    let rels = List.init (1 + Random.State.int st 2) mk_rel in
+    let config = { BP.default_config with BP.max_nodes = 500 } in
+    let r1 = solve_jobs ~jobs:1 ~config 2
+        [ (0, I.make (-3.0) 3.0); (1, I.make (-3.0) 3.0) ] rels
+    in
+    let r4 = solve_jobs ~jobs:4 ~config 2
+        [ (0, I.make (-3.0) 3.0); (1, I.make (-3.0) 3.0) ] rels
+    in
+    (* Definite verdicts must never contradict each other; a node-capped
+       run may degrade to unknown on one side. *)
+    (match (verdict_class r1, verdict_class r4) with
+    | "sat", "unsat" | "unsat", "sat" ->
+      Alcotest.failf "jobs disagree: seq=%s par=%s" (constructor r1)
+        (constructor r4)
+    | _ -> ());
+    check_witness rels r1;
+    check_witness rels r4
+  done
+
+let test_jobs1_is_sequential () =
+  (* jobs=1 must be bit-for-bit the sequential solver: identical
+     constructor AND identical witness coordinates across calls. *)
+  let rels =
+    [ { E.expr = E.sub (E.pow x 2) (E.const (q 2)); op = L.Eq; tag = 0 } ]
+  in
+  let bounds = [ (0, I.make 0.0 2.0) ] in
+  let a = solve_jobs ~jobs:1 1 bounds rels in
+  let b = solve_jobs ~jobs:1 1 bounds rels in
+  match (a, b) with
+  | BP.Sat p, BP.Sat p' | BP.Approx_sat p, BP.Approx_sat p' ->
+    check bool_t "identical witness" true (p = p')
+  | BP.Unsat, BP.Unsat | BP.Unknown, BP.Unknown -> ()
+  | _ -> Alcotest.failf "nondeterministic: %s vs %s" (constructor a) (constructor b)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint fast paths.                                                  *)
+
+let test_bigint_small_matches_native () =
+  let st = Random.State.make [| 13 |] in
+  for _ = 1 to 2_000 do
+    let a = Random.State.int st 1_000_000 - 500_000 in
+    let b = Random.State.int st 1_000_000 - 500_000 in
+    let ba = Bi.of_int a and bb = Bi.of_int b in
+    check Alcotest.string "add" (string_of_int (a + b)) (Bi.to_string (Bi.add ba bb));
+    check Alcotest.string "sub" (string_of_int (a - b)) (Bi.to_string (Bi.sub ba bb));
+    check Alcotest.string "mul" (string_of_int (a * b)) (Bi.to_string (Bi.mul ba bb));
+    check int_t "compare" (Int.compare a b) (Bi.compare ba bb);
+    if b <> 0 then begin
+      check Alcotest.string "div" (string_of_int (a / b)) (Bi.to_string (Bi.div ba bb));
+      check Alcotest.string "rem" (string_of_int (a mod b)) (Bi.to_string (Bi.rem ba bb))
+    end;
+    let rec g a b = if b = 0 then a else g b (a mod b) in
+    check Alcotest.string "gcd"
+      (string_of_int (g (Stdlib.abs a) (Stdlib.abs b)))
+      (Bi.to_string (Bi.gcd ba bb))
+  done
+
+let test_bigint_boundary_consistency () =
+  (* Around the 2-limb (60-bit) border the implementation switches
+     between machine and limb arithmetic: algebraic identities must hold
+     regardless of which path each operand takes. *)
+  let st = Random.State.make [| 14 |] in
+  let big_pool =
+    [
+      Bi.of_string "1152921504606846975" (* 2^60 - 1: last all-small value *);
+      Bi.of_string "1152921504606846976" (* 2^60: first 3-limb magnitude *);
+      Bi.of_string "170141183460469231731687303715884105727";
+      Bi.of_string "-1152921504606846977";
+      Bi.of_int max_int;
+      Bi.of_int min_int;
+      Bi.of_int 1;
+      Bi.of_int (-1);
+      Bi.zero;
+    ]
+  in
+  let rand_small () = Bi.of_int (Random.State.int st 2_000_001 - 1_000_000) in
+  let pick () =
+    if Random.State.bool st then List.nth big_pool (Random.State.int st (List.length big_pool))
+    else rand_small ()
+  in
+  for _ = 1 to 500 do
+    let a = pick () and b = pick () in
+    (* (a + b) - b = a *)
+    check bool_t "add/sub roundtrip" true (Bi.equal (Bi.sub (Bi.add a b) b) a);
+    (* (a * b) / b = a when b <> 0, and divmod reconstructs. *)
+    if not (Bi.is_zero b) then begin
+      check bool_t "mul/div roundtrip" true (Bi.equal (Bi.div (Bi.mul a b) b) a);
+      let q, r = Bi.divmod a b in
+      check bool_t "divmod reconstructs" true (Bi.equal (Bi.add (Bi.mul q b) r) a);
+      check bool_t "rem bounded" true (Bi.compare (Bi.abs r) (Bi.abs b) < 0)
+    end;
+    (* gcd divides both and is symmetric. *)
+    let g = Bi.gcd a b in
+    if not (Bi.is_zero g) then begin
+      check bool_t "gcd divides a" true (Bi.is_zero (Bi.rem a g));
+      check bool_t "gcd divides b" true (Bi.is_zero (Bi.rem b g));
+      check bool_t "gcd symmetric" true (Bi.equal g (Bi.gcd b a))
+    end;
+    (* compare is antisymmetric and agrees with sub's sign. *)
+    check int_t "compare antisym" (Bi.compare a b) (-Bi.compare b a);
+    check int_t "compare via sub" (Bi.compare a b) (Bi.sign (Bi.sub a b))
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "deque: LIFO pop." test_deque_lifo_pop;
+    t "deque: FIFO steal." test_deque_fifo_steal;
+    t "deque: grows and interleaves." test_deque_grow_and_interleave;
+    t "deque: concurrent steal." test_deque_concurrent_steal;
+    t "budget: parent cancel reaches fork." test_budget_fork_parent_cancel;
+    t "budget: child trip isolated." test_budget_fork_child_isolated;
+    t "race: first win cancels losers." test_race_first_win_cancels_losers;
+    t "race: exception contained." test_race_exception_contained;
+    t "race: indecisive re-raises." test_race_all_indecisive_reraises;
+    t "race: telemetry merged." test_race_merges_telemetry;
+    t "race: guard contains stray exn." test_race_guard_contains_stray_exn;
+    t "frontier: drains exactly." test_frontier_drains_exactly;
+    t "frontier: dynamic pushes." test_frontier_dynamic_pushes;
+    t "frontier: finish wins." test_frontier_finish_wins;
+    t "frontier: budget stops." test_frontier_budget_stops;
+    t "frontier: exception re-raised." test_frontier_exception_reraised;
+    t "bp: differential sat." test_differential_sat;
+    t "bp: differential unsat." test_differential_unsat;
+    t "bp: differential transcendental." test_differential_transcendental;
+    t "bp: differential random." test_differential_random;
+    t "bp: jobs=1 is sequential." test_jobs1_is_sequential;
+    t "bigint: small matches native." test_bigint_small_matches_native;
+    t "bigint: boundary consistency." test_bigint_boundary_consistency;
+  ]
