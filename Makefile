@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-parallel fuzz fmt clean
+.PHONY: all build test check bench bench-json bench-parallel bench-incremental fuzz fmt clean
 
 all: build
 
@@ -24,6 +24,12 @@ bench-json:
 # portfolio run per case, written to BENCH_parallel.json.
 bench-parallel:
 	dune exec bench/main.exe parallel
+
+# From-scratch vs warm-started vs cached LP sessions on multi-model
+# paper cases: wall clock, exact pivot counts and cache hit rates,
+# written to BENCH_incremental.json.
+bench-incremental:
+	dune exec bench/main.exe incremental
 
 # Resource-governor robustness: the seeded differential fuzzer (500
 # random problems, engine and DPLL(T) baseline under tight budgets vs

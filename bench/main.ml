@@ -12,6 +12,9 @@
      dune exec bench/main.exe parallel   -- --jobs 1/2/4 speedups and the
                                             portfolio, written to
                                             BENCH_parallel.json
+     dune exec bench/main.exe incremental -- from-scratch vs warm-started
+                                            vs cached LP sessions, written
+                                            to BENCH_incremental.json
 
    Absolute times are not expected to match a 2007 notebook; the shapes
    (who wins, rough factors, where solvers reject or abort) are. *)
@@ -622,6 +625,166 @@ let parallel_mode () =
   print_endline "wrote BENCH_parallel.json"
 
 (* ------------------------------------------------------------------ *)
+(* Incremental mode: from-scratch vs warm-started session vs session   *)
+(* with the verdict cache, on multi-model paper cases. Reports wall    *)
+(* clock, exact pivot counts and cache hit rates per case, and asserts *)
+(* that the three configurations agree on every verdict.               *)
+
+let incremental_mode () =
+  let entries = ref [] in
+  let tot = Hashtbl.create 4 in
+  let add_tot mode t pivots =
+    let t0, p0 =
+      Option.value ~default:(0.0, 0) (Hashtbl.find_opt tot mode)
+    in
+    Hashtbl.replace tot mode (t0 +. t, p0 + pivots)
+  in
+  let mode_name = function
+    | `Scratch -> "from_scratch"
+    | `Warm -> "incremental"
+    | `Full -> "incremental_cache"
+  in
+  let case ~name ?(registry = A.Registry.default) ?limit mk =
+    let run mode =
+      let registry =
+        match mode with
+        | `Warm ->
+          (* Session on, cache off: isolates the warm-start gain. *)
+          {
+            registry with
+            A.Registry.linear =
+              [ A.Registry.simplex_solver_custom ~cache_capacity:0 () ];
+          }
+        | `Scratch | `Full -> registry
+      in
+      let options =
+        {
+          A.Engine.default_options with
+          A.Engine.use_incremental = (mode <> `Scratch);
+        }
+      in
+      let p0 = Absolver_lp.Simplex.total_pivots () in
+      let r, t =
+        time (fun () ->
+            match limit with
+            | Some limit -> (
+              match A.Engine.all_models ~registry ~options ~limit (mk ()) with
+              | Ok (models, st) ->
+                (Printf.sprintf "%d models" (List.length models), st)
+              | Error e -> failwith (name ^ ": " ^ e))
+            | None ->
+              let res, st = A.Engine.solve ~registry ~options (mk ()) in
+              (engine_verdict res, st))
+      in
+      let pivots = Absolver_lp.Simplex.total_pivots () - p0 in
+      (fst r, snd r, t, pivots)
+    in
+    let v_scratch, _, t_scratch, p_scratch = run `Scratch in
+    let v_warm, _, t_warm, p_warm = run `Warm in
+    let v_full, st_full, t_full, p_full = run `Full in
+    if v_scratch <> v_warm || v_scratch <> v_full then
+      Printf.printf "!! %s: verdicts differ (%s / %s / %s)\n" name v_scratch
+        v_warm v_full;
+    add_tot (mode_name `Scratch) t_scratch p_scratch;
+    add_tot (mode_name `Warm) t_warm p_warm;
+    add_tot (mode_name `Full) t_full p_full;
+    let lookups =
+      st_full.A.Engine.lp_cache_hits + st_full.A.Engine.lp_cache_misses
+    in
+    let hit_rate =
+      if lookups = 0 then 0.0
+      else float_of_int st_full.A.Engine.lp_cache_hits /. float_of_int lookups
+    in
+    let side t pivots =
+      Telemetry.Json.obj
+        [
+          ("seconds", Telemetry.Json.of_float t);
+          ("pivots", string_of_int pivots);
+        ]
+    in
+    entries :=
+      Telemetry.Json.obj
+        [
+          ("name", Printf.sprintf "%S" name);
+          ("verdict", Printf.sprintf "%S" v_scratch);
+          ("verdicts_agree",
+           string_of_bool (v_scratch = v_warm && v_scratch = v_full));
+          ("from_scratch", side t_scratch p_scratch);
+          ("incremental", side t_warm p_warm);
+          ("incremental_cache", side t_full p_full);
+          ("cache_hits", string_of_int st_full.A.Engine.lp_cache_hits);
+          ("cache_misses", string_of_int st_full.A.Engine.lp_cache_misses);
+          ("cache_hit_rate", Telemetry.Json.of_float hit_rate);
+          ("constraints_reused", string_of_int st_full.A.Engine.lp_reused);
+          ("constraints_asserted", string_of_int st_full.A.Engine.lp_asserted);
+          ( "pivot_reduction",
+            Telemetry.Json.of_float
+              (if p_full = 0 then float_of_int p_scratch
+               else float_of_int p_scratch /. float_of_int p_full) );
+        ]
+      :: !entries;
+    Printf.printf
+      "%-22s scratch %s/%-6d warm %s/%-6d cache %s/%-6d hit-rate %.2f (%s)\n"
+      name (fmt_time t_scratch) p_scratch (fmt_time t_warm) p_warm
+      (fmt_time t_full) p_full hit_rate v_scratch;
+    flush stdout
+  in
+  (* Cs_within 4 is satisfiable: the enumeration visits many Boolean
+     models, which is where the warm start and the cache earn their keep.
+     Cs_within 2 is the unsat variant — every model's subsystem is
+     refuted by the LP, a different (conflict-heavy) access pattern. *)
+  for n = 1 to 3 do
+    case ~name:(Printf.sprintf "fischer%d_models_sat" n) ~limit:25 (fun () ->
+        match F.problem ~rounds:4 ~property:(F.Cs_within (Q.of_int 4)) ~n () with
+        | Ok p -> p
+        | Error e -> failwith e)
+  done;
+  for n = 1 to 3 do
+    case ~name:(Printf.sprintf "fischer%d_models_unsat" n) ~limit:25 (fun () ->
+        match F.problem ~rounds:6 ~property:(F.Cs_within (Q.of_int 2)) ~n () with
+        | Ok p -> p
+        | Error e -> failwith e)
+  done;
+  case ~name:"car_steering" ~registry:steering_registry (fun () ->
+      M.Steering.problem ());
+  case ~name:"esat_n11_m8_nonlinear" esat_problem;
+  case ~name:"nonlinear_unsat" nonlinear_unsat_problem;
+  case ~name:"div_operator" div_operator_problem;
+  let totals =
+    List.map
+      (fun m ->
+        let t, p = Option.value ~default:(0.0, 0) (Hashtbl.find_opt tot m) in
+        Printf.sprintf "  \"total_%s\": {\"seconds\": %s, \"pivots\": %d}" m
+          (Telemetry.Json.of_float t) p)
+      [ "from_scratch"; "incremental"; "incremental_cache" ]
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"incremental DPLL(T) hot path\",\n\
+       %s,\n\
+      \  \"cases\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" totals)
+      (String.concat ",\n"
+         (List.map (fun e -> "    " ^ e) (List.rev !entries)))
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  output_string oc json;
+  close_out oc;
+  let t_s, p_s =
+    Option.value ~default:(0.0, 0) (Hashtbl.find_opt tot "from_scratch")
+  in
+  let t_f, p_f =
+    Option.value ~default:(0.0, 1) (Hashtbl.find_opt tot "incremental_cache")
+  in
+  Printf.printf
+    "totals: from-scratch %s (%d pivots), incremental+cache %s (%d pivots, %.1fx fewer)\n\
+     wrote BENCH_incremental.json\n"
+    (fmt_time t_s) p_s (fmt_time t_f) p_f
+    (if p_f = 0 then float_of_int p_s
+     else float_of_int p_s /. float_of_int p_f)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 
 let micro () =
@@ -672,6 +835,7 @@ let () =
   | "micro" -> micro ()
   | "json" -> json_mode ()
   | "parallel" -> parallel_mode ()
+  | "incremental" -> incremental_mode ()
   | "all" ->
     table1 ();
     table2 ();
@@ -679,6 +843,7 @@ let () =
     ablations ()
   | other ->
     Printf.eprintf
-      "unknown benchmark %S (expected table1|table2|table3|ablations|micro|json|parallel|all)\n"
+      "unknown benchmark %S (expected \
+       table1|table2|table3|ablations|micro|json|parallel|incremental|all)\n"
       other;
     exit 2

@@ -63,6 +63,13 @@ let solve_cmd =
            ~doc:"Disable the presolve layer (SAT inprocessing, LP presolve, \
                  interval propagation); exact pre-presolve engine behaviour.")
   in
+  let no_incremental =
+    Arg.(value & flag & info [ "no-incremental" ]
+           ~doc:"Disable the incremental LP session (warm-started simplex, \
+                 theory-verdict cache, float-filtered pivoting); every \
+                 linear check solves from scratch. Verdicts are identical \
+                 either way.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print statistics.") in
   let stats_flag =
     Arg.(value & flag & info [ "stats" ]
@@ -112,8 +119,9 @@ let solve_cmd =
                  on separate domains; the first definitive verdict wins \
                  and cancels the losers.")
   in
-  let run file all_models limit bool_solver minimize no_presolve verbose
-      stats_flag stats_json trace timeout max_steps mem_budget jobs portfolio =
+  let run file all_models limit bool_solver minimize no_presolve no_incremental
+      verbose stats_flag stats_json trace timeout max_steps mem_budget jobs
+      portfolio =
     match (read_problem file, registry_of_name bool_solver) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -145,6 +153,7 @@ let solve_cmd =
           A.Engine.default_options with
           A.Engine.minimize_conflicts = minimize;
           use_presolve = not no_presolve;
+          use_incremental = not no_incremental;
           telemetry = tel;
           budget;
         }
@@ -230,8 +239,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Decide an AB-problem (extended DIMACS).")
     Term.(
       const run $ file $ all_models $ limit $ bool_solver $ minimize
-      $ no_presolve $ verbose $ stats_flag $ stats_json $ trace $ timeout
-      $ max_steps $ mem_budget $ jobs $ portfolio)
+      $ no_presolve $ no_incremental $ verbose $ stats_flag $ stats_json
+      $ trace $ timeout $ max_steps $ mem_budget $ jobs $ portfolio)
 
 (* ---- convert ---- *)
 

@@ -25,6 +25,7 @@ type options = {
   default_phase : bool;
   use_linear_relaxation : bool;
   use_presolve : bool;
+  use_incremental : bool;
   telemetry : Telemetry.t;
   budget : Budget.t;
 }
@@ -39,6 +40,7 @@ let default_options =
     default_phase = true;
     use_linear_relaxation = true;
     use_presolve = true;
+    use_incremental = true;
     telemetry = Telemetry.disabled;
     budget = Budget.unlimited;
   }
@@ -68,6 +70,12 @@ type run_stats = {
   mutable sat_restarts : int;
   mutable simplex_pivots : int;
   mutable budget_exhausted : Err.t option;
+  mutable lp_cache_hits : int;
+  mutable lp_cache_misses : int;
+  mutable lp_cache_evictions : int;
+  mutable lp_asserted : int;
+  mutable lp_retracted : int;
+  mutable lp_reused : int;
 }
 
 let mk_stats () =
@@ -89,6 +97,12 @@ let mk_stats () =
     sat_restarts = 0;
     simplex_pivots = 0;
     budget_exhausted = None;
+    lp_cache_hits = 0;
+    lp_cache_misses = 0;
+    lp_cache_evictions = 0;
+    lp_asserted = 0;
+    lp_retracted = 0;
+    lp_reused = 0;
   }
 
 (* New counters are appended after the original columns: tools (and
@@ -101,6 +115,10 @@ let pp_run_stats fmt s =
     s.presolve_removed_clauses s.presolve_tightened_bounds s.presolve_seconds
     s.sat_decisions s.sat_conflicts s.sat_propagations s.sat_restarts
     s.simplex_pivots;
+  Format.fprintf fmt
+    " lp-inc[hits=%d misses=%d evicted=%d asserted=%d retracted=%d reused=%d]"
+    s.lp_cache_hits s.lp_cache_misses s.lp_cache_evictions s.lp_asserted
+    s.lp_retracted s.lp_reused;
   match s.budget_exhausted with
   | None -> ()
   | Some e -> Format.fprintf fmt " budget-exhausted=%s" (Err.code e)
@@ -116,6 +134,7 @@ let absorb_sat_stats tel run (snap : Types.stats) (s : Types.stats) =
   let dr = s.Types.restarts - snap.Types.restarts in
   let dl = s.Types.learnt_literals - snap.Types.learnt_literals in
   let dx = s.Types.reductions - snap.Types.reductions in
+  let db = s.Types.blocked_visits - snap.Types.blocked_visits in
   run.sat_decisions <- run.sat_decisions + dd;
   run.sat_conflicts <- run.sat_conflicts + dc;
   run.sat_propagations <- run.sat_propagations + dp;
@@ -126,12 +145,14 @@ let absorb_sat_stats tel run (snap : Types.stats) (s : Types.stats) =
   Telemetry.add tel "sat.restarts" dr;
   Telemetry.add tel "sat.learnt_literals" dl;
   Telemetry.add tel "sat.reductions" dx;
+  Telemetry.add tel "sat.blocked_visits" db;
   snap.Types.decisions <- s.Types.decisions;
   snap.Types.conflicts <- s.Types.conflicts;
   snap.Types.propagations <- s.Types.propagations;
   snap.Types.restarts <- s.Types.restarts;
   snap.Types.learnt_literals <- s.Types.learnt_literals;
-  snap.Types.reductions <- s.Types.reductions
+  snap.Types.reductions <- s.Types.reductions;
+  snap.Types.blocked_visits <- s.Types.blocked_visits
 
 (* One canonical JSON rendering of run_stats, shared by the CLI's
    --stats-json and the bench harness. *)
@@ -155,6 +176,12 @@ let run_stats_json s =
       ("sat_propagations", i s.sat_propagations);
       ("sat_restarts", i s.sat_restarts);
       ("simplex_pivots", i s.simplex_pivots);
+      ("lp_cache_hits", i s.lp_cache_hits);
+      ("lp_cache_misses", i s.lp_cache_misses);
+      ("lp_cache_evictions", i s.lp_cache_evictions);
+      ("lp_asserted", i s.lp_asserted);
+      ("lp_retracted", i s.lp_retracted);
+      ("lp_reused", i s.lp_reused);
       ( "budget_exhausted",
         match s.budget_exhausted with
         | None -> "null"
@@ -263,7 +290,11 @@ module Relax = struct
         Linexpr.var (aux_for st e))
 end
 
-let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
+(* [lsolve] is the LP entry point for this enumeration: either a
+   persistent warm-started session or a from-scratch closure (see
+   [linear_entry] below); [None] when no linear solver is registered. *)
+let check_model ~registry ~options ~stats ~pre ~lsolve problem
+    (model : bool array) =
   let tel = options.telemetry in
   let budget = options.budget in
   let defs = Ab_problem.defs problem in
@@ -299,11 +330,12 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
     M_unknown
       (Printf.sprintf "more than %d negated equations in one Boolean model"
          options.eq_split_limit)
-  else if registry.Registry.linear = [] then
+  else if Option.is_none lsolve then
     (* An empty solver list is a configuration error, not a crash: report
        it as an undecidable model (pre-refactor this was a [failwith]). *)
     M_unknown "no linear solver registered"
   else begin
+    let lsolve = Option.get lsolve in
     let all_combos = combinations groups in
     let cores = ref [] in
     let unknown = ref None in
@@ -324,7 +356,6 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
       (* Linear filter, including relaxations of the nonlinear part. *)
       stats.linear_checks <- stats.linear_checks + 1;
       Telemetry.add tel "engine.linear_checks" 1;
-      let lsolver = List.hd registry.Registry.linear in
       let lp_input =
         if options.use_linear_relaxation && nonlinear <> [] then begin
           let st = Relax.create ~first_aux:nvars ~box:(Box.copy pre.Preprocess.box) in
@@ -347,7 +378,7 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
           ~attrs:[ ("constraints", Telemetry.Int (List.length lp_input)) ]
           (fun () ->
             let p0 = Simplex.total_pivots () in
-            let v = lsolver.Registry.ls_solve ~int_vars ~budget lp_input in
+            let v = lsolve ~int_vars lp_input in
             Telemetry.add tel "lp.pivots" (Simplex.total_pivots () - p0);
             v)
       in
@@ -389,6 +420,10 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
             List.concat_map (fun (r : Expr.rel) -> Expr.vars r.Expr.expr) nonlinear
             |> List.sort_uniq compare
           in
+          (* Membership set for the snapping loop below: scanning
+             [nl_vars] per integer variable was O(|int_vars|*|nl_vars|). *)
+          let nl_set = Hashtbl.create (1 + List.length nl_vars) in
+          List.iter (fun v -> Hashtbl.replace nl_set v ()) nl_vars;
           let witness p certified =
             (* Integer variables appearing in nonlinear constraints: snap
                near-integral witness coordinates when the snapped point
@@ -398,7 +433,7 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
               let changed = ref false in
               List.iter
                 (fun v ->
-                  if List.mem v nl_vars then begin
+                  if Hashtbl.mem nl_set v then begin
                     let r = Float.round snapped.(v) in
                     if Float.abs (snapped.(v) -. r) > 0.0 && Float.abs (snapped.(v) -. r) < 1e-6
                     then begin
@@ -441,7 +476,7 @@ let check_model ~registry ~options ~stats ~pre problem (model : bool array) =
                 nl_vars
             in
             let exact_part =
-              match lsolver.Registry.ls_solve ~int_vars ~budget (fixes @ linear) with
+              match lsolve ~int_vars (fixes @ linear) with
               | Registry.L_sat m -> Some m
               | Registry.L_unsat _ | Registry.L_unknown _ -> None
             in
@@ -548,9 +583,50 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
       | None -> List.init num_vars Fun.id)
   in
   let block_projection solver_model =
-    List.map
+    (* Descending variable order (the projection is ascending): the
+       solver watches the clause's first literals, so watches sit on the
+       high (late-decided) variables and, with phase saving, consecutive
+       models flip late variables first — keeping the early prefix of the
+       arithmetic subsystem stable and the LP session's constraint delta
+       small. *)
+    List.rev_map
       (fun v -> if solver_model.(v) then Types.neg_of_var v else Types.pos v)
       projection
+  in
+  (* LP entry point for this whole enumeration: a persistent warm-started
+     session when the first linear solver provides one (and the option is
+     on), otherwise a from-scratch closure over [ls_solve]. *)
+  let lsession =
+    match registry.Registry.linear with
+    | { Registry.ls_session = Some mk; _ } :: _ when options.use_incremental ->
+      Some (mk ~budget:options.budget)
+    | _ -> None
+  in
+  let lsolve =
+    match (lsession, registry.Registry.linear) with
+    | Some sess, _ -> Some (sess.Registry.lsess_solve)
+    | None, (ls : Registry.linear_solver) :: _ ->
+      Some
+        (fun ~int_vars cons -> ls.Registry.ls_solve ~int_vars ~budget:options.budget cons)
+    | None, [] -> None
+  in
+  (* Session counters are cumulative; fold them into telemetry and the
+     run record exactly once, even when the enumeration exits by
+     exception (budget trip, optimizer stop). *)
+  let absorb_session () =
+    match lsession with
+    | None -> ()
+    | Some sess ->
+      let cs = sess.Registry.lsess_counters () in
+      List.iter (fun (name, v) -> Telemetry.add tel name v) cs;
+      let find n = Option.value ~default:0 (List.assoc_opt n cs) in
+      stats.lp_cache_hits <- stats.lp_cache_hits + find "lp.inc.cache_hits";
+      stats.lp_cache_misses <- stats.lp_cache_misses + find "lp.inc.cache_misses";
+      stats.lp_cache_evictions <-
+        stats.lp_cache_evictions + find "lp.inc.cache_evictions";
+      stats.lp_asserted <- stats.lp_asserted + find "lp.inc.asserted";
+      stats.lp_retracted <- stats.lp_retracted + find "lp.inc.retracted";
+      stats.lp_reused <- stats.lp_reused + find "lp.inc.reused"
   in
   let block_clause ~reason block =
     stats.blocking_clauses <- stats.blocking_clauses + 1;
@@ -575,7 +651,8 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
         Telemetry.span tel "bool_model"
           ~attrs:[ ("index", Telemetry.Int stats.bool_models) ]
           (fun () ->
-            check_model ~registry ~options ~stats ~pre problem solver_model)
+            check_model ~registry ~options ~stats ~pre ~lsolve problem
+              solver_model)
       with
       | M_sat sol -> (
         Telemetry.event tel "solution";
@@ -609,7 +686,8 @@ let enumerate ?projection:projection_override ~registry ~options ~stats ~pre
           if block = [] then finished := true else add_blocking block
         end
   in
-  (match strategy with
+  Fun.protect ~finally:absorb_session (fun () ->
+  match strategy with
   | Registry.Lsat_incremental ->
     let solver = Cdcl.create () in
     Cdcl.set_default_phase solver options.default_phase;
@@ -872,12 +950,45 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
             (Expr.linearize r.Expr.expr))
         pre.Preprocess.bound_rels
     in
+    (* With [use_incremental], one simplex lives across every
+       delta-valuation: the problem bounds are asserted permanently (no
+       open frame), each valuation's relations go into a checkpointed
+       frame that is rolled back afterwards, and every [maximize] warm
+       starts from the previous optimum's basis. *)
+    let persistent =
+      if options.use_incremental then begin
+        let sx = Absolver_lp.Simplex.create ~budget:options.budget () in
+        Absolver_lp.Simplex.ensure_vars sx nvars;
+        Absolver_lp.Simplex.set_float_filter sx true;
+        List.iter
+          (fun (c : Linexpr.cons) ->
+            ignore (Absolver_lp.Simplex.assert_cons sx c))
+          bound_cons;
+        Some sx
+      end
+      else None
+    in
     let optimize_valuation (sol : Solution.t) =
-      (* Rebuild this delta-valuation's linear system and optimize it.
-         The budgeted tableau may raise [Exhausted] out of [maximize];
-         the surrounding [Budget.guard] is the boundary that catches it. *)
-      let simplex = Absolver_lp.Simplex.create ~budget:options.budget () in
-      Absolver_lp.Simplex.ensure_vars simplex nvars;
+      (* Build (or reuse) this delta-valuation's linear system and
+         optimize it. The budgeted tableau may raise [Exhausted] out of
+         [maximize]; the surrounding [Budget.guard] is the boundary that
+         catches it (the [finally] first restores the session). *)
+      let simplex, restore =
+        match persistent with
+        | Some sx ->
+          let cp = Absolver_lp.Simplex.checkpoint sx in
+          Absolver_lp.Simplex.push sx;
+          (sx, fun () -> Absolver_lp.Simplex.rollback sx cp)
+        | None ->
+          let sx = Absolver_lp.Simplex.create ~budget:options.budget () in
+          Absolver_lp.Simplex.ensure_vars sx nvars;
+          List.iter
+            (fun (c : Linexpr.cons) ->
+              ignore (Absolver_lp.Simplex.assert_cons sx c))
+            bound_cons;
+          (sx, Fun.id)
+      in
+      Fun.protect ~finally:restore @@ fun () ->
       let add (r : Expr.rel) =
         match Expr.linearize r.Expr.expr with
         | None -> ()
@@ -886,9 +997,6 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
             (Absolver_lp.Simplex.assert_cons simplex
                { Linexpr.expr = le; op = r.Expr.op; tag = r.Expr.tag })
       in
-      List.iter
-        (fun (c : Linexpr.cons) -> ignore (Absolver_lp.Simplex.assert_cons simplex c))
-        bound_cons;
       List.iter
         (fun v ->
           let rels =

@@ -36,6 +36,14 @@ type options = {
       (** Run the {!Preprocess} layer (SAT inprocessing, LP presolve,
           interval propagation) before search. On by default; off restores
           the exact pre-presolve behaviour (ablation switch). *)
+  use_incremental : bool;
+      (** Route LP queries through one persistent warm-started simplex
+          session per enumeration (constraint-delta assert/retract,
+          theory-verdict cache, float-filtered pivoting) instead of
+          solving each query from scratch. On by default; off ([CLI
+          --no-incremental]) restores the paper's restart-per-model
+          behaviour. Verdict-equivalent either way — only pivot counts
+          and wall time change. *)
   telemetry : Absolver_telemetry.Telemetry.t;
       (** Observability handle. Disabled by default (no-op); an enabled
           handle records hierarchical spans over every phase of the
@@ -93,6 +101,19 @@ type run_stats = {
       (** [Some reason] iff the run's budget tripped (or a stray exception
           was contained at the boundary); [None] on unbudgeted runs and on
           runs that finished within budget. *)
+  mutable lp_cache_hits : int;
+      (** Theory-cache hits: LP queries answered (verdict or conflict
+          core replayed) without touching the simplex. Zero when
+          [use_incremental] is off. *)
+  mutable lp_cache_misses : int;
+  mutable lp_cache_evictions : int;
+  mutable lp_asserted : int;
+      (** Constraints pushed onto the persistent session's stack. *)
+  mutable lp_retracted : int;
+      (** Constraints popped off the stack between queries. *)
+  mutable lp_reused : int;
+      (** Constraints kept asserted across consecutive queries — the
+          warm-start savings the delta computation realized. *)
 }
 
 val pp_run_stats : Format.formatter -> run_stats -> unit

@@ -3,6 +3,7 @@ module Types = Absolver_sat.Types
 module Expr = Absolver_nlp.Expr
 module Linexpr = Absolver_lp.Linexpr
 module Simplex = Absolver_lp.Simplex
+module Incremental = Absolver_lp.Incremental
 module Branch_prune = Absolver_nlp.Branch_prune
 module Budget = Absolver_resource.Budget
 module Err = Absolver_resource.Absolver_error
@@ -16,10 +17,16 @@ type linear_verdict =
   | L_unsat of int list
   | L_unknown of Err.t
 
+type linear_session = {
+  lsess_solve : int_vars:int list -> Linexpr.cons list -> linear_verdict;
+  lsess_counters : unit -> (string * int) list;
+}
+
 type linear_solver = {
   ls_name : string;
   ls_solve :
     int_vars:int list -> budget:Budget.t -> Linexpr.cons list -> linear_verdict;
+  ls_session : (budget:Budget.t -> linear_session) option;
 }
 
 type nonlinear_verdict =
@@ -47,16 +54,30 @@ type t = {
 let cdcl_solver = { bs_name = "cdcl (zChaff-like)"; bs_strategy = Chaff_restarting }
 let lsat_solver = { bs_name = "lsat (all-solutions)"; bs_strategy = Lsat_incremental }
 
-let simplex_solver =
+let verdict_of_simplex = function
+  | Simplex.Sat model -> L_sat model
+  | Simplex.Unsat tags -> L_unsat tags
+  | Simplex.Unknown e -> L_unknown e
+
+let simplex_session ?cache_capacity ?float_filter () ~budget =
+  let session = Incremental.create ~budget ?cache_capacity ?float_filter () in
+  {
+    lsess_solve =
+      (fun ~int_vars constraints ->
+        verdict_of_simplex (Incremental.solve session ~int_vars constraints));
+    lsess_counters = (fun () -> Incremental.counters session);
+  }
+
+let simplex_solver_custom ?cache_capacity ?float_filter () =
   {
     ls_name = "simplex (COIN-like)";
     ls_solve =
       (fun ~int_vars ~budget constraints ->
-        match Simplex.solve_system ~int_vars ~budget constraints with
-        | Simplex.Sat model -> L_sat model
-        | Simplex.Unsat tags -> L_unsat tags
-        | Simplex.Unknown e -> L_unknown e);
+        verdict_of_simplex (Simplex.solve_system ~int_vars ~budget constraints));
+    ls_session = Some (simplex_session ?cache_capacity ?float_filter ());
   }
+
+let simplex_solver = simplex_solver_custom ()
 
 let branch_prune_solver ?(config = Branch_prune.default_config) ?(jobs = 1) () =
   {

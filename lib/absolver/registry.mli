@@ -27,6 +27,16 @@ type linear_verdict =
   | L_unknown of Absolver_resource.Absolver_error.t
       (** the solver gave up (budget exhausted, cancelled, internal cap) *)
 
+type linear_session = {
+  lsess_solve : int_vars:int list -> Linexpr.cons list -> linear_verdict;
+  lsess_counters : unit -> (string * int) list;
+}
+(** A stateful linear-solver session: successive [lsess_solve] calls may
+    reuse solver state from earlier calls (warm-started tableau, cached
+    verdicts), but each call must decide exactly the constraint set it is
+    given. [lsess_counters] exposes cumulative session counters for
+    telemetry absorption. *)
+
 type linear_solver = {
   ls_name : string;
   ls_solve :
@@ -34,6 +44,10 @@ type linear_solver = {
     budget:Absolver_resource.Budget.t ->
     Linexpr.cons list ->
     linear_verdict;
+  ls_session : (budget:Absolver_resource.Budget.t -> linear_session) option;
+      (** When provided and the engine runs with [use_incremental], the
+          engine creates one session per enumeration and routes every LP
+          query through it instead of [ls_solve]. *)
 }
 (** Solver closures receive the engine's budget and must honour the
     no-escape contract: exhaustion is reported as [L_unknown] /
@@ -69,7 +83,15 @@ val lsat_solver : bool_solver
 
 val simplex_solver : linear_solver
 (** COIN stand-in: exact rational simplex with branch-and-bound for
-    integer variables. *)
+    integer variables. Provides an incremental session (warm-started
+    tableau + verdict cache + float-filtered pivoting) at the defaults of
+    {!Absolver_lp.Incremental.create}. *)
+
+val simplex_solver_custom :
+  ?cache_capacity:int -> ?float_filter:bool -> unit -> linear_solver
+(** {!simplex_solver} with explicit session knobs — [cache_capacity 0]
+    disables the verdict cache, [float_filter false] the double-precision
+    pivot filter. The bench uses this to attribute gains. *)
 
 val branch_prune_solver :
   ?config:Absolver_nlp.Branch_prune.config ->

@@ -1,0 +1,90 @@
+type 'a entry = { key : string list (* sorted *); value : 'a }
+
+type 'a t = {
+  hash : string -> int64;
+  capacity : int;
+  buckets : (int64, 'a entry list) Hashtbl.t;
+  fifo : (int64 * string list) Queue.t; (* insertion order, sorted keys *)
+  mutable size : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_hash s =
+  let prime = 0x100000001b3L and offset = 0xcbf29ce484222325L in
+  let h = ref offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let create ?(hash = default_hash) ?(capacity = 4096) () =
+  {
+    hash;
+    capacity = max 0 capacity;
+    buckets = Hashtbl.create 64;
+    fifo = Queue.create ();
+    size = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* Commutative combination: the signature of a key set is independent of
+   the order the elements arrive in. Exactness is not required here —
+   the sorted-key comparison below is what decides membership. *)
+let signature t keys =
+  List.fold_left (fun acc k -> Int64.add acc (t.hash k)) 0L keys
+
+let find t keys =
+  let sg = signature t keys in
+  let sorted = List.sort compare keys in
+  match Hashtbl.find_opt t.buckets sg with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some entries -> (
+    match List.find_opt (fun e -> e.key = sorted) entries with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      Some e.value
+    | None ->
+      t.misses <- t.misses + 1;
+      None)
+
+let drop_entry t sg key =
+  match Hashtbl.find_opt t.buckets sg with
+  | None -> ()
+  | Some entries -> (
+    match List.filter (fun e -> e.key <> key) entries with
+    | [] -> Hashtbl.remove t.buckets sg
+    | rest -> Hashtbl.replace t.buckets sg rest)
+
+let add t keys value =
+  if t.capacity > 0 then begin
+    let sg = signature t keys in
+    let sorted = List.sort compare keys in
+    let present =
+      match Hashtbl.find_opt t.buckets sg with
+      | None -> false
+      | Some entries -> List.exists (fun e -> e.key = sorted) entries
+    in
+    if not present then begin
+      if t.size >= t.capacity then begin
+        let old_sg, old_key = Queue.pop t.fifo in
+        drop_entry t old_sg old_key;
+        t.size <- t.size - 1;
+        t.evictions <- t.evictions + 1
+      end;
+      let entries = Option.value ~default:[] (Hashtbl.find_opt t.buckets sg) in
+      Hashtbl.replace t.buckets sg ({ key = sorted; value } :: entries);
+      Queue.push (sg, sorted) t.fifo;
+      t.size <- t.size + 1
+    end
+  end
+
+let size t = t.size
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

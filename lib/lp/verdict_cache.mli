@@ -1,0 +1,38 @@
+(** Theory-verdict cache for the incremental DPLL(T) hot path.
+
+    Memoizes LP verdicts (models and conflict cores) keyed by the set of
+    asserted constraints. Lookup is a two-level check: an
+    order-independent 64-bit signature (commutative combination of
+    per-element FNV-1a hashes) buckets the candidates, then an exact
+    comparison of the sorted key set confirms — so hash collisions cost a
+    list walk, never a wrong answer. Eviction is FIFO at a fixed
+    capacity. A capacity of 0 disables the cache (every lookup misses,
+    nothing is stored), which the bench uses to isolate warm-start gains
+    from cache gains. *)
+
+type 'a t
+
+val create : ?hash:(string -> int64) -> ?capacity:int -> unit -> 'a t
+(** [capacity] defaults to 4096 entries. [hash] replaces the per-element
+    hash (default {!default_hash}) — the tests inject a degenerate hash
+    to exercise collision buckets. *)
+
+val find : 'a t -> string list -> 'a option
+(** Lookup by key set. Order of the list does not matter; duplicates do
+    (the key is a multiset). Counts a hit or a miss. *)
+
+val add : 'a t -> string list -> 'a -> unit
+(** Insert, evicting the oldest entry when at capacity. Re-inserting a
+    present key is a no-op. *)
+
+val signature : 'a t -> string list -> int64
+(** The order-independent signature of a key set under this cache's
+    element hash (exposed for tests). *)
+
+val default_hash : string -> int64
+(** 64-bit FNV-1a. *)
+
+val size : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int

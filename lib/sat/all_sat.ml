@@ -11,13 +11,16 @@ let blocking_clause ?projection solver =
     | Some vs -> vs
     | None -> List.init (Cdcl.num_vars solver) Fun.id
   in
-  List.filter_map
-    (fun v ->
+  (* Descending variable order: consecutive models usually differ in a
+     low-variable suffix, and [Cdcl.add_clause] watches the leading
+     (highest) literals, which then survive most model-to-model deltas. *)
+  List.fold_left
+    (fun acc v ->
       match Cdcl.value solver v with
-      | Types.V_true -> Some (Types.neg_of_var v)
-      | Types.V_false -> Some (Types.pos v)
-      | Types.V_undef -> None)
-    vars
+      | Types.V_true -> Types.neg_of_var v :: acc
+      | Types.V_false -> Types.pos v :: acc
+      | Types.V_undef -> acc)
+    [] vars
 
 let project ?projection solver =
   match projection with

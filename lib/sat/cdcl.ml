@@ -27,8 +27,12 @@ type t = {
   mutable saved_phase : Bool.t array;
   mutable seen : Bool.t array;
   mutable heap_pos : int array; (* -1 when not in heap *)
-  (* Watches, indexed by literal: clauses in which this literal is watched. *)
+  (* Watches, indexed by literal: clauses in which this literal is watched.
+     [blockers] is kept in lockstep: blockers.(l) holds, per watched
+     clause, one literal whose truth satisfies the clause — checking it
+     avoids dereferencing the clause at all on most visits. *)
   mutable watches : clause Vec.t array;
+  mutable blockers : int Vec.t array;
   (* Trail. *)
   trail : int Vec.t;
   trail_lim : int Vec.t;
@@ -59,6 +63,7 @@ let create ?theory () =
     seen = Array.make 16 false;
     heap_pos = Array.make 16 (-1);
     watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_clause ());
+    blockers = Array.init 32 (fun _ -> Vec.create ~dummy:0 ());
     trail = Vec.create ~dummy:0 ();
     trail_lim = Vec.create ~dummy:0 ();
     qhead = 0;
@@ -160,7 +165,10 @@ let grow_to s n =
     s.heap_pos <- extend s.heap_pos (-1);
     let w = Array.init (2 * cap) (fun _ -> Vec.create ~dummy:dummy_clause ()) in
     Array.blit s.watches 0 w 0 (Array.length s.watches);
-    s.watches <- w
+    s.watches <- w;
+    let b = Array.init (2 * cap) (fun _ -> Vec.create ~dummy:0 ()) in
+    Array.blit s.blockers 0 b 0 (Array.length s.blockers);
+    s.blockers <- b
   end
 
 let new_var s =
@@ -244,7 +252,9 @@ let cancel_until s lvl =
 let attach s c =
   assert (Array.length c.lits >= 2);
   Vec.push s.watches.(c.lits.(0)) c;
-  Vec.push s.watches.(c.lits.(1)) c
+  Vec.push s.blockers.(c.lits.(0)) c.lits.(1);
+  Vec.push s.watches.(c.lits.(1)) c;
+  Vec.push s.blockers.(c.lits.(1)) c.lits.(0)
 
 exception Conflict of clause
 
@@ -252,33 +262,51 @@ let propagate_lit s p =
   (* p just became true; visit clauses watching ~p. *)
   let fl = p lxor 1 in
   let ws = s.watches.(fl) in
+  let bs = s.blockers.(fl) in
   let i = ref 0 in
   while !i < Vec.size ws do
-    let c = Vec.get ws !i in
-    if c.removed then Vec.swap_remove ws !i
+    (* Blocking literal: if it is already true the clause is satisfied
+       and need not be dereferenced at all. *)
+    if lit_value s (Vec.get bs !i) = V_true then begin
+      s.stats.blocked_visits <- s.stats.blocked_visits + 1;
+      incr i
+    end
     else begin
-      (* Normalize: the false literal goes to position 1. *)
-      if c.lits.(0) = fl then begin
-        c.lits.(0) <- c.lits.(1);
-        c.lits.(1) <- fl
-      end;
-      if lit_value s c.lits.(0) = V_true then incr i
+      let c = Vec.get ws !i in
+      if c.removed then begin
+        Vec.swap_remove ws !i;
+        Vec.swap_remove bs !i
+      end
       else begin
-        (* Look for a new literal to watch. *)
-        let n = Array.length c.lits in
-        let rec find j = if j >= n then -1 else if lit_value s c.lits.(j) <> V_false then j else find (j + 1) in
-        let j = find 2 in
-        if j >= 0 then begin
-          c.lits.(1) <- c.lits.(j);
-          c.lits.(j) <- fl;
-          Vec.push s.watches.(c.lits.(1)) c;
-          Vec.swap_remove ws !i
-        end
-        else if lit_value s c.lits.(0) = V_false then raise (Conflict c)
-        else begin
-          s.stats.propagations <- s.stats.propagations + 1;
-          enqueue s c.lits.(0) c;
+        (* Normalize: the false literal goes to position 1. *)
+        if c.lits.(0) = fl then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- fl
+        end;
+        if lit_value s c.lits.(0) = V_true then begin
+          Vec.set bs !i c.lits.(0);
           incr i
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let n = Array.length c.lits in
+          let rec find j = if j >= n then -1 else if lit_value s c.lits.(j) <> V_false then j else find (j + 1) in
+          let j = find 2 in
+          if j >= 0 then begin
+            c.lits.(1) <- c.lits.(j);
+            c.lits.(j) <- fl;
+            Vec.push s.watches.(c.lits.(1)) c;
+            Vec.push s.blockers.(c.lits.(1)) c.lits.(0);
+            Vec.swap_remove ws !i;
+            Vec.swap_remove bs !i
+          end
+          else if lit_value s c.lits.(0) = V_false then raise (Conflict c)
+          else begin
+            s.stats.propagations <- s.stats.propagations + 1;
+            enqueue s c.lits.(0) c;
+            Vec.set bs !i c.lits.(0);
+            incr i
+          end
         end
       end
     end
@@ -342,9 +370,14 @@ let add_clause s lits =
               s.ok <- false;
               emit_learnt s []))
         | _ ->
+          (* Watch the highest-variable literals (the sort above is
+             ascending). Blocking clauses from model enumeration are
+             emitted in descending variable order and consecutive models
+             usually differ only in a low-variable suffix, so high-end
+             watches stay untouched across most re-decisions. *)
           let c =
             {
-              lits = Array.of_list lits;
+              lits = Array.of_list (List.rev lits);
               activity = 0.0;
               learnt = false;
               removed = false;

@@ -39,6 +39,7 @@ type stats = {
   mutable restarts : int;
   mutable learnt_literals : int;
   mutable reductions : int;
+  mutable blocked_visits : int;
 }
 
 let mk_stats () =
@@ -49,4 +50,5 @@ let mk_stats () =
     restarts = 0;
     learnt_literals = 0;
     reductions = 0;
+    blocked_visits = 0;
   }

@@ -40,6 +40,9 @@ type stats = {
   mutable restarts : int;
   mutable learnt_literals : int;
   mutable reductions : int;  (** learnt-clause database reductions *)
+  mutable blocked_visits : int;
+      (** watched-clause visits skipped because the clause's blocking
+          literal was already true (the clause was never dereferenced) *)
 }
 
 val mk_stats : unit -> stats

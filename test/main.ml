@@ -14,6 +14,7 @@ let () =
       ("preprocess", Test_preprocess.suite);
       ("telemetry", Test_telemetry.suite);
       ("resource", Test_resource.suite);
+      ("incremental", Test_incremental.suite);
       ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite);
       ("extra", Test_extra.suite);
