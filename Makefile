@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-parallel bench-incremental fuzz fmt clean
+.PHONY: all build test check bench bench-json bench-parallel bench-incremental bench-server fuzz fmt clean
 
 all: build
 
@@ -30,6 +30,12 @@ bench-parallel:
 # written to BENCH_incremental.json.
 bench-incremental:
 	dune exec bench/main.exe incremental
+
+# Mixed FISCHER/Sudoku/steering workload through the solve server at
+# 1/4/16 concurrent clients: throughput and p50/p95/p99 latency, with
+# verdict identity asserted across levels, written to BENCH_server.json.
+bench-server:
+	dune exec bench/main.exe server
 
 # Resource-governor robustness: the seeded differential fuzzer (500
 # random problems, engine and DPLL(T) baseline under tight budgets vs

@@ -15,6 +15,9 @@
      dune exec bench/main.exe incremental -- from-scratch vs warm-started
                                             vs cached LP sessions, written
                                             to BENCH_incremental.json
+     dune exec bench/main.exe server     -- mixed workload through the solve
+                                            server at 1/4/16 clients, written
+                                            to BENCH_server.json
 
    Absolute times are not expected to match a 2007 notebook; the shapes
    (who wins, rough factors, where solvers reject or abort) are. *)
@@ -785,6 +788,178 @@ let incremental_mode () =
      else float_of_int p_s /. float_of_int p_f)
 
 (* ------------------------------------------------------------------ *)
+(* Server mode: the same mixed workload (FISCHER sat/unsat, Sudoku,    *)
+(* car steering) pushed through the solve server at 1/4/16 concurrent  *)
+(* clients.  Queries are partitioned deterministically (client i gets  *)
+(* queries i, i+C, i+2C, ...), so every level answers the identical    *)
+(* set and the verdict vector must be identical across levels — warm   *)
+(* per-client sessions may change models, never verdicts.  Written to  *)
+(* BENCH_server.json.                                                  *)
+
+let server_mode () =
+  let module Server = Absolver_server.Server in
+  let module Sjson = Absolver_server.Sjson in
+  let fischer ~rounds ~within n =
+    match F.problem ~rounds ~property:(F.Cs_within (Q.of_int within)) ~n () with
+    | Ok p -> A.Dimacs_ext.to_string p
+    | Error e -> failwith e
+  in
+  let base =
+    List.concat
+      [
+        List.init 3 (fun i ->
+            (Printf.sprintf "fischer%d_sat" (i + 1), fischer ~rounds:4 ~within:4 (i + 1)));
+        List.init 3 (fun i ->
+            (Printf.sprintf "fischer%d_unsat" (i + 1), fischer ~rounds:5 ~within:2 (i + 1)));
+        (match P.all with
+        | (n1, p1) :: (n2, p2) :: _ ->
+          [
+            ("sudoku_" ^ n1, A.Dimacs_ext.to_string (S.absolver_problem p1));
+            ("sudoku_" ^ n2, A.Dimacs_ext.to_string (S.absolver_problem p2));
+          ]
+        | _ -> []);
+      ]
+  in
+  let queries =
+    ("car_steering", A.Dimacs_ext.to_string (M.Steering.problem ()))
+    :: List.concat [ base; base; base; base; base; base; base; base ]
+  in
+  let n = List.length queries in
+  let texts = Array.of_list (List.map snd queries) in
+  Printf.printf "workload: %d queries (%s)\n%!" n
+    (String.concat ", " (List.sort_uniq compare (List.map fst queries)));
+  (* steering needs the Table-1 branch-and-prune budget; each client
+     still gets its own warm persistent simplex session *)
+  let registry () =
+    let solver, dispose = A.Registry.persistent_simplex () in
+    ( {
+        steering_registry with
+        A.Registry.linear = [ solver ];
+      },
+      dispose )
+  in
+  let percentile sorted q =
+    let m = Array.length sorted in
+    if m = 0 then 0.0
+    else sorted.(min (m - 1) (int_of_float (ceil (q *. float_of_int m)) - 1))
+  in
+  let run_level clients =
+    let config =
+      { Server.default_config with Server.default_timeout_ms = None; registry }
+    in
+    let srv = Server.create ~config () in
+    let latencies = Array.make n 0.0 in
+    let verdicts = Array.make n "" in
+    let t0 = Telemetry.Clock.now () in
+    let client ci =
+      let req_r, req_w = Unix.pipe () in
+      let resp_r, resp_w = Unix.pipe () in
+      let th =
+        Thread.create
+          (fun () ->
+            let ic = Unix.in_channel_of_descr req_r in
+            let oc = Unix.out_channel_of_descr resp_w in
+            Server.serve_channel srv ic oc;
+            (try close_in ic with _ -> ());
+            try close_out oc with _ -> ())
+          ()
+      in
+      let wr = Unix.out_channel_of_descr req_w in
+      let rd = Unix.in_channel_of_descr resp_r in
+      let q = ref ci in
+      while !q < n do
+        let line =
+          Sjson.to_string
+            (Sjson.Obj
+               [
+                 ("id", Sjson.Num (float_of_int !q));
+                 ("op", Sjson.Str "solve");
+                 ("format", Sjson.Str "dimacs");
+                 ("problem", Sjson.Str texts.(!q));
+               ])
+        in
+        let t = Telemetry.Clock.now () in
+        output_string wr (line ^ "\n");
+        flush wr;
+        let resp = input_line rd in
+        latencies.(!q) <- (Telemetry.Clock.now () -. t) *. 1000.0;
+        (verdicts.(!q) <-
+           (match Sjson.parse resp with
+           | Ok o -> (
+             match Option.bind (Sjson.member "verdict" o) Sjson.get_string with
+             | Some v -> v
+             | None -> "error")
+           | Error _ -> "error"));
+        q := !q + clients
+      done;
+      (try close_out wr with _ -> ());
+      Thread.join th;
+      try close_in rd with _ -> ()
+    in
+    let threads = List.init clients (fun ci -> Thread.create client ci) in
+    List.iter Thread.join threads;
+    let wall = Telemetry.Clock.now () -. t0 in
+    Server.shutdown srv;
+    let sorted = Array.copy latencies in
+    Array.sort compare sorted;
+    let level =
+      Telemetry.Json.obj
+        [
+          ("clients", string_of_int clients);
+          ("seconds", Telemetry.Json.of_float wall);
+          ( "throughput_qps",
+            Telemetry.Json.of_float (float_of_int n /. Float.max 1e-9 wall) );
+          ("p50_ms", Telemetry.Json.of_float (percentile sorted 0.50));
+          ("p95_ms", Telemetry.Json.of_float (percentile sorted 0.95));
+          ("p99_ms", Telemetry.Json.of_float (percentile sorted 0.99));
+        ]
+    in
+    Printf.printf
+      "clients %2d: %s  %6.2f q/s  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms\n%!"
+      clients (fmt_time wall)
+      (float_of_int n /. Float.max 1e-9 wall)
+      (percentile sorted 0.50) (percentile sorted 0.95) (percentile sorted 0.99);
+    (level, Array.to_list verdicts)
+  in
+  let levels = [ 1; 4; 16 ] in
+  let results = List.map (fun c -> (c, run_level c)) levels in
+  let reference = snd (snd (List.hd results)) in
+  let identical =
+    List.for_all (fun (_, (_, vs)) -> vs = reference) results
+  in
+  if not identical then
+    List.iter
+      (fun (c, (_, vs)) ->
+        List.iteri
+          (fun i (v, r) ->
+            if v <> r then
+              Printf.printf "!! clients=%d query %d (%s): %s <> %s\n" c i
+                (fst (List.nth queries i))
+                v r)
+          (List.combine vs reference))
+      results;
+  Printf.printf "verdicts identical across levels: %b\n%!" identical;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"solve server throughput\",\n\
+      \  \"queries\": %d,\n\
+      \  \"cores_available\": %d,\n\
+      \  \"workers\": %d,\n\
+      \  \"verdicts_identical_across_levels\": %b,\n\
+      \  \"levels\": [\n%s\n  ]\n}\n"
+      n
+      (Absolver_parallel.Pool.available_cores ())
+      Server.default_config.Server.workers identical
+      (String.concat ",\n"
+         (List.map (fun (_, (l, _)) -> "    " ^ l) results))
+  in
+  let oc = open_out "BENCH_server.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_server.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 
 let micro () =
@@ -836,6 +1011,7 @@ let () =
   | "json" -> json_mode ()
   | "parallel" -> parallel_mode ()
   | "incremental" -> incremental_mode ()
+  | "server" -> server_mode ()
   | "all" ->
     table1 ();
     table2 ();
@@ -844,6 +1020,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown benchmark %S (expected \
-       table1|table2|table3|ablations|micro|json|parallel|incremental|all)\n"
+       table1|table2|table3|ablations|micro|json|parallel|incremental|server|all)\n"
       other;
     exit 2

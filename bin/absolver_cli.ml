@@ -377,10 +377,84 @@ let circuit_cmd =
        ~doc:"Render a problem's internal circuit representation (Fig. 5) as GraphViz.")
     Term.(const run $ file $ out)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let module Server = Absolver_server.Server in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+      ~doc:"Listen on a Unix-domain socket at $(docv) (default: serve one session on stdin/stdout).")
+  in
+  let max_clients =
+    Arg.(value & opt int Server.default_config.Server.max_clients
+      & info [ "max-clients" ] ~docv:"N" ~doc:"Concurrent connection cap.")
+  in
+  let default_timeout =
+    Arg.(value & opt int 30_000 & info [ "default-timeout" ] ~docv:"MS"
+      ~doc:"Per-request deadline in milliseconds when the request names none; 0 disables it.")
+  in
+  let workers =
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+      ~doc:"Solver worker domains (default: a machine-sized pool).")
+  in
+  let client_cap =
+    Arg.(value & opt int Server.default_config.Server.client_cap
+      & info [ "client-cap" ] ~docv:"N"
+      ~doc:"Pending requests admitted per client before rejection.")
+  in
+  let queue_capacity =
+    Arg.(value & opt int Server.default_config.Server.queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N"
+      ~doc:"Global executor queue bound (admission backstop).")
+  in
+  let run socket max_clients default_timeout workers client_cap queue_capacity =
+    let config =
+      {
+        Server.default_config with
+        Server.max_clients;
+        client_cap;
+        queue_capacity;
+        workers =
+          (match workers with
+          | Some w -> max 1 w
+          | None -> Server.default_config.Server.workers);
+        default_timeout_ms =
+          (if default_timeout > 0 then Some default_timeout else None);
+      }
+    in
+    let srv = Server.create ~config () in
+    let stop _ = Server.request_stop srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    match socket with
+    | Some path -> (
+      match Server.serve_socket srv ~path with
+      | Ok () ->
+        Server.shutdown srv;
+        0
+      | Error e ->
+        prerr_endline ("serve: " ^ e);
+        Server.shutdown srv;
+        1)
+    | None ->
+      Server.serve_channel srv stdin stdout;
+      Server.shutdown srv;
+      0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the solve server: line-delimited JSON or SMT-LIB 2 over \
+             stdin/stdout or a Unix-domain socket.")
+    Term.(
+      const run $ socket $ max_clients $ default_timeout $ workers $ client_cap
+      $ queue_capacity)
+
 let main =
   let doc = "ABSOLVER: an extensible multi-domain constraint solver (DATE'07 reproduction)" in
   Cmd.group
     (Cmd.info "absolver" ~version:"1.0.0" ~doc)
-    [ solve_cmd; convert_cmd; gen_cmd; circuit_cmd ]
+    [ solve_cmd; convert_cmd; gen_cmd; circuit_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -79,6 +79,58 @@ let simplex_solver_custom ?cache_capacity ?float_filter () =
 
 let simplex_solver = simplex_solver_custom ()
 
+(* A linear solver whose warm session outlives any single enumeration:
+   every [ls_session] acquisition returns the SAME underlying
+   [Incremental] session (created lazily, re-governed by the acquiring
+   enumeration's budget), so consecutive solve requests from one server
+   client reuse the asserted constraints, the tableau basis and the
+   verdict cache across requests.  Two invariants make this safe:
+
+   - counters are delta'd per acquisition, so the engine's per-run
+     statistics absorption sees only the work of its own enumeration,
+     never the session's cumulative history;
+   - the session is an unshared value: each call to
+     [persistent_simplex] builds an independent one, which is what makes
+     it per-client — the server creates one per connection and calls the
+     returned [dispose] at disconnect, so no warm tableau ever leaks
+     between independent clients. *)
+let persistent_simplex ?cache_capacity ?float_filter () =
+  let session = ref None in
+  let acquire () =
+    match !session with
+    | Some s -> s
+    | None ->
+      let s = Incremental.create ?cache_capacity ?float_filter () in
+      session := Some s;
+      s
+  in
+  let mk ~budget =
+    let s = acquire () in
+    Incremental.set_budget s budget;
+    let base = Incremental.counters s in
+    {
+      lsess_solve =
+        (fun ~int_vars constraints ->
+          verdict_of_simplex (Incremental.solve s ~int_vars constraints));
+      lsess_counters =
+        (fun () ->
+          List.map
+            (fun (k, v) ->
+              (k, v - Option.value ~default:0 (List.assoc_opt k base)))
+            (Incremental.counters s));
+    }
+  in
+  let solver =
+    {
+      ls_name = "simplex (COIN-like, persistent session)";
+      ls_solve =
+        (fun ~int_vars ~budget constraints ->
+          verdict_of_simplex (Simplex.solve_system ~int_vars ~budget constraints));
+      ls_session = Some mk;
+    }
+  in
+  (solver, fun () -> session := None)
+
 let branch_prune_solver ?(config = Branch_prune.default_config) ?(jobs = 1) () =
   {
     ns_name =

@@ -93,6 +93,19 @@ val simplex_solver_custom :
     disables the verdict cache, [float_filter false] the double-precision
     pivot filter. The bench uses this to attribute gains. *)
 
+val persistent_simplex :
+  ?cache_capacity:int -> ?float_filter:bool -> unit -> linear_solver * (unit -> unit)
+(** A simplex whose warm session outlives any single enumeration: every
+    [ls_session] acquisition re-governs and returns the {e same}
+    underlying {!Absolver_lp.Incremental} session, so consecutive solve
+    requests reuse asserted constraints, the tableau basis and the
+    verdict cache across requests — the solve server keeps one per
+    client connection.  Session counters are delta'd per acquisition, so
+    per-run statistics stay attributable.  The second component tears the
+    warm session down (the server calls it on client disconnect; a later
+    acquisition starts fresh).  Each call builds an independent session —
+    state never leaks between two [persistent_simplex] values. *)
+
 val branch_prune_solver :
   ?config:Absolver_nlp.Branch_prune.config ->
   ?jobs:int ->

@@ -15,7 +15,7 @@ type cached = C_sat of (Linexpr.var * Q.t) list | C_unsat of int list
 
 type t = {
   simplex : Simplex.t;
-  budget : Budget.t;
+  mutable budget : Budget.t;
   cache : cached Verdict_cache.t;
   (* The assertion stack, top-first: one simplex trail frame per entry,
      so any suffix can be retracted independently of assertion order. *)
@@ -72,6 +72,13 @@ let extern_model t model =
       | Some v -> Some (v, q)
       | None -> None)
     model
+
+(* A long-lived session (the solve server keeps one per client) is
+   re-governed per request: the warm tableau and the cache survive, only
+   the budget polled by subsequent pivots changes. *)
+let set_budget t budget =
+  t.budget <- budget;
+  Simplex.set_budget t.simplex budget
 
 let stats t = t.stats
 

@@ -38,6 +38,12 @@ val create :
     [float_filter] (default [true]) enables double-precision pivot
     selection on the underlying simplex. *)
 
+val set_budget : t -> Absolver_resource.Budget.t -> unit
+(** Swap the budget governing subsequent pivots. The warm tableau, the
+    assertion stack and the verdict cache survive — this is how a
+    long-lived per-client session (the solve server's) is re-governed by
+    each request's own deadline without losing its warm start. *)
+
 val solve : t -> ?int_vars:Linexpr.var list -> Linexpr.cons list -> Simplex.verdict
 (** Decide the conjunction, reusing tableau state and cached verdicts
     from earlier calls. Library boundary: budget exhaustion rolls the

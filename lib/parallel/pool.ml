@@ -245,3 +245,112 @@ module Frontier = struct
     | Some r -> Finished r
     | None -> if Atomic.get sh.aborted then Stopped else Drained
 end
+
+(* ------------------------------------------------------------------ *)
+(* Executor: a persistent pool of worker domains                       *)
+(* ------------------------------------------------------------------ *)
+
+module Executor = struct
+  type job = unit -> unit
+
+  type t = {
+    lock : Mutex.t;
+    wake : Condition.t;
+    queue : job Queue.t;
+    queue_capacity : int;
+    n_workers : int;
+    mutable domains : unit Domain.t array;
+    mutable stopping : bool;
+    mutable joined : bool;
+    running : int Atomic.t;
+    submitted : int Atomic.t;
+    completed : int Atomic.t;
+  }
+
+  type submit_outcome = Submitted | Rejected of string
+
+  (* Workers block on [wake] when idle and drain the queue to empty
+     before honouring [stopping], so shutdown never drops an accepted
+     job.  A job's exception is contained here: the executor is shared
+     infrastructure and one bad job must not take a worker down. *)
+  let worker_loop t =
+    let live = ref true in
+    while !live do
+      Mutex.lock t.lock;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.wake t.lock
+      done;
+      if Queue.is_empty t.queue then begin
+        Mutex.unlock t.lock;
+        live := false
+      end
+      else begin
+        let job = Queue.pop t.queue in
+        Mutex.unlock t.lock;
+        Atomic.incr t.running;
+        (try job () with _ -> ());
+        Atomic.decr t.running;
+        Atomic.incr t.completed
+      end
+    done
+
+  let create ?(queue_capacity = 64) ~workers () =
+    let t =
+      {
+        lock = Mutex.create ();
+        wake = Condition.create ();
+        queue = Queue.create ();
+        queue_capacity = max 1 queue_capacity;
+        n_workers = max 1 workers;
+        domains = [||];
+        stopping = false;
+        joined = false;
+        running = Atomic.make 0;
+        submitted = Atomic.make 0;
+        completed = Atomic.make 0;
+      }
+    in
+    t.domains <-
+      Array.init t.n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  let submit t job =
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      Rejected "executor shutting down"
+    end
+    else if Queue.length t.queue >= t.queue_capacity then begin
+      let n = Queue.length t.queue in
+      Mutex.unlock t.lock;
+      Rejected (Printf.sprintf "queue full (%d pending)" n)
+    end
+    else begin
+      Queue.push job t.queue;
+      Atomic.incr t.submitted;
+      Condition.signal t.wake;
+      Mutex.unlock t.lock;
+      Submitted
+    end
+
+  let workers t = t.n_workers
+  let in_flight t = Atomic.get t.running
+
+  let queued t =
+    Mutex.lock t.lock;
+    let n = Queue.length t.queue in
+    Mutex.unlock t.lock;
+    n
+
+  let submitted t = Atomic.get t.submitted
+  let completed t = Atomic.get t.completed
+
+  let shutdown t =
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.wake;
+    let join_now = not t.joined in
+    t.joined <- true;
+    Mutex.unlock t.lock;
+    if join_now then Array.iter Domain.join t.domains
+end

@@ -41,6 +41,47 @@ val race :
     exception is re-raised after the join; with a single entrant the race
     degenerates to an inline call on the caller's domain. *)
 
+(** {1 Persistent executor}
+
+    A long-lived pool of worker domains draining a bounded FIFO job
+    queue — the compute substrate of the solve server: client handler
+    threads (I/O-bound, all on the main domain) submit solve jobs here
+    so they run in parallel on separate domains, and the bounded queue
+    is the server's global admission-control backstop.  Unlike {!race}
+    and {!Frontier.run}, the pool outlives any one computation. *)
+module Executor : sig
+  type t
+
+  type submit_outcome =
+    | Submitted
+    | Rejected of string
+        (** admission refused, with the reason ("queue full (N pending)"
+            or "executor shutting down") — the caller is expected to
+            surface it, not retry blindly *)
+
+  val create : ?queue_capacity:int -> workers:int -> unit -> t
+  (** Spawn [max 1 workers] worker domains. [queue_capacity] (default
+      64) bounds the number of {e queued} (not yet running) jobs. *)
+
+  val submit : t -> (unit -> unit) -> submit_outcome
+  (** Enqueue a job. Jobs must contain their own exceptions as a matter
+      of hygiene, but a leak is contained by the worker loop — one bad
+      job never takes a worker down. *)
+
+  val workers : t -> int
+  val in_flight : t -> int  (** jobs currently executing *)
+
+  val queued : t -> int  (** jobs accepted but not yet started *)
+
+  val submitted : t -> int  (** jobs accepted since creation *)
+
+  val completed : t -> int  (** jobs finished (including failed) *)
+
+  val shutdown : t -> unit
+  (** Stop accepting, drain every already-accepted job, join all worker
+      domains. Idempotent; blocks until the pool is quiet. *)
+end
+
 (** {1 Work-stealing frontier}
 
     A worklist distributed over per-worker Chase–Lev deques.  Workers pop

@@ -78,6 +78,36 @@ let fork = function
         steps = 0;
       }
 
+(* A request budget sliced out of a long-lived parent (the solve server's
+   per-request budgets): its own, possibly tighter, limits plus a cell
+   linked to the parent's so shutting the parent down cancels every
+   outstanding request at its next poll.  The effective deadline is the
+   tighter of the parent's and the child's own. *)
+let child t ?deadline_seconds ?max_steps ?max_words () =
+  let own_deadline = Option.map (fun d -> Clock.now () +. d) deadline_seconds in
+  let parent_cell, parent_deadline =
+    match t with
+    | Unlimited -> (None, None)
+    | Limited s -> (Some s.cell, s.deadline)
+  in
+  let deadline =
+    match (own_deadline, parent_deadline) with
+    | Some a, Some b -> Some (Float.min a b)
+    | (Some _ as d), None | None, (Some _ as d) -> d
+    | None, None -> None
+  in
+  Limited
+    {
+      cell = mk_cell ?parent:parent_cell ();
+      deadline;
+      max_steps = Option.value ~default:max_int max_steps;
+      max_words =
+        (match max_words with Some w -> float_of_int w | None -> infinity);
+      words0 = words_now ();
+      charged = 0;
+      steps = 0;
+    }
+
 let is_unlimited = function Unlimited -> true | Limited _ -> false
 
 let cancel = function

@@ -52,6 +52,22 @@ val fork : t -> t
     {!unlimited} yields a pure cancellation flag (no limits), the
     cheapest budget that can still take part in a first-win race. *)
 
+val child :
+  t ->
+  ?deadline_seconds:float ->
+  ?max_steps:int ->
+  ?max_words:int ->
+  unit ->
+  t
+(** A request budget sliced out of a long-lived parent (the solve
+    server's admission layer): fresh meters with their {e own} limits —
+    [deadline_seconds] is relative to now and is clipped to the parent's
+    absolute deadline if that is tighter — and a cancellation cell linked
+    to the parent's, so cancelling or tripping the parent exhausts every
+    child at its next poll while a child's own trip stays invisible to
+    the parent and its siblings.  [child unlimited ()] is a plain
+    {!create} (no linkage). *)
+
 val cancel : t -> unit
 (** Request cooperative cancellation: the next poll trips the budget with
     {!Absolver_error.Cancelled}.  Safe to call from a signal handler or

@@ -1,0 +1,128 @@
+module Q = Absolver_numeric.Rational
+module Ab_problem = Absolver_core.Ab_problem
+module Solution = Absolver_core.Solution
+module Engine = Absolver_core.Engine
+
+type format = F_dimacs | F_smt1
+
+type request =
+  | Solve of {
+      format : format;
+      problem : string;
+      all_models : bool;
+      limit : int option;
+      timeout_ms : int option;
+    }
+  | Smt2_script of { script : string; timeout_ms : int option }
+  | Stats
+  | Health
+  | Quit
+
+let parse_request line =
+  match Sjson.parse line with
+  | Error e -> Error e
+  | Ok (Sjson.Obj _ as obj) ->
+    let id = Option.value ~default:Sjson.Null (Sjson.member "id" obj) in
+    let field name = Sjson.member name obj in
+    let str_field name = Option.bind (field name) Sjson.get_string in
+    let int_field name = Option.bind (field name) Sjson.get_int in
+    let req =
+      match str_field "op" with
+      | None -> Error "missing op"
+      | Some "solve" -> (
+        match str_field "problem" with
+        | None -> Error "solve: missing problem"
+        | Some problem -> (
+          match Option.value ~default:"dimacs" (str_field "format") with
+          | "dimacs" ->
+            Ok
+              (Solve
+                 {
+                   format = F_dimacs;
+                   problem;
+                   all_models =
+                     Option.value ~default:false
+                       (Option.bind (field "all_models") Sjson.get_bool);
+                   limit = int_field "limit";
+                   timeout_ms = int_field "timeout_ms";
+                 })
+          | "smt1" | "smtlib" ->
+            Ok
+              (Solve
+                 {
+                   format = F_smt1;
+                   problem;
+                   all_models =
+                     Option.value ~default:false
+                       (Option.bind (field "all_models") Sjson.get_bool);
+                   limit = int_field "limit";
+                   timeout_ms = int_field "timeout_ms";
+                 })
+          | f -> Error (Printf.sprintf "unknown format %s" f)))
+      | Some "smt2" -> (
+        match str_field "script" with
+        | None -> Error "smt2: missing script"
+        | Some script ->
+          Ok (Smt2_script { script; timeout_ms = int_field "timeout_ms" }))
+      | Some "stats" -> Ok Stats
+      | Some "health" -> Ok Health
+      | Some "exit" -> Ok Quit
+      | Some op -> Error (Printf.sprintf "unknown op %s" op)
+    in
+    Ok (id, req)
+  | Ok _ -> Error "request must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let respond ~id ~status fields =
+  Sjson.to_string
+    (Sjson.Obj (("id", id) :: ("status", Sjson.Str status) :: fields))
+
+let ok ~id fields = respond ~id ~status:"ok" fields
+let rejected ~id reason = respond ~id ~status:"rejected" [ ("reason", Sjson.Str reason) ]
+let error ~id msg = respond ~id ~status:"error" [ ("error", Sjson.Str msg) ]
+
+(* ------------------------------------------------------------------ *)
+(* Canonical models                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let model_to_string problem (sol : Solution.t) =
+  let b = Buffer.create 64 in
+  let bools =
+    match Ab_problem.projection problem with
+    | Some vars -> vars
+    | None -> List.init (Ab_problem.num_bool_vars problem) Fun.id
+  in
+  Buffer.add_string b "b:";
+  List.iter
+    (fun v ->
+      Buffer.add_char b
+        (if v < Array.length sol.Solution.bools && sol.Solution.bools.(v) then
+           '1'
+         else '0'))
+    bools;
+  for i = 0 to Ab_problem.num_arith_vars problem - 1 do
+    Buffer.add_char b ' ';
+    Buffer.add_string b (Ab_problem.arith_var_name problem i);
+    Buffer.add_char b '=';
+    Buffer.add_string b
+      (if i < Array.length sol.Solution.arith then
+         match sol.Solution.arith.(i) with
+         | Some (Solution.Exact q) -> Q.to_string q
+         | Some (Solution.Approx f) -> Printf.sprintf "~%.17g" f
+         | None -> "_"
+       else "_")
+  done;
+  Buffer.contents b
+
+let verdict_fields problem = function
+  | Engine.R_sat sol ->
+    [
+      ("verdict", Sjson.Str "sat");
+      ("model", Sjson.Str (model_to_string problem sol));
+    ]
+  | Engine.R_unsat -> [ ("verdict", Sjson.Str "unsat") ]
+  | Engine.R_unknown why ->
+    [ ("verdict", Sjson.Str "unknown"); ("reason", Sjson.Str why) ]

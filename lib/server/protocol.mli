@@ -1,0 +1,61 @@
+(** The solve server's JSON wire protocol: one request object per line
+    in, one response object per line out.
+
+    Requests:
+    {v
+    {"id":1,"op":"solve","format":"dimacs","problem":"...","all_models":false,
+     "limit":10,"timeout_ms":5000}
+    {"id":2,"op":"smt2","script":"(declare-const x Real)...","timeout_ms":5000}
+    {"id":3,"op":"stats"}   {"id":4,"op":"health"}   {"id":5,"op":"exit"}
+    v}
+
+    Responses echo the request's [id] verbatim and carry
+    ["status":"ok"], ["status":"rejected"] (admission control, with a
+    [reason]) or ["status":"error"] (with an [error]).  The [id] of a
+    line that could not even be parsed is [null]. *)
+
+type format = F_dimacs | F_smt1
+
+type request =
+  | Solve of {
+      format : format;
+      problem : string;
+      all_models : bool;
+      limit : int option;
+      timeout_ms : int option;
+    }
+  | Smt2_script of { script : string; timeout_ms : int option }
+  | Stats
+  | Health
+  | Quit
+
+val parse_request : string -> (Sjson.t * (request, string) result, string) result
+(** [Ok (id, req)] when the line is a JSON object (the [id] defaults to
+    [null]; [req] is [Error reason] on an unknown op or missing field,
+    so the reply can still echo the id).  [Error] only when the line is
+    not parseable JSON at all. *)
+
+(** {1 Responses} *)
+
+val ok : id:Sjson.t -> (string * Sjson.t) list -> string
+val rejected : id:Sjson.t -> string -> string
+val error : id:Sjson.t -> string -> string
+
+(** {1 Canonical model rendering}
+
+    Shared between the server and the differential test suite so
+    "byte-identical models" is a string comparison. *)
+
+val model_to_string :
+  Absolver_core.Ab_problem.t -> Absolver_core.Solution.t -> string
+(** Deterministic one-line rendering: the projected Boolean assignment
+    as a bit string, then each arithmetic variable by name — exact
+    rationals verbatim, approximations as [~]-prefixed floats at full
+    precision, unconstrained variables as [_]. *)
+
+val verdict_fields :
+  Absolver_core.Ab_problem.t ->
+  Absolver_core.Engine.result ->
+  (string * Sjson.t) list
+(** The response fields for a single-solution verdict: ["verdict"] plus
+    ["model"] (sat) or ["reason"] (unknown). *)

@@ -1,0 +1,599 @@
+module Budget = Absolver_resource.Budget
+module Telemetry = Absolver_telemetry.Telemetry
+module Clock = Absolver_telemetry.Telemetry.Clock
+module Pool = Absolver_parallel.Pool
+module Engine = Absolver_core.Engine
+module Registry = Absolver_core.Registry
+module Dimacs = Absolver_core.Dimacs_ext
+module Smt_parser = Absolver_smtlib.Parser
+module To_ab = Absolver_smtlib.To_ab
+module Smt2 = Absolver_smtlib.Smt2
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  max_clients : int;
+  client_cap : int;
+  queue_capacity : int;
+  workers : int;
+  default_timeout_ms : int option;
+  engine_options : Engine.options;
+  registry : unit -> Registry.t * (unit -> unit);
+}
+
+let default_registry () =
+  let solver, dispose = Registry.persistent_simplex () in
+  ({ Registry.default with Registry.linear = [ solver ] }, dispose)
+
+let default_config =
+  {
+    max_clients = 32;
+    client_cap = 8;
+    queue_capacity = 64;
+    workers = max 1 (min 4 (Pool.available_cores () - 1));
+    default_timeout_ms = Some 30_000;
+    engine_options = Engine.default_options;
+    registry = default_registry;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  config : config;
+  exec : Pool.Executor.t;
+  tel : Telemetry.t;
+  tel_lock : Mutex.t;
+  root : Budget.t;  (* cancellable umbrella over every request budget *)
+  started : float;
+  clients : int Atomic.t;
+  total_clients : int Atomic.t;
+  lock : Mutex.t;
+  mutable listener : Unix.file_descr option;
+  mutable client_fds : Unix.file_descr list;
+  mutable stopping : bool;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    exec =
+      Pool.Executor.create ~queue_capacity:config.queue_capacity
+        ~workers:config.workers ();
+    tel = Telemetry.create ();
+    tel_lock = Mutex.create ();
+    root = Budget.create ();
+    started = Clock.wall ();
+    clients = Atomic.make 0;
+    total_clients = Atomic.make 0;
+    lock = Mutex.create ();
+    listener = None;
+    client_fds = [];
+    stopping = false;
+  }
+
+(* The server-side aggregate is one Telemetry handle shared by every
+   worker domain, so all access goes through [tel_lock] (the engine
+   itself runs with telemetry disabled per request — observation here
+   is end-to-end, around the solve). *)
+let bump srv name n =
+  Mutex.protect srv.tel_lock (fun () -> Telemetry.add srv.tel name n)
+
+let observe srv name v =
+  Mutex.protect srv.tel_lock (fun () -> Telemetry.observe srv.tel name v)
+
+let budget_for srv timeout_ms =
+  let ms =
+    match timeout_ms with
+    | Some _ as m -> m
+    | None -> srv.config.default_timeout_ms
+  in
+  match ms with
+  | Some m when m > 0 ->
+    Budget.child srv.root ~deadline_seconds:(float_of_int m /. 1000.) ()
+  | _ -> Budget.child srv.root ()
+
+let request_options srv budget =
+  {
+    srv.config.engine_options with
+    Engine.budget;
+    telemetry = Telemetry.disabled;
+  }
+
+let absorb_run_stats srv (rs : Engine.run_stats) =
+  Mutex.protect srv.tel_lock (fun () ->
+      Telemetry.add srv.tel "server.lp_cache_hits" rs.Engine.lp_cache_hits;
+      Telemetry.add srv.tel "server.lp_cache_misses" rs.Engine.lp_cache_misses;
+      if rs.Engine.budget_exhausted <> None then
+        Telemetry.add srv.tel "server.budget_trips" 1)
+
+(* ------------------------------------------------------------------ *)
+(* Stats / health payloads                                             *)
+(* ------------------------------------------------------------------ *)
+
+let stats_fields srv =
+  let pool_fields =
+    [
+      ("workers", Sjson.Num (float_of_int (Pool.Executor.workers srv.exec)));
+      ("in_flight", Sjson.Num (float_of_int (Pool.Executor.in_flight srv.exec)));
+      ("queued", Sjson.Num (float_of_int (Pool.Executor.queued srv.exec)));
+      ("submitted", Sjson.Num (float_of_int (Pool.Executor.submitted srv.exec)));
+      ("completed", Sjson.Num (float_of_int (Pool.Executor.completed srv.exec)));
+    ]
+  in
+  Mutex.protect srv.tel_lock (fun () ->
+      let c name = Sjson.Num (float_of_int (Telemetry.counter srv.tel name)) in
+      let latency =
+        match Telemetry.distribution srv.tel "server.latency_ms" with
+        | Some d ->
+          [
+            ("count", Sjson.Num (float_of_int d.Telemetry.d_count));
+            ("p50_ms", Sjson.Num (Telemetry.dist_percentile d 0.50));
+            ("p95_ms", Sjson.Num (Telemetry.dist_percentile d 0.95));
+            ("p99_ms", Sjson.Num (Telemetry.dist_percentile d 0.99));
+            ("max_ms", Sjson.Num d.Telemetry.d_max);
+          ]
+        | None -> [ ("count", Sjson.Num 0.) ]
+      in
+      [
+        ( "queries",
+          Sjson.Obj
+            [
+              ("solve", c "server.solve");
+              ("smt2", c "server.smt2");
+              ("stats", c "server.stats");
+              ("health", c "server.health");
+            ] );
+        ( "verdicts",
+          Sjson.Obj
+            [
+              ("sat", c "server.sat");
+              ("unsat", c "server.unsat");
+              ("unknown", c "server.unknown");
+            ] );
+        ("rejected", c "server.rejected");
+        ("budget_trips", c "server.budget_trips");
+        ("latency_ms", Sjson.Obj latency);
+        ("pool", Sjson.Obj pool_fields);
+        ( "lp_cache",
+          Sjson.Obj
+            [
+              ("hits", c "server.lp_cache_hits");
+              ("misses", c "server.lp_cache_misses");
+            ] );
+        ( "clients",
+          Sjson.Obj
+            [
+              ("active", Sjson.Num (float_of_int (Atomic.get srv.clients)));
+              ("total", Sjson.Num (float_of_int (Atomic.get srv.total_clients)));
+            ] );
+        ("uptime_s", Sjson.Num (Clock.wall () -. srv.started));
+      ])
+
+let stats_json srv = Sjson.to_string (Sjson.Obj (stats_fields srv))
+
+let health_fields srv =
+  [
+    ("health", Sjson.Str (if srv.stopping then "stopping" else "ok"));
+    ("accepting", Sjson.Bool (not srv.stopping));
+    ("uptime_s", Sjson.Num (Clock.wall () -. srv.started));
+    ("clients", Sjson.Num (float_of_int (Atomic.get srv.clients)));
+    ("workers", Sjson.Num (float_of_int (Pool.Executor.workers srv.exec)));
+    ("in_flight", Sjson.Num (float_of_int (Pool.Executor.in_flight srv.exec)));
+    ("queued", Sjson.Num (float_of_int (Pool.Executor.queued srv.exec)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-client serial lanes                                             *)
+(*                                                                     *)
+(* Each connection owns a FIFO of request jobs; at most one is ever    *)
+(* submitted to the executor at a time, and the next is submitted only *)
+(* from the previous one's completion — so a client's responses come   *)
+(* back in request order (deterministic for scripted sessions), the    *)
+(* client's warm simplex session and smt2 state are never touched by   *)
+(* two domains at once, and fairness across clients falls out of the   *)
+(* executor's FIFO: C clients have at most C jobs in the global queue. *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { run : unit -> unit; entry_reject : string -> unit }
+
+type client = {
+  srv : t;
+  oc : out_channel;
+  out_lock : Mutex.t;
+  m : Mutex.t;
+  cv : Condition.t;
+  q : entry Queue.t;
+  mutable busy : bool;
+  registry : Registry.t;
+  dispose : unit -> unit;
+  smt2 : Smt2.session;
+}
+
+let write_line c line =
+  Mutex.protect c.out_lock (fun () ->
+      try
+        output_string c.oc line;
+        output_char c.oc '\n';
+        flush c.oc
+      with Sys_error _ -> ())
+
+(* Requires [c.m] held.  On executor rejection the job is answered
+   immediately (out of band) and the lane moves on — the reader is
+   never blocked and nothing is silently dropped. *)
+let rec pump c =
+  if (not c.busy) && not (Queue.is_empty c.q) then begin
+    let e = Queue.pop c.q in
+    c.busy <- true;
+    match
+      Pool.Executor.submit c.srv.exec (fun () ->
+          (try e.run () with _ -> ());
+          Mutex.protect c.m (fun () ->
+              c.busy <- false;
+              pump c;
+              Condition.broadcast c.cv))
+    with
+    | Pool.Executor.Submitted -> ()
+    | Pool.Executor.Rejected reason ->
+      c.busy <- false;
+      bump c.srv "server.rejected" 1;
+      e.entry_reject reason;
+      Condition.broadcast c.cv;
+      pump c
+  end
+
+(* Flow control, not load shedding: a client that sends faster than it
+   solves blocks its own reader at [client_cap] pending requests (the
+   socket's kernel buffer backs further input up to the peer), so a
+   scripted session is never torn by its own burstiness.  Rejection
+   with a reason is reserved for genuine saturation: the executor's
+   bounded global queue and the [max_clients] connection cap. *)
+let enqueue c e =
+  Mutex.protect c.m (fun () ->
+      while
+        Queue.length c.q >= c.srv.config.client_cap && not c.srv.stopping
+      do
+        Condition.wait c.cv c.m
+      done;
+      Queue.add e c.q;
+      pump c)
+
+let drain c =
+  Mutex.protect c.m (fun () ->
+      while c.busy || not (Queue.is_empty c.q) do
+        Condition.wait c.cv c.m
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* JSON request execution (runs on a worker domain)                    *)
+(* ------------------------------------------------------------------ *)
+
+let finish_query c ~started ~op =
+  observe c.srv "server.latency_ms" ((Clock.now () -. started) *. 1000.);
+  bump c.srv ("server." ^ op) 1
+
+let run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms () =
+  let started = Clock.now () in
+  let budget = budget_for c.srv timeout_ms in
+  let parsed =
+    match format with
+    | Protocol.F_dimacs -> Dimacs.parse_string problem
+    | Protocol.F_smt1 -> (
+      match Smt_parser.parse_benchmark problem with
+      | Error e -> Error e
+      | Ok b -> To_ab.convert b)
+  in
+  let line =
+    match parsed with
+    | Error e -> Protocol.error ~id ("parse error: " ^ e)
+    | Ok prob ->
+      let options = request_options c.srv budget in
+      if all_models then begin
+        match Engine.all_models ~registry:c.registry ~options ?limit prob with
+        | Error e -> Protocol.error ~id e
+        | Ok (models, rs) ->
+          absorb_run_stats c.srv rs;
+          bump c.srv "server.sat" (List.length models);
+          Protocol.ok ~id
+            [
+              ("verdict", Sjson.Str "models");
+              ("count", Sjson.Num (float_of_int (List.length models)));
+              ( "models",
+                Sjson.Arr
+                  (List.map
+                     (fun m -> Sjson.Str (Protocol.model_to_string prob m))
+                     models) );
+            ]
+      end
+      else begin
+        let result, rs = Engine.solve ~registry:c.registry ~options prob in
+        absorb_run_stats c.srv rs;
+        bump c.srv
+          (match result with
+          | Engine.R_sat _ -> "server.sat"
+          | Engine.R_unsat -> "server.unsat"
+          | Engine.R_unknown _ -> "server.unknown")
+          1;
+        Protocol.ok ~id (Protocol.verdict_fields prob result)
+      end
+  in
+  finish_query c ~started ~op:"solve";
+  write_line c line
+
+let run_smt2 c ~id ~script ~timeout_ms () =
+  let started = Clock.now () in
+  let budget = budget_for c.srv timeout_ms in
+  let check =
+    Smt2.engine_check ~registry:c.registry
+      ~options:(request_options c.srv budget) ()
+  in
+  let replies, exited = Smt2.run_string c.smt2 ~check script in
+  finish_query c ~started ~op:"smt2";
+  write_line c
+    (Protocol.ok ~id
+       (("replies", Sjson.Arr (List.map (fun s -> Sjson.Str s) replies))
+       :: (if exited then [ ("exited", Sjson.Bool true) ] else [])))
+
+let handle_json_line c stop_reading line =
+  match Protocol.parse_request line with
+  | Error e ->
+    write_line c (Protocol.error ~id:Sjson.Null ("bad request: " ^ e))
+  | Ok (id, Error e) -> write_line c (Protocol.error ~id e)
+  | Ok (id, Ok req) -> (
+    let entry_reject reason = write_line c (Protocol.rejected ~id reason) in
+    match req with
+    | Protocol.Quit ->
+      stop_reading := true;
+      enqueue c
+        {
+          run =
+            (fun () -> write_line c (Protocol.ok ~id [ ("bye", Sjson.Bool true) ]));
+          entry_reject;
+        }
+    | Protocol.Stats ->
+      enqueue c
+        {
+          run =
+            (fun () ->
+              let started = Clock.now () in
+              let fields = stats_fields c.srv in
+              finish_query c ~started ~op:"stats";
+              write_line c (Protocol.ok ~id [ ("stats", Sjson.Obj fields) ]));
+          entry_reject;
+        }
+    | Protocol.Health ->
+      enqueue c
+        {
+          run =
+            (fun () ->
+              let started = Clock.now () in
+              let fields = health_fields c.srv in
+              finish_query c ~started ~op:"health";
+              write_line c (Protocol.ok ~id fields));
+          entry_reject;
+        }
+    | Protocol.Solve { format; problem; all_models; limit; timeout_ms } ->
+      enqueue c
+        {
+          run = run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms;
+          entry_reject;
+        }
+    | Protocol.Smt2_script { script; timeout_ms } ->
+      enqueue c { run = run_smt2 c ~id ~script ~timeout_ms; entry_reject })
+
+(* ------------------------------------------------------------------ *)
+(* SMT-LIB 2 framing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let smt2_error_line reason =
+  let b = Buffer.create (String.length reason + 12) in
+  Buffer.add_string b "(error \"";
+  String.iter
+    (fun ch ->
+      if ch = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b ch)
+    reason;
+  Buffer.add_string b "\")";
+  Buffer.contents b
+
+(* Commands are parsed on the reader thread (cheap, and it lets the
+   reader see [exit]); execution — which may run a check-sat — goes
+   through the lane like every other request. *)
+let handle_smt2_form c stop_reading form =
+  if not !stop_reading then begin
+    let entry_reject reason = write_line c (smt2_error_line reason) in
+    let enqueue_error e =
+      enqueue c { run = (fun () -> write_line c (smt2_error_line e)); entry_reject }
+    in
+    match Smt_parser.parse_sexps form with
+    | Error e -> enqueue_error e
+    | Ok sexps ->
+      List.iter
+        (fun sx ->
+          if not !stop_reading then
+            match Smt2.parse_command sx with
+            | Error e -> enqueue_error e
+            | Ok cmd ->
+              if cmd = Smt2.Exit then stop_reading := true;
+              enqueue c
+                {
+                  run =
+                    (fun () ->
+                      let started = Clock.now () in
+                      let budget = budget_for c.srv None in
+                      let check =
+                        Smt2.engine_check ~registry:c.registry
+                          ~options:(request_options c.srv budget) ()
+                      in
+                      let reply = Smt2.execute c.smt2 ~check cmd in
+                      (match cmd with
+                      | Smt2.Check_sat ->
+                        finish_query c ~started ~op:"smt2";
+                        bump c.srv
+                          (match reply with
+                          | Smt2.R_sat -> "server.sat"
+                          | Smt2.R_unsat -> "server.unsat"
+                          | _ -> "server.unknown")
+                          1
+                      | _ -> ());
+                      match Smt2.render c.smt2 reply with
+                      | Some line -> write_line c line
+                      | None -> ());
+                  entry_reject;
+                })
+        sexps
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_channel srv ic oc =
+  if Atomic.get srv.clients >= srv.config.max_clients then begin
+    (try
+       output_string oc
+         (Protocol.rejected ~id:Sjson.Null
+            (Printf.sprintf "server at max clients (%d)" srv.config.max_clients));
+       output_char oc '\n';
+       flush oc
+     with Sys_error _ -> ())
+  end
+  else begin
+    Atomic.incr srv.clients;
+    Atomic.incr srv.total_clients;
+    let registry, dispose = srv.config.registry () in
+    let c =
+      {
+        srv;
+        oc;
+        out_lock = Mutex.create ();
+        m = Mutex.create ();
+        cv = Condition.create ();
+        q = Queue.create ();
+        busy = false;
+        registry;
+        dispose;
+        smt2 = Smt2.create ();
+      }
+    in
+    let stop_reading = ref false in
+    let mode = ref `Undecided in
+    let buf = Buffer.create 256 in
+    (try
+       while (not !stop_reading) && not srv.stopping do
+         match input_line ic with
+         | exception End_of_file -> stop_reading := true
+         | line -> (
+           let trimmed = String.trim line in
+           match !mode with
+           | `Undecided when trimmed = "" -> ()
+           | _ -> (
+             let m =
+               match !mode with
+               | `Undecided ->
+                 (* framing auto-detection: a JSON request line must
+                    start with '{'; anything else is an smt2 stream *)
+                 let m = if trimmed.[0] = '{' then `Json else `Smt2 in
+                 mode := m;
+                 m
+               | (`Json | `Smt2) as m -> m
+             in
+             match m with
+             | `Json -> handle_json_line c stop_reading line
+             | `Smt2 ->
+               Buffer.add_string buf line;
+               Buffer.add_char buf '\n';
+               let forms, rest = Smt2.split_complete (Buffer.contents buf) in
+               Buffer.clear buf;
+               Buffer.add_string buf rest;
+               List.iter (handle_smt2_form c stop_reading) forms))
+       done
+     with Sys_error _ -> ());
+    drain c;
+    c.dispose ();
+    Atomic.decr srv.clients
+  end
+
+let serve_socket srv ~path =
+  match
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind sock (Unix.ADDR_UNIX path);
+       Unix.listen sock 64
+     with e ->
+       (try Unix.close sock with Unix.Unix_error _ -> ());
+       raise e);
+    sock
+  with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | sock ->
+    Mutex.protect srv.lock (fun () -> srv.listener <- Some sock);
+    if srv.stopping then (try Unix.close sock with Unix.Unix_error _ -> ());
+    let threads = ref [] in
+    let rec loop () =
+      if not srv.stopping then
+        match Unix.accept sock with
+        | exception
+            Unix.Unix_error
+              ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
+          ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | fd, _ ->
+          if srv.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+          else begin
+            Mutex.protect srv.lock (fun () ->
+                srv.client_fds <- fd :: srv.client_fds);
+            let th =
+              Thread.create
+                (fun () ->
+                  let ic = Unix.in_channel_of_descr fd in
+                  let oc = Unix.out_channel_of_descr fd in
+                  (try serve_channel srv ic oc with _ -> ());
+                  Mutex.protect srv.lock (fun () ->
+                      srv.client_fds <-
+                        List.filter (fun f -> f != fd) srv.client_fds);
+                  (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+                   with Unix.Unix_error _ -> ());
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                ()
+            in
+            threads := th :: !threads;
+            loop ()
+          end
+    in
+    loop ();
+    List.iter Thread.join !threads;
+    Mutex.protect srv.lock (fun () -> srv.listener <- None);
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately lock-free (reads of [listener]/[client_fds] may race
+   with the accept loop, harmlessly — readers also poll [stopping]):
+   this must be safe to call from a SIGTERM handler. *)
+let request_stop srv =
+  srv.stopping <- true;
+  Budget.cancel srv.root;
+  (match srv.listener with
+  | Some fd -> (
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    srv.client_fds
+
+let shutdown srv =
+  request_stop srv;
+  let deadline = Clock.now () +. 10.0 in
+  while Atomic.get srv.clients > 0 && Clock.now () < deadline do
+    Unix.sleepf 0.01
+  done;
+  Pool.Executor.shutdown srv.exec

@@ -1,0 +1,90 @@
+(** Solver-as-a-service: a long-running daemon multiplexing concurrent
+    solve jobs over the shared domain pool (DESIGN.md §13).
+
+    Clients connect over a Unix-domain socket (or drive stdin/stdout)
+    and speak either line-delimited JSON ({!Protocol}) or a raw
+    SMT-LIB 2 command stream ({!Absolver_smtlib.Smt2}) — the framing is
+    auto-detected per connection from the first non-blank byte ([{]
+    means JSON).  Each connection gets a reader thread (I/O-bound, on
+    the main domain), one warm persistent simplex session
+    ({!Absolver_core.Registry.persistent_simplex}, torn down at
+    disconnect) and a {e serial lane}: its requests run one at a time,
+    in arrival order, on the shared {!Absolver_parallel.Pool.Executor}
+    worker domains — concurrency comes from multiple clients, so a
+    connection's responses are deterministic and FIFO.
+
+    Admission control is three-layered: a connection cap
+    ([max_clients], refused connections get one ["status":"rejected"]
+    line), a per-client pending cap ([client_cap], {e flow control}: the
+    client's own reader stops consuming input until its lane drains, so
+    a scripted session is never torn by its own burstiness) and the
+    executor's bounded queue as global backstop (a request that cannot
+    be admitted there is answered immediately with
+    ["status":"rejected"] and the executor's reason).  Nothing is ever
+    dropped silently.
+
+    Every request runs under a budget {!Absolver_resource.Budget.child}
+    of the server's root, so one SIGTERM cancels everything in flight
+    cooperatively; timeouts degrade to ["verdict":"unknown"] replies,
+    never to a dead connection. *)
+
+type config = {
+  max_clients : int;  (** concurrent connections (default 32) *)
+  client_cap : int;
+      (** pending (queued, not yet running) requests per client before
+          the reader stops consuming input (default 8) *)
+  queue_capacity : int;  (** executor backstop queue (default 64) *)
+  workers : int;  (** solver worker domains *)
+  default_timeout_ms : int option;
+      (** per-request deadline when the request names none;
+          [None] = unbounded (still cancellable via shutdown) *)
+  engine_options : Absolver_core.Engine.options;
+      (** base options; each request overrides [budget] (and runs with
+          telemetry disabled — the server keeps its own aggregate) *)
+  registry : unit -> Absolver_core.Registry.t * (unit -> unit);
+      (** per-client registry factory; the second component disposes
+          client-held state at disconnect.  Default: {!Absolver_core.Registry.default}
+          with the linear solver replaced by a fresh
+          [persistent_simplex]. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Build the server: spawns the executor's worker domains. *)
+
+val serve_channel : t -> in_channel -> out_channel -> unit
+(** Serve one connection on explicit channels (the CLI's stdio mode and
+    the tests' pipe harness); returns when the peer sends [exit] /
+    [(exit)] or closes its end, with the client's session disposed. *)
+
+val serve_socket : t -> path:string -> (unit, string) result
+(** Bind a Unix-domain socket at [path] (replacing a stale file), then
+    accept-loop until {!request_stop}; each connection is served by
+    {!serve_channel} on its own thread.  Blocks the calling thread;
+    returns after the listener closed and every connection drained, with
+    the socket file removed. *)
+
+val request_stop : t -> unit
+(** Begin shutdown: stop accepting, cancel the root budget (every
+    in-flight request trips to [unknown] at its next poll), and shut
+    down client sockets so reader threads see EOF.  Async-signal-safe
+    enough for a SIGTERM handler: flips flags and closes descriptors,
+    never blocks. *)
+
+val shutdown : t -> unit
+(** {!request_stop}, then drain: wait for connections to finish and the
+    executor to join its domains.  Idempotent. *)
+
+val stats_json : t -> string
+(** The [stats] op's payload: queries served by op and verdict,
+    rejections, budget trips, end-to-end latency percentiles
+    (p50/p95/p99 ms), executor occupancy, LP-cache hit counters,
+    connection counts, uptime. *)
+
+val health_fields : t -> (string * Sjson.t) list
+(** The [health] op's payload fields (also usable before [create]d
+    servers go public): ["health"], uptime, client/worker occupancy,
+    whether the server still accepts work. *)

@@ -1,0 +1,237 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Err of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.text
+    &&
+    match c.text.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some d when d = ch -> c.pos <- c.pos + 1
+  | Some d -> failf "expected '%c', got '%c' at %d" ch d c.pos
+  | None -> failf "expected '%c', got end of input" ch
+
+let literal c word v =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text
+    && String.sub c.text c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else failf "invalid literal at %d" c.pos
+
+let utf8_encode b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string_body c =
+  let b = Buffer.create 16 in
+  let fin = ref false in
+  while not !fin do
+    match peek c with
+    | None -> failf "unterminated string"
+    | Some '"' ->
+      c.pos <- c.pos + 1;
+      fin := true
+    | Some '\\' -> (
+      c.pos <- c.pos + 1;
+      match peek c with
+      | None -> failf "unterminated escape"
+      | Some e ->
+        c.pos <- c.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          if c.pos + 4 > String.length c.text then failf "truncated \\u escape";
+          let hex = String.sub c.text c.pos 4 in
+          c.pos <- c.pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code -> utf8_encode b code
+          | None -> failf "invalid \\u escape %s" hex)
+        | e -> failf "invalid escape \\%c" e))
+    | Some ch ->
+      c.pos <- c.pos + 1;
+      Buffer.add_char b ch
+  done;
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  while
+    c.pos < String.length c.text && is_num_char c.text.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> failf "invalid number %s" s
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> failf "unexpected end of input"
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let fin = ref false in
+      while not !fin do
+        skip_ws c;
+        expect c '"';
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (k, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' -> c.pos <- c.pos + 1
+        | Some '}' ->
+          c.pos <- c.pos + 1;
+          fin := true
+        | _ -> failf "expected ',' or '}' at %d" c.pos
+      done;
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let fin = ref false in
+      while not !fin do
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' -> c.pos <- c.pos + 1
+        | Some ']' ->
+          c.pos <- c.pos + 1;
+          fin := true
+        | _ -> failf "expected ',' or ']' at %d" c.pos
+      done;
+      Arr (List.rev !items)
+    end
+  | Some '"' ->
+    c.pos <- c.pos + 1;
+    Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> failf "unexpected character '%c' at %d" ch c.pos
+
+let parse text =
+  match
+    let c = { text; pos = 0 } in
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length text then failf "trailing input at %d" c.pos;
+    v
+  with
+  | v -> Ok v
+  | exception Err msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.9g" f
+  else "null"
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Num f -> num_to_string f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Arr items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+  | Obj fields ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) fields)
+    ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let get_string = function Str s -> Some s | _ -> None
+
+let get_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let get_bool = function Bool b -> Some b | _ -> None

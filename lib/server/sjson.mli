@@ -1,0 +1,33 @@
+(** Minimal JSON values for the solve server's wire protocol.
+
+    The container ships no JSON library, and the protocol needs only
+    scalars, arrays and objects — so this is a small, total
+    recursive-descent parser plus a printer.  Numbers are [float]s
+    (ints round-trip exactly up to 2^53, far beyond any id or timeout
+    the protocol carries); strings support the standard escapes and
+    [\uXXXX] (encoded back out as UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** One JSON value; trailing non-whitespace is an error (the server
+    frames one value per line). *)
+
+val to_string : t -> string
+(** Canonical one-line rendering: no added whitespace, object fields in
+    given order, integral numbers printed without a decimal point. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on missing field or non-object). *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+val get_bool : t -> bool option

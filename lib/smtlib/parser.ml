@@ -25,6 +25,24 @@ let tokenize text =
       toks := ")" :: !toks;
       incr i
     end
+    else if c = '"' then begin
+      (* SMT-LIB 2 string literal: kept as one atom, quotes included;
+         an embedded [""] escapes a quote character. *)
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if text.[!i] = '"' then
+          if !i + 1 < n && text.[!i + 1] = '"' then i := !i + 2
+          else begin
+            closed := true;
+            incr i
+          end
+        else incr i
+      done;
+      if not !closed then failf "unterminated string literal";
+      toks := String.sub text start (!i - start) :: !toks
+    end
     else begin
       let start = !i in
       while

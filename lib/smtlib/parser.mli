@@ -10,5 +10,9 @@
 type sexp = Atom of string | List of sexp list
 
 val parse_sexps : string -> (sexp list, string) result
+
+(** Lexical test for numeric literals ([3], [3.5], [-0.25], [7/2]);
+    shared with the SMT-LIB 2 elaborator in {!Smt2}. *)
+val is_number : string -> bool
 val parse_benchmark : string -> (Ast.benchmark, string) result
 val parse_file : string -> (Ast.benchmark, string) result

@@ -1,0 +1,585 @@
+module Q = Absolver_numeric.Rational
+module Bigint = Absolver_numeric.Bigint
+module Ab_problem = Absolver_core.Ab_problem
+module Solution = Absolver_core.Solution
+module Engine = Absolver_core.Engine
+
+exception Err of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type command =
+  | Set_logic of string
+  | Set_option of string * string
+  | Set_info of string * string
+  | Get_info of string
+  | Declare of string * Ast.sort
+  | Assert_cmd of Parser.sexp
+  | Push of int
+  | Pop of int
+  | Check_sat
+  | Get_model
+  | Get_assertions
+  | Echo of string
+  | Reset
+  | Reset_assertions
+  | Exit
+
+let sort_of_string = function
+  | "Bool" -> Ast.S_bool
+  | "Int" -> Ast.S_int
+  | "Real" -> Ast.S_real
+  | s -> failf "unknown sort %s" s
+
+let nat_of_atom what = function
+  | Parser.Atom a -> (
+    match int_of_string_opt a with
+    | Some n when n >= 0 -> n
+    | _ -> failf "%s expects a numeral" what)
+  | Parser.List _ -> failf "%s expects a numeral" what
+
+let parse_command (s : Parser.sexp) : (command, string) result =
+  match
+    match s with
+    | Parser.List [ Parser.Atom "set-logic"; Parser.Atom l ] -> Set_logic l
+    | Parser.List [ Parser.Atom "set-option"; Parser.Atom k; Parser.Atom v ] ->
+      Set_option (k, v)
+    | Parser.List [ Parser.Atom "set-info"; Parser.Atom k ] -> Set_info (k, "")
+    | Parser.List [ Parser.Atom "set-info"; Parser.Atom k; Parser.Atom v ] ->
+      Set_info (k, v)
+    | Parser.List [ Parser.Atom "get-info"; Parser.Atom k ] -> Get_info k
+    | Parser.List
+        [ Parser.Atom "declare-fun"; Parser.Atom n; Parser.List args;
+          Parser.Atom srt ] ->
+      if args <> [] then
+        failf "only constant (0-ary) declarations are supported"
+      else Declare (n, sort_of_string srt)
+    | Parser.List [ Parser.Atom "declare-const"; Parser.Atom n; Parser.Atom srt ]
+      ->
+      Declare (n, sort_of_string srt)
+    | Parser.List [ Parser.Atom "assert"; f ] -> Assert_cmd f
+    | Parser.List [ Parser.Atom "push" ] -> Push 1
+    | Parser.List [ Parser.Atom "push"; n ] -> Push (nat_of_atom "push" n)
+    | Parser.List [ Parser.Atom "pop" ] -> Pop 1
+    | Parser.List [ Parser.Atom "pop"; n ] -> Pop (nat_of_atom "pop" n)
+    | Parser.List [ Parser.Atom "check-sat" ] -> Check_sat
+    | Parser.List [ Parser.Atom "get-model" ] -> Get_model
+    | Parser.List [ Parser.Atom "get-assertions" ] -> Get_assertions
+    | Parser.List [ Parser.Atom "echo"; Parser.Atom s ] -> Echo s
+    | Parser.List [ Parser.Atom "reset" ] -> Reset
+    | Parser.List [ Parser.Atom "reset-assertions" ] -> Reset_assertions
+    | Parser.List [ Parser.Atom "exit" ] -> Exit
+    | Parser.List (Parser.Atom cmd :: _) -> failf "unsupported command %s" cmd
+    | Parser.Atom a -> failf "expected a command, got %s" a
+    | Parser.List _ -> failf "malformed command"
+  with
+  | c -> Ok c
+  | exception Err msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Stream framing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let split_complete text =
+  let n = String.length text in
+  let forms = ref [] in
+  let i = ref 0 in
+  let consumed = ref 0 in
+  (* Scan one span at a time; [consumed] only advances past whole forms
+     (and the whitespace/comments before them), so a split mid-form
+     leaves the prefix intact for the next read to extend. *)
+  (try
+     while !i < n do
+       (* skip inter-form whitespace and comments *)
+       let progressed = ref true in
+       while !progressed do
+         progressed := false;
+         while !i < n && is_ws text.[!i] do
+           incr i;
+           progressed := true
+         done;
+         if !i < n && text.[!i] = ';' then begin
+           while !i < n && text.[!i] <> '\n' do incr i done;
+           progressed := true
+         end
+       done;
+       consumed := !i;
+       if !i < n then
+         if text.[!i] = '(' then begin
+           let start = !i in
+           let depth = ref 0 in
+           let in_string = ref false in
+           let fin = ref false in
+           while (not !fin) && !i < n do
+             let c = text.[!i] in
+             if !in_string then begin
+               if c = '"' then
+                 if !i + 1 < n && text.[!i + 1] = '"' then incr i
+                 else in_string := false
+             end
+             else if c = '"' then in_string := true
+             else if c = ';' then
+               while !i < n && text.[!i] <> '\n' do incr i done
+             else if c = '(' then incr depth
+             else if c = ')' then begin
+               decr depth;
+               if !depth = 0 then fin := true
+             end;
+             if !i < n then incr i
+           done;
+           if !fin then begin
+             forms := String.sub text start (!i - start) :: !forms;
+             consumed := !i
+           end
+           else raise Exit (* incomplete form: stop, keep as remainder *)
+         end
+         else begin
+           (* bare top-level atom: complete once a delimiter follows
+              (otherwise the next read may extend it) *)
+           let start = !i in
+           while
+             !i < n
+             && (not (is_ws text.[!i]))
+             && text.[!i] <> '(' && text.[!i] <> ')' && text.[!i] <> ';'
+           do
+             incr i
+           done;
+           if !i < n then begin
+             forms := String.sub text start (!i - start) :: !forms;
+             consumed := !i
+           end
+           else raise Exit
+         end
+     done
+   with Exit -> ());
+  (List.rev !forms, String.sub text !consumed (n - !consumed))
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  mutable decls : (string * Ast.sort) list;  (* newest first *)
+  mutable asserts : Ast.formula list;  (* newest first *)
+}
+
+let fresh_frame () = { decls = []; asserts = [] }
+
+type model_snapshot = {
+  m_decls : (string * Ast.sort) list;  (* declaration order *)
+  m_problem : Ab_problem.t;
+  m_solution : Solution.t;
+  m_preds : (string * int) list;
+}
+
+type session = {
+  mutable frames : frame list;  (* top first; never empty *)
+  mutable logic : string option;
+  mutable print_success : bool;
+  mutable model : model_snapshot option;
+}
+
+let create () =
+  { frames = [ fresh_frame () ]; logic = None; print_success = false;
+    model = None }
+
+type check_result =
+  | C_sat of Solution.t
+  | C_unsat
+  | C_unknown of string
+
+type check_fun = Ab_problem.t -> check_result
+
+let engine_check ?registry ?options () problem =
+  match Engine.solve ?registry ?options problem with
+  | Engine.R_sat sol, _ -> C_sat sol
+  | Engine.R_unsat, _ -> C_unsat
+  | Engine.R_unknown why, _ -> C_unknown why
+
+type reply =
+  | R_success
+  | R_sat
+  | R_unsat
+  | R_unknown of string
+  | R_model of string
+  | R_info of string
+  | R_echo of string
+  | R_error of string
+  | R_exit
+
+(* Declarations / assertions in their original order, bottom frame
+   first (frames store newest-first, the frame list is top-first). *)
+let decls_in_order s =
+  List.concat (List.rev_map (fun f -> List.rev f.decls) s.frames)
+
+let asserts_in_order s =
+  List.concat (List.rev_map (fun f -> List.rev f.asserts) s.frames)
+
+let find_decl s name =
+  let rec go = function
+    | [] -> None
+    | f :: rest -> (
+      match List.assoc_opt name f.decls with
+      | Some srt -> Some srt
+      | None -> go rest)
+  in
+  go s.frames
+
+(* ------------------------------------------------------------------ *)
+(* Formula elaboration                                                 *)
+(*                                                                     *)
+(* SMT-LIB 2 terms are sort-checked against the session's declarations *)
+(* and lowered to the 1.2 AST: Bool constants become predicates, [=]   *)
+(* resolves to iff on Bool and to an equation on arithmetic, [let] is  *)
+(* inlined (parallel binding, as the standard requires), [!]           *)
+(* annotations are stripped.                                           *)
+(* ------------------------------------------------------------------ *)
+
+type value = V_term of Ast.term | V_form of Ast.formula
+
+let as_form = function
+  | V_form f -> f
+  | V_term _ -> failf "expected a Bool expression, got an arithmetic one"
+
+let as_term = function
+  | V_term t -> t
+  | V_form _ -> failf "expected an arithmetic expression, got a Bool one"
+
+let cmp_of = function
+  | "<" -> Ast.Lt
+  | "<=" -> Ast.Le
+  | ">" -> Ast.Gt
+  | ">=" -> Ast.Ge
+  | _ -> assert false
+
+(* chainable comparison: (< a b c) = a<b and b<c *)
+let chain mk = function
+  | a :: (_ :: _ as rest) ->
+    let conj =
+      List.rev
+        (fst
+           (List.fold_left
+              (fun (acc, prev) x -> (mk prev x :: acc, x))
+              ([], a) rest))
+    in
+    (match conj with [ f ] -> f | fs -> Ast.F_and fs)
+  | _ -> failf "comparison needs at least two arguments"
+
+let rec elab s env (x : Parser.sexp) : value =
+  match x with
+  | Parser.Atom "true" -> V_form Ast.F_true
+  | Parser.Atom "false" -> V_form Ast.F_false
+  | Parser.Atom a when Parser.is_number a ->
+    V_term (Ast.T_const (Q.of_decimal_string a))
+  | Parser.Atom a -> (
+    match List.assoc_opt a env with
+    | Some v -> v
+    | None -> (
+      match find_decl s a with
+      | Some Ast.S_bool -> V_form (Ast.F_pred a)
+      | Some _ -> V_term (Ast.T_var a)
+      | None -> failf "unknown constant %s" a))
+  | Parser.List (Parser.Atom "!" :: body :: _attrs) -> elab s env body
+  | Parser.List [ Parser.Atom "let"; Parser.List binds; body ] ->
+    let env' =
+      List.fold_left
+        (fun acc b ->
+          match b with
+          | Parser.List [ Parser.Atom n; v ] -> (n, elab s env v) :: acc
+          | _ -> failf "malformed let binding")
+        env binds
+    in
+    elab s env' body
+  | Parser.List (Parser.Atom "and" :: args) ->
+    V_form (Ast.F_and (List.map (fun a -> as_form (elab s env a)) args))
+  | Parser.List (Parser.Atom "or" :: args) ->
+    V_form (Ast.F_or (List.map (fun a -> as_form (elab s env a)) args))
+  | Parser.List [ Parser.Atom "not"; a ] ->
+    V_form (Ast.F_not (as_form (elab s env a)))
+  | Parser.List (Parser.Atom "=>" :: args) -> (
+    (* right-associative n-ary implication *)
+    match List.rev_map (fun a -> as_form (elab s env a)) args with
+    | last :: (_ :: _ as before) ->
+      V_form (List.fold_left (fun acc f -> Ast.F_implies (f, acc)) last before)
+    | _ -> failf "=> needs at least two arguments")
+  | Parser.List (Parser.Atom "xor" :: a :: (_ :: _ as rest)) ->
+    V_form
+      (List.fold_left
+         (fun acc x -> Ast.F_xor (acc, as_form (elab s env x)))
+         (as_form (elab s env a))
+         rest)
+  | Parser.List [ Parser.Atom "ite"; c; a; b ] -> (
+    let c = as_form (elab s env c) in
+    match (elab s env a, elab s env b) with
+    | V_form fa, V_form fb ->
+      V_form
+        (Ast.F_or [ Ast.F_and [ c; fa ]; Ast.F_and [ Ast.F_not c; fb ] ])
+    | _ -> failf "arithmetic ite is not supported")
+  | Parser.List (Parser.Atom (("<" | "<=" | ">" | ">=") as op) :: args) ->
+    let ts = List.map (fun a -> as_term (elab s env a)) args in
+    V_form (chain (fun a b -> Ast.F_cmp (cmp_of op, a, b)) ts)
+  | Parser.List (Parser.Atom "=" :: (_ :: _ :: _ as args)) -> (
+    match List.map (elab s env) args with
+    | V_form _ :: _ as vs ->
+      V_form (chain (fun a b -> Ast.F_iff (a, b)) (List.map as_form vs))
+    | vs ->
+      V_form (chain (fun a b -> Ast.F_cmp (Ast.Eq, a, b)) (List.map as_term vs)))
+  | Parser.List (Parser.Atom "distinct" :: (_ :: _ :: _ as args)) -> (
+    match List.map (elab s env) args with
+    | [ V_form a; V_form b ] -> V_form (Ast.F_xor (a, b))
+    | V_form _ :: _ -> failf "distinct over more than two Bools"
+    | vs ->
+      let ts = List.map as_term vs in
+      let rec pairs = function
+        | [] -> []
+        | t :: rest ->
+          List.map (fun u -> Ast.F_not (Ast.F_cmp (Ast.Eq, t, u))) rest
+          @ pairs rest
+      in
+      V_form
+        (match pairs ts with [ f ] -> f | fs -> Ast.F_and fs))
+  | Parser.List (Parser.Atom "+" :: (_ :: _ as args)) ->
+    V_term (Ast.T_add (List.map (fun a -> as_term (elab s env a)) args))
+  | Parser.List [ Parser.Atom "-"; a ] ->
+    V_term (Ast.T_neg (as_term (elab s env a)))
+  | Parser.List (Parser.Atom "-" :: a :: (_ :: _ as rest)) ->
+    V_term
+      (List.fold_left
+         (fun acc x -> Ast.T_sub (acc, as_term (elab s env x)))
+         (as_term (elab s env a))
+         rest)
+  | Parser.List (Parser.Atom "*" :: a :: (_ :: _ as rest)) ->
+    V_term
+      (List.fold_left
+         (fun acc x -> Ast.T_mul (acc, as_term (elab s env x)))
+         (as_term (elab s env a))
+         rest)
+  | Parser.List (Parser.Atom "/" :: a :: (_ :: _ as rest)) ->
+    V_term
+      (List.fold_left
+         (fun acc x -> Ast.T_div (acc, as_term (elab s env x)))
+         (as_term (elab s env a))
+         rest)
+  | Parser.List [ Parser.Atom p ] when find_decl s p = Some Ast.S_bool ->
+    V_form (Ast.F_pred p)
+  | Parser.List (Parser.Atom op :: _) -> failf "unsupported operator %s" op
+  | Parser.List _ -> failf "unsupported expression"
+
+let formula_of_sexp s x = as_form (elab s [] x)
+
+(* ------------------------------------------------------------------ *)
+(* check-sat / get-model                                               *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark_of s =
+  let decls = decls_in_order s in
+  {
+    Ast.name = "incremental";
+    logic = Option.value ~default:"QF_LRA" s.logic;
+    extrafuns = List.filter (fun (_, srt) -> srt <> Ast.S_bool) decls;
+    extrapreds =
+      List.filter_map
+        (fun (n, srt) -> if srt = Ast.S_bool then Some n else None)
+        decls;
+    status = `Unknown;
+    assumptions = asserts_in_order s;
+    formula = Ast.F_true;
+  }
+
+let rat_sexp q =
+  let mag q =
+    if Q.is_integer q then Bigint.to_string (Q.num q)
+    else
+      Printf.sprintf "(/ %s %s)"
+        (Bigint.to_string (Q.num q))
+        (Bigint.to_string (Q.den q))
+  in
+  if Q.sign q < 0 then Printf.sprintf "(- %s)" (mag (Q.neg q)) else mag q
+
+let value_sexp snapshot name sort =
+  match sort with
+  | Ast.S_bool -> (
+    match List.assoc_opt name snapshot.m_preds with
+    | Some v when v < Array.length snapshot.m_solution.Solution.bools ->
+      if snapshot.m_solution.Solution.bools.(v) then "true" else "false"
+    | _ -> "false")
+  | Ast.S_int | Ast.S_real -> (
+    match Ab_problem.arith_var_index snapshot.m_problem name with
+    | Some i when i < Array.length snapshot.m_solution.Solution.arith -> (
+      match snapshot.m_solution.Solution.arith.(i) with
+      | Some (Solution.Exact q) -> rat_sexp q
+      | Some (Solution.Approx f) -> rat_sexp (Q.of_float f)
+      | None -> "0")
+    | _ -> "0")
+
+let render_model snapshot =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "(model";
+  List.iter
+    (fun (name, sort) ->
+      Buffer.add_string b
+        (Printf.sprintf " (define-fun %s () %s %s)" name
+           (match sort with
+           | Ast.S_bool -> "Bool"
+           | Ast.S_int -> "Int"
+           | Ast.S_real -> "Real")
+           (value_sexp snapshot name sort)))
+    snapshot.m_decls;
+  Buffer.add_string b ")";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let info_reply = function
+  | ":name" -> R_info "(:name \"absolver\")"
+  | ":version" -> R_info "(:version \"1.0\")"
+  | ":authors" -> R_info "(:authors \"the absolver reproduction\")"
+  | ":error-behavior" -> R_info "(:error-behavior continued-execution)"
+  | k -> R_error (Printf.sprintf "unsupported get-info key %s" k)
+
+let top s = List.hd s.frames
+
+let execute s ~check (cmd : command) : reply =
+  match
+    match cmd with
+    | Set_logic l ->
+      s.logic <- Some l;
+      R_success
+    | Set_option (":print-success", v) ->
+      s.print_success <- v = "true";
+      R_success
+    | Set_option _ | Set_info _ -> R_success
+    | Get_info k -> info_reply k
+    | Declare (name, sort) ->
+      if find_decl s name <> None then
+        failf "%s is already declared" name
+      else begin
+        (top s).decls <- (name, sort) :: (top s).decls;
+        s.model <- None;
+        R_success
+      end
+    | Assert_cmd body ->
+      let f = formula_of_sexp s body in
+      (top s).asserts <- f :: (top s).asserts;
+      s.model <- None;
+      R_success
+    | Push n ->
+      for _ = 1 to n do
+        s.frames <- fresh_frame () :: s.frames
+      done;
+      s.model <- None;
+      R_success
+    | Pop n ->
+      if n >= List.length s.frames then
+        failf "pop below the assertion stack"
+      else begin
+        for _ = 1 to n do
+          s.frames <- List.tl s.frames
+        done;
+        s.model <- None;
+        R_success
+      end
+    | Check_sat -> (
+      match To_ab.convert_full (benchmark_of s) with
+      | Error e -> failf "conversion failed: %s" e
+      | Ok (problem, preds) -> (
+        match check problem with
+        | C_sat sol ->
+          s.model <-
+            Some
+              {
+                m_decls = decls_in_order s;
+                m_problem = problem;
+                m_solution = sol;
+                m_preds = preds;
+              };
+          R_sat
+        | C_unsat ->
+          s.model <- None;
+          R_unsat
+        | C_unknown why ->
+          s.model <- None;
+          R_unknown why))
+    | Get_model -> (
+      match s.model with
+      | Some snap -> R_model (render_model snap)
+      | None -> failf "model is not available")
+    | Get_assertions ->
+      let fs = asserts_in_order s in
+      R_info
+        (Printf.sprintf "(%s)"
+           (String.concat " "
+              (List.map (Format.asprintf "%a" Ast.pp_formula) fs)))
+    | Echo msg ->
+      R_echo (if String.length msg > 0 && msg.[0] = '"' then msg
+              else Printf.sprintf "%S" msg)
+    | Reset ->
+      s.frames <- [ fresh_frame () ];
+      s.logic <- None;
+      s.print_success <- false;
+      s.model <- None;
+      R_success
+    | Reset_assertions ->
+      (* pop every level; level-0 declarations survive, assertions do not *)
+      let globals =
+        match List.rev s.frames with g :: _ -> g.decls | [] -> []
+      in
+      s.frames <- [ { decls = globals; asserts = [] } ];
+      s.model <- None;
+      R_success
+    | Exit -> R_exit
+  with
+  | r -> r
+  | exception Err msg -> R_error msg
+
+let escape msg =
+  let b = Buffer.create (String.length msg + 2) in
+  String.iter
+    (fun c -> if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+    msg;
+  Buffer.contents b
+
+let render s = function
+  | R_success -> if s.print_success then Some "success" else None
+  | R_sat -> Some "sat"
+  | R_unsat -> Some "unsat"
+  | R_unknown _ -> Some "unknown"
+  | R_model m -> Some m
+  | R_info i -> Some i
+  | R_echo e -> Some e
+  | R_error msg -> Some (Printf.sprintf "(error \"%s\")" (escape msg))
+  | R_exit -> None
+
+let run_string s ~check text =
+  let forms, rest = split_complete text in
+  let out = ref [] in
+  let exited = ref false in
+  let emit r = match render s r with Some l -> out := l :: !out | None -> () in
+  List.iter
+    (fun form ->
+      if not !exited then
+        match Parser.parse_sexps form with
+        | Error e -> emit (R_error e)
+        | Ok sexps ->
+          List.iter
+            (fun sx ->
+              if not !exited then
+                match parse_command sx with
+                | Error e -> emit (R_error e)
+                | Ok cmd -> (
+                  match execute s ~check cmd with
+                  | R_exit -> exited := true
+                  | r -> emit r))
+            sexps)
+    forms;
+  if (not !exited) && String.trim rest <> "" then
+    emit (R_error "incomplete input");
+  (List.rev !out, !exited)

@@ -1,0 +1,99 @@
+(** Incremental SMT-LIB 2 front-end.
+
+    The paper predates SMT-LIB 2, but the solve server speaks it so that
+    standard incremental scripts drive ABSOLVER directly: [set-logic],
+    0-ary [declare-fun] / [declare-const] over [Bool]/[Int]/[Real],
+    [assert], [push]/[pop], [check-sat], [get-model], [reset], [exit].
+    Each [check-sat] lowers the current assertion stack to an SMT-LIB 1.2
+    {!Ast.benchmark} and through {!To_ab.convert_full} to an AB-problem —
+    the exact pipeline the batch path uses — then hands it to a
+    caller-supplied {!check_fun} (the server plugs in a budgeted
+    {!Absolver_core.Engine.solve}; tests plug in recorders).
+
+    Error handling is session-preserving by contract: malformed input or
+    an unsupported construct yields an [(error "...")] reply and leaves
+    the assertion stack untouched — a protocol error must never take the
+    daemon down (ISSUE 6 acceptance). *)
+
+(** {1 Commands} *)
+
+type command =
+  | Set_logic of string
+  | Set_option of string * string
+  | Set_info of string * string
+  | Get_info of string
+  | Declare of string * Ast.sort  (** 0-ary [declare-fun] / [declare-const] *)
+  | Assert_cmd of Parser.sexp
+      (** body kept as an s-expression: elaboration needs the session's
+          sort environment, so it happens at execution time *)
+  | Push of int
+  | Pop of int
+  | Check_sat
+  | Get_model
+  | Get_assertions
+  | Echo of string
+  | Reset
+  | Reset_assertions
+  | Exit
+
+val parse_command : Parser.sexp -> (command, string) result
+(** Shape-checks one top-level form. Unsupported or malformed commands
+    come back as [Error] with a human-readable reason. *)
+
+val split_complete : string -> string list * string
+(** Stream framing: split a buffer into the complete top-level forms it
+    contains (parenthesis-balanced, string literals and [;] comments
+    respected) and the unconsumed remainder.  The server feeds socket
+    reads through this to know when a command is whole. *)
+
+(** {1 Sessions} *)
+
+type session
+
+val create : unit -> session
+(** Fresh session: empty assertion stack, one global frame, no logic. *)
+
+type check_result =
+  | C_sat of Absolver_core.Solution.t
+  | C_unsat
+  | C_unknown of string
+
+type check_fun = Absolver_core.Ab_problem.t -> check_result
+(** How [check-sat] decides the lowered problem. *)
+
+val engine_check :
+  ?registry:Absolver_core.Registry.t ->
+  ?options:Absolver_core.Engine.options ->
+  unit ->
+  check_fun
+(** The default decision procedure: {!Absolver_core.Engine.solve} with
+    the given registry/options (run statistics are discarded — the
+    server gathers its own telemetry around the call). *)
+
+type reply =
+  | R_success
+  | R_sat
+  | R_unsat
+  | R_unknown of string  (** printed ["unknown"]; reason kept for stats *)
+  | R_model of string
+  | R_info of string
+  | R_echo of string
+  | R_error of string
+  | R_exit
+
+val execute : session -> check:check_fun -> command -> reply
+(** Run one command against the session.  Never raises: elaboration and
+    conversion failures become {!R_error} and leave the stack as it was. *)
+
+val render : session -> reply -> string option
+(** The reply's wire form, one line, or [None] when nothing is printed
+    ([R_success] with [print-success] off — the default — and [R_exit]).
+    Errors print as [(error "reason")] with quotes doubled, SMT-LIB
+    style. *)
+
+val run_string : session -> check:check_fun -> string -> string list * bool
+(** Convenience driver for tests and [--script] use: split the input
+    into forms, parse and execute each in order (recovering from
+    per-form errors), stop after [exit].  Returns the rendered reply
+    lines and whether [exit] was reached.  Trailing bytes that never
+    completed a form yield a final [(error "incomplete input")]. *)

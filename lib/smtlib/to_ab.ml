@@ -23,7 +23,7 @@ let op_of_cmp = function
   | Ast.Ge -> Linexpr.Ge
   | Ast.Eq -> Linexpr.Eq
 
-let convert_split_eq ~split_eq (b : Ast.benchmark) =
+let convert_full ?(split_eq = true) (b : Ast.benchmark) =
   match
     let problem = Ab_problem.create () in
     let int_sorts = Hashtbl.create 8 in
@@ -96,9 +96,12 @@ let convert_split_eq ~split_eq (b : Ast.benchmark) =
     (match Ab_problem.validate problem with
     | Ok () -> ()
     | Error e -> raise (Err e));
-    problem
+    (* Predicate map in declaration order: the SMT-LIB 2 front-end reads
+       Boolean model values back through it. *)
+    (problem, List.map (fun p -> (p, Hashtbl.find preds p)) b.Ast.extrapreds)
   with
-  | problem -> Ok problem
+  | result -> Ok result
   | exception Err msg -> Error msg
 
+let convert_split_eq ~split_eq b = Result.map fst (convert_full ~split_eq b)
 let convert b = convert_split_eq ~split_eq:true b

@@ -13,3 +13,12 @@ val convert_split_eq :
   split_eq:bool -> Ast.benchmark -> (Absolver_core.Ab_problem.t, string) result
 (** [split_eq:false] keeps equality atoms as single [Eq] definitions
     (exercises the engine's negated-equation branching; ablation). *)
+
+val convert_full :
+  ?split_eq:bool ->
+  Ast.benchmark ->
+  (Absolver_core.Ab_problem.t * (string * int) list, string) result
+(** Like {!convert_split_eq} (default [split_eq:true]) but also returns
+    the predicate map — each declared propositional predicate paired with
+    the Boolean variable it became, in declaration order.  {!Smt2} uses
+    it to read Boolean values back out of a solution for [(get-model)]. *)

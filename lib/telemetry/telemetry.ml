@@ -55,6 +55,28 @@ end
 
 type span_agg = { agg_calls : int; agg_total_s : float; agg_max_s : float }
 
+type dist = {
+  d_count : int;
+  d_sum : float;
+  d_min : float;
+  d_max : float;
+  d_window : float array;
+}
+
+(* One observed distribution: exact count/sum/min/max plus a bounded
+   window of the most recent samples (a ring) from which percentiles are
+   estimated.  8192 samples is plenty for p99 at server request rates
+   while keeping a cold distribution under 64 KiB. *)
+let dist_window_capacity = 8192
+
+type dist_cell = {
+  mutable o_count : int;
+  mutable o_sum : float;
+  mutable o_min : float;
+  mutable o_max : float;
+  ring : float array;
+}
+
 type agg_cell = {
   mutable c_calls : int;
   mutable c_total : float;
@@ -76,6 +98,7 @@ type state = {
   cnt : (string, int ref) Hashtbl.t;
   ggs : (string, float ref) Hashtbl.t;
   aggs : (string, agg_cell) Hashtbl.t;
+  dists : (string, dist_cell) Hashtbl.t;
   trace : out_channel option;
   mutable closed : bool;
   (* Every public operation takes this lock, so one handle may be shared
@@ -106,6 +129,7 @@ let create ?trace () =
       cnt = Hashtbl.create 32;
       ggs = Hashtbl.create 8;
       aggs = Hashtbl.create 32;
+      dists = Hashtbl.create 8;
       trace;
       closed = false;
       lock = Mutex.create ();
@@ -141,6 +165,70 @@ let set_gauge t name v =
         match Hashtbl.find_opt st.ggs name with
         | Some r -> r := v
         | None -> Hashtbl.add st.ggs name (ref v))
+
+let observe t name v =
+  match t with
+  | Disabled -> ()
+  | Enabled st ->
+    Mutex.protect st.lock (fun () ->
+        let c =
+          match Hashtbl.find_opt st.dists name with
+          | Some c -> c
+          | None ->
+            let c =
+              {
+                o_count = 0;
+                o_sum = 0.0;
+                o_min = infinity;
+                o_max = neg_infinity;
+                ring = Array.make dist_window_capacity 0.0;
+              }
+            in
+            Hashtbl.add st.dists name c;
+            c
+        in
+        c.ring.(c.o_count mod dist_window_capacity) <- v;
+        c.o_count <- c.o_count + 1;
+        c.o_sum <- c.o_sum +. v;
+        if v < c.o_min then c.o_min <- v;
+        if v > c.o_max then c.o_max <- v)
+
+let dist_of_cell c =
+  {
+    d_count = c.o_count;
+    d_sum = c.o_sum;
+    d_min = (if c.o_count = 0 then 0.0 else c.o_min);
+    d_max = (if c.o_count = 0 then 0.0 else c.o_max);
+    d_window = Array.sub c.ring 0 (min c.o_count dist_window_capacity);
+  }
+
+let distributions t =
+  match t with
+  | Disabled -> []
+  | Enabled st ->
+    Mutex.protect st.lock (fun () ->
+        Hashtbl.fold (fun k c acc -> (k, dist_of_cell c) :: acc) st.dists [])
+    |> List.sort compare
+
+let distribution t name =
+  match t with
+  | Disabled -> None
+  | Enabled st ->
+    Mutex.protect st.lock (fun () ->
+        Option.map dist_of_cell (Hashtbl.find_opt st.dists name))
+
+(* Nearest-rank percentile over a copy of the samples; [q] in [0,1]. *)
+let percentile_of samples q =
+  let n = Array.length samples in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort Float.compare sorted;
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let dist_percentile d q = percentile_of d.d_window q
 
 let counter t name =
   match t with
@@ -324,6 +412,7 @@ let merge dst src =
     let src_counters = counters src in
     let src_aggs = span_aggregates src in
     let src_gauges = gauges src in
+    let src_dists = distributions src in
     Mutex.protect dstst.lock (fun () ->
         List.iter
           (fun (k, v) ->
@@ -352,7 +441,38 @@ let merge dst src =
             match Hashtbl.find_opt dstst.ggs k with
             | Some r -> r := v
             | None -> Hashtbl.add dstst.ggs k (ref v))
-          src_gauges)
+          src_gauges;
+        List.iter
+          (fun (k, (d : dist)) ->
+            if d.d_count > 0 then begin
+              let c =
+                match Hashtbl.find_opt dstst.dists k with
+                | Some c -> c
+                | None ->
+                  let c =
+                    {
+                      o_count = 0;
+                      o_sum = 0.0;
+                      o_min = infinity;
+                      o_max = neg_infinity;
+                      ring = Array.make dist_window_capacity 0.0;
+                    }
+                  in
+                  Hashtbl.add dstst.dists k c;
+                  c
+              in
+              (* The src window lands in the dst ring (unordered, bounded);
+                 the exact meters add. *)
+              Array.iteri
+                (fun i v ->
+                  c.ring.((c.o_count + i) mod dist_window_capacity) <- v)
+                d.d_window;
+              c.o_count <- c.o_count + d.d_count;
+              c.o_sum <- c.o_sum +. d.d_sum;
+              if d.d_min < c.o_min then c.o_min <- d.d_min;
+              if d.d_max > c.o_max then c.o_max <- d.d_max
+            end)
+          src_dists)
 
 let pp_summary fmt t =
   match t with
@@ -396,8 +516,25 @@ let stats_json t =
             ] ))
       (span_aggregates t)
   in
+  let ds =
+    List.map
+      (fun (k, d) ->
+        ( k,
+          Json.obj
+            [
+              ("count", string_of_int d.d_count);
+              ("sum", Json.of_float d.d_sum);
+              ("min", Json.of_float d.d_min);
+              ("max", Json.of_float d.d_max);
+              ("p50", Json.of_float (dist_percentile d 0.50));
+              ("p95", Json.of_float (dist_percentile d 0.95));
+              ("p99", Json.of_float (dist_percentile d 0.99));
+            ] ))
+      (distributions t)
+  in
   Json.obj
-    [ ("counters", Json.obj cs); ("gauges", Json.obj gs); ("spans", Json.obj ss) ]
+    ([ ("counters", Json.obj cs); ("gauges", Json.obj gs); ("spans", Json.obj ss) ]
+    @ if ds = [] then [] else [ ("dists", Json.obj ds) ])
 
 (* [close] already holds the state lock; these lock-free variants avoid
    re-entering it (the mutex is not recursive). *)

@@ -93,6 +93,37 @@ val set_gauge : t -> string -> float -> unit
 val counter : t -> string -> int
 (** Current total of a counter (0 when disabled or never bumped). *)
 
+(** {1 Distributions}
+
+    Observed samples (latencies, sizes…): exact count/sum/min/max plus a
+    bounded window of the most recent samples from which percentiles are
+    estimated — the machinery behind the solve server's p50/p99 latency
+    reporting and the bench harness's tail-latency columns. *)
+
+type dist = {
+  d_count : int;  (** samples observed (exact) *)
+  d_sum : float;  (** sum of all samples (exact) *)
+  d_min : float;
+  d_max : float;
+  d_window : float array;
+      (** the most recent samples (bounded, unordered) — the percentile
+          estimation basis *)
+}
+
+val observe : t -> string -> float -> unit
+(** Record one sample into the named distribution. No-op when disabled. *)
+
+val distribution : t -> string -> dist option
+val distributions : t -> (string * dist) list
+(** All distributions, sorted by name. Empty when disabled. *)
+
+val dist_percentile : dist -> float -> float
+(** Nearest-rank percentile over the window; the quantile is in [0,1]
+    (e.g. [0.99] for p99). 0 on an empty distribution. *)
+
+val percentile_of : float array -> float -> float
+(** Nearest-rank percentile of a raw sample array (sorts a copy). *)
+
 (** {1 Reading the aggregate} *)
 
 type span_agg = {
@@ -112,8 +143,9 @@ val span_aggregates : t -> (string * span_agg) list
 val merge : t -> t -> unit
 (** [merge dst src] folds [src]'s aggregate into [dst]: counters add,
     span aggregates combine (calls and totals add, maxima max), gauges
-    last-write-wins. Trace lines are not merged. No-op when either handle
-    is disabled. This is the join-side half of the per-worker-handle
+    last-write-wins, distributions combine (exact meters add, the src
+    window lands in the dst window). Trace lines are not merged. No-op
+    when either handle is disabled. This is the join-side half of the per-worker-handle
     discipline of the parallel subsystem: each worker records into a
     fresh handle, and the spawner merges at join. *)
 
@@ -123,7 +155,9 @@ val pp_summary : Format.formatter -> t -> unit
 
 val stats_json : t -> string
 (** The aggregate as one JSON object:
-    [{"counters":{...},"gauges":{...},"spans":{name:{"calls":..,"total_s":..,"max_s":..}}}]. *)
+    [{"counters":{...},"gauges":{...},"spans":{name:{"calls":..,"total_s":..,"max_s":..}}}]
+    plus, when any sample was observed, a ["dists"] object with
+    count/sum/min/max/p50/p95/p99 per distribution. *)
 
 val close : t -> unit
 (** Close any spans left open, emit the final counter/gauge totals to the

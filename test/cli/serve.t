@@ -1,0 +1,54 @@
+The solve server speaks line-delimited JSON over stdin/stdout: one
+request object per line, one response per line, ids echoed verbatim.
+
+  $ cat > session.txt <<'END'
+  > {"id":1,"op":"solve","format":"dimacs","problem":"p cnf 2 2\n1 0\n2 0\nc def real 1 u <= 1\nc def real 2 u >= 2\n"}
+  > {"id":2,"op":"solve","format":"dimacs","problem":"p cnf 1 1\n1 0\nc def int 1 k >= 3\n"}
+  > {"id":3,"op":"smt2","script":"(declare-const x Real)(assert (>= x 1)) (assert (<= x 1)) (check-sat) (get-model)"}
+  > {"id":4,"op":"exit"}
+  > END
+  $ ../../bin/absolver_cli.exe serve < session.txt; echo "exit $?"
+  {"id":1,"status":"ok","verdict":"unsat"}
+  {"id":2,"status":"ok","verdict":"sat","model":"b:1 k=3"}
+  {"id":3,"status":"ok","replies":["sat","(model (define-fun x () Real 1))"]}
+  {"id":4,"status":"ok","bye":true}
+  exit 0
+
+Health and stats carry machine-dependent numbers; mask them.
+
+  $ printf '%s\n' '{"id":1,"op":"health"}' '{"id":2,"op":"exit"}' \
+  >   | ../../bin/absolver_cli.exe serve \
+  >   | sed -E 's/[0-9]+(\.[0-9]+)?(e-?[0-9]+)?/N/g'
+  {"id":N,"status":"ok","health":"ok","accepting":true,"uptime_s":N,"clients":N,"workers":N,"in_flight":N,"queued":N}
+  {"id":N,"status":"ok","bye":true}
+
+A line that is not valid JSON, an unknown op and a missing field are
+answered with errors; the session survives all three.
+
+  $ printf '%s\n' '{not valid json' '{"id":7,"op":"nope"}' '{"id":8,"op":"solve"}' '{"id":9,"op":"exit"}' \
+  >   | ../../bin/absolver_cli.exe serve
+  {"id":null,"status":"error","error":"bad request: expected '\"', got 'n' at 1"}
+  {"id":7,"status":"error","error":"unknown op nope"}
+  {"id":8,"status":"error","error":"solve: missing problem"}
+  {"id":9,"status":"ok","bye":true}
+
+The same daemon speaks raw SMT-LIB 2 when the first byte is not '{'
+(framing is auto-detected per connection).
+
+  $ printf '%s\n' \
+  >   '(set-logic QF_LRA)' \
+  >   '(declare-const p Bool)' \
+  >   '(declare-const x Real)' \
+  >   '(assert (=> p (> x 2)))' \
+  >   '(assert p)' \
+  >   '(check-sat)' \
+  >   '(get-model)' \
+  >   '(this-is-not-a-command)' \
+  >   '(check-sat)' \
+  >   '(exit)' \
+  >   | ../../bin/absolver_cli.exe serve; echo "exit $?"
+  sat
+  (model (define-fun p () Bool true) (define-fun x () Real (/ 5 2)))
+  (error "unsupported command this-is-not-a-command")
+  sat
+  exit 0

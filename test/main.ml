@@ -16,6 +16,7 @@ let () =
       ("resource", Test_resource.suite);
       ("incremental", Test_incremental.suite);
       ("parallel", Test_parallel.suite);
+      ("server", Test_server.suite);
       ("integration", Test_integration.suite);
       ("extra", Test_extra.suite);
       ("proof-diagnosis", Test_proof_diagnosis.suite);
