@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-parallel bench-incremental bench-server fuzz fmt clean
+.PHONY: all build test check bench bench-json bench-parallel bench-incremental bench-server bench-all fuzz fmt clean
 
 all: build
 
@@ -36,6 +36,10 @@ bench-incremental:
 # verdict identity asserted across levels, written to BENCH_server.json.
 bench-server:
 	dune exec bench/main.exe server
+
+# Re-emit every machine-readable benchmark artefact (BENCH_*.json) in
+# one go — the full measurement sweep behind the README numbers.
+bench-all: bench-json bench-parallel bench-incremental bench-server
 
 # Resource-governor robustness: the seeded differential fuzzer (500
 # random problems, engine and DPLL(T) baseline under tight budgets vs

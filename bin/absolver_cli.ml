@@ -85,7 +85,13 @@ let solve_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Stream a JSONL telemetry trace to FILE: one object per line \
                  (meta, nested spans with per-span counter deltas, events, \
-                 final counter totals).")
+                 final counter totals). Analyse with $(b,absolver trace).")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"FILE"
+           ~doc:"Write the run's telemetry (counters, latency and work \
+                 histograms, per-span totals) to FILE in Prometheus \
+                 text-exposition format at exit.")
   in
   let timeout =
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
@@ -120,8 +126,8 @@ let solve_cmd =
                  and cancels the losers.")
   in
   let run file all_models limit bool_solver minimize no_presolve no_incremental
-      verbose stats_flag stats_json trace timeout max_steps mem_budget jobs
-      portfolio =
+      verbose stats_flag stats_json trace metrics_file timeout max_steps
+      mem_budget jobs portfolio =
     match (read_problem file, registry_of_name bool_solver) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -137,7 +143,8 @@ let solve_cmd =
       in
       let trace_oc = Option.map open_out trace in
       let tel =
-        if stats_flag || stats_json <> None || trace_oc <> None then
+        if stats_flag || stats_json <> None || trace_oc <> None
+           || metrics_file <> None then
           Telemetry.create ?trace:trace_oc ()
         else Telemetry.disabled
       in
@@ -159,8 +166,17 @@ let solve_cmd =
         }
       in
       (* Shared epilogue: human summary, JSON dump, trace flush. *)
+      let write_metrics () =
+        match metrics_file with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Absolver_telemetry.Prometheus.render tel);
+          close_out oc
+      in
       let finish stats =
         Telemetry.close tel;
+        write_metrics ();
         if stats_flag then begin
           Format.printf "%a@." A.Engine.pp_run_stats stats;
           if Telemetry.enabled tel then
@@ -212,6 +228,7 @@ let solve_cmd =
         | Some name -> Printf.printf "portfolio winner: %s\n" name
         | None -> ());
         Telemetry.close tel;
+        write_metrics ();
         if stats_flag && Telemetry.enabled tel then
           Format.printf "%a@." Telemetry.pp_summary tel;
         Option.iter close_out trace_oc;
@@ -240,7 +257,8 @@ let solve_cmd =
     Term.(
       const run $ file $ all_models $ limit $ bool_solver $ minimize
       $ no_presolve $ no_incremental $ verbose $ stats_flag $ stats_json
-      $ trace $ timeout $ max_steps $ mem_budget $ jobs $ portfolio)
+      $ trace $ metrics_file $ timeout $ max_steps $ mem_budget $ jobs
+      $ portfolio)
 
 (* ---- convert ---- *)
 
@@ -407,7 +425,35 @@ let serve_cmd =
       & info [ "queue-capacity" ] ~docv:"N"
       ~doc:"Global executor queue bound (admission backstop).")
   in
-  let run socket max_clients default_timeout workers client_cap queue_capacity =
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+      ~doc:"Stream a JSONL request trace to $(docv): every solve/smt2 \
+            request records a span tree tagged with a minted trace id, \
+            echoed in the response. Analyse with $(b,absolver trace).")
+  in
+  let slow_log =
+    Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE"
+      ~doc:"Append a structured JSONL record (op, verdict, latency, budget \
+            outcome, LP-cache hits, trace id) for every request at or over \
+            the $(b,--slow-ms) threshold.")
+  in
+  let slow_ms =
+    Arg.(value & opt float Server.default_config.Server.slow_ms
+      & info [ "slow-ms" ] ~docv:"MS" ~doc:"Slow-query threshold for $(b,--slow-log).")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"FILE"
+      ~doc:"Write the server aggregate in Prometheus text-exposition format \
+            to $(docv) at shutdown (live scraping uses the $(b,metrics) op).")
+  in
+  let run socket max_clients default_timeout workers client_cap queue_capacity
+      trace slow_log slow_ms metrics_file =
+    let trace_oc = Option.map open_out trace in
+    let slow_oc =
+      Option.map
+        (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
+        slow_log
+    in
     let config =
       {
         Server.default_config with
@@ -420,6 +466,9 @@ let serve_cmd =
           | None -> Server.default_config.Server.workers);
         default_timeout_ms =
           (if default_timeout > 0 then Some default_timeout else None);
+        trace = trace_oc;
+        slow_log = slow_oc;
+        slow_ms;
       }
     in
     let srv = Server.create ~config () in
@@ -428,20 +477,31 @@ let serve_cmd =
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ -> ());
+    let finish code =
+      (match metrics_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Server.metrics_text srv);
+        close_out oc);
+      Option.iter close_out trace_oc;
+      Option.iter close_out slow_oc;
+      code
+    in
     match socket with
     | Some path -> (
       match Server.serve_socket srv ~path with
       | Ok () ->
         Server.shutdown srv;
-        0
+        finish 0
       | Error e ->
         prerr_endline ("serve: " ^ e);
         Server.shutdown srv;
-        1)
+        finish 1)
     | None ->
       Server.serve_channel srv stdin stdout;
       Server.shutdown srv;
-      0
+      finish 0
   in
   Cmd.v
     (Cmd.info "serve"
@@ -449,12 +509,92 @@ let serve_cmd =
              stdin/stdout or a Unix-domain socket.")
     Term.(
       const run $ socket $ max_clients $ default_timeout $ workers $ client_cap
-      $ queue_capacity)
+      $ queue_capacity $ trace $ slow_log $ slow_ms $ metrics_file)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let module T = Absolver_tracetool.Tracetool in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace written by $(b,solve --trace) or $(b,serve --trace).")
+  in
+  let tree = Arg.(value & flag & info [ "tree" ] ~doc:"Print only the span trees.") in
+  let aggregates_flag =
+    Arg.(value & flag & info [ "aggregates" ] ~doc:"Print only the per-name aggregates.")
+  in
+  let critical =
+    Arg.(value & flag & info [ "critical-path" ]
+           ~doc:"Print only each root's critical path (longest-duration \
+                 child chain).")
+  in
+  let folded_flag =
+    Arg.(value & flag & info [ "folded" ]
+           ~doc:"Print flamegraph-ready folded stacks (self time in \
+                 microseconds) and nothing else; pipe to flamegraph.pl.")
+  in
+  let trace_id =
+    Arg.(value & opt (some string) None & info [ "trace-id" ] ~docv:"ID"
+           ~doc:"Restrict to one request's span tree (the trace id echoed \
+                 in the server's response).")
+  in
+  let max_depth =
+    Arg.(value & opt int max_int & info [ "max-depth" ] ~docv:"N"
+           ~doc:"Truncate printed trees below depth N.")
+  in
+  let run file tree aggregates_flag critical folded_flag trace_id max_depth =
+    match T.load file with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      1
+    | Ok t ->
+      let roots = T.roots ?trace_id t in
+      (match (trace_id, roots) with
+      | Some tid, [] ->
+        Printf.eprintf "no spans tagged with trace id %s\n" tid
+      | _ -> ());
+      if folded_flag then
+        List.iter
+          (fun (stack, us) -> Printf.printf "%s %d\n" stack us)
+          (T.folded ?trace_id t)
+      else begin
+        let explicit = tree || aggregates_flag || critical in
+        let show_summary = not explicit in
+        let show_tree = tree || not explicit in
+        let show_aggs = aggregates_flag || not explicit in
+        let show_crit = critical || not explicit in
+        if show_summary then print_string (T.render_summary t);
+        if show_tree then
+          List.iter
+            (fun root ->
+              if show_summary then print_newline ();
+              print_string (T.render_tree ~max_depth t root))
+            roots;
+        if show_aggs then begin
+          if show_summary then print_newline ();
+          print_string (T.render_aggregates t)
+        end;
+        if show_crit then
+          List.iter
+            (fun root ->
+              if show_summary then print_newline ();
+              print_string (T.render_critical_path t root))
+            roots
+      end;
+      if T.unresolved t = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Analyse a JSONL telemetry trace: span trees, per-name \
+             aggregates, critical paths, folded stacks.")
+    Term.(
+      const run $ file $ tree $ aggregates_flag $ critical $ folded_flag
+      $ trace_id $ max_depth)
 
 let main =
   let doc = "ABSOLVER: an extensible multi-domain constraint solver (DATE'07 reproduction)" in
   Cmd.group
     (Cmd.info "absolver" ~version:"1.0.0" ~doc)
-    [ solve_cmd; convert_cmd; gen_cmd; circuit_cmd; serve_cmd ]
+    [ solve_cmd; convert_cmd; gen_cmd; circuit_cmd; serve_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main)

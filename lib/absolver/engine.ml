@@ -379,7 +379,9 @@ let check_model ~registry ~options ~stats ~pre ~lsolve problem
           (fun () ->
             let p0 = Simplex.total_pivots () in
             let v = lsolve ~int_vars lp_input in
-            Telemetry.add tel "lp.pivots" (Simplex.total_pivots () - p0);
+            let dp = Simplex.total_pivots () - p0 in
+            Telemetry.add tel "lp.pivots" dp;
+            Telemetry.observe tel "lp.pivots_per_check" (float_of_int dp);
             v)
       in
       match lp_verdict with
@@ -412,7 +414,7 @@ let check_model ~registry ~options ~stats ~pre ~lsolve problem
           let rec try_solvers = function
             | [] -> Registry.N_unknown
             | (s : Registry.nonlinear_solver) :: rest -> (
-              match s.Registry.ns_solve ~budget ~nvars ~box rels with
+              match s.Registry.ns_solve ~budget ~telemetry:tel ~nvars ~box rels with
               | Registry.N_unknown -> try_solvers rest
               | verdict -> verdict)
           in

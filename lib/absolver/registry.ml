@@ -39,6 +39,7 @@ type nonlinear_solver = {
   ns_name : string;
   ns_solve :
     budget:Budget.t ->
+    telemetry:Absolver_telemetry.Telemetry.t ->
     nvars:int ->
     box:Absolver_nlp.Box.t ->
     Expr.rel list ->
@@ -137,8 +138,10 @@ let branch_prune_solver ?(config = Branch_prune.default_config) ?(jobs = 1) () =
       (if jobs <= 1 then "branch-and-prune (IPOPT-like)"
        else Printf.sprintf "branch-and-prune (IPOPT-like, %d jobs)" jobs);
     ns_solve =
-      (fun ~budget ~nvars ~box rels ->
-        match Branch_prune.solve ~config ~budget ~jobs ~nvars ~box rels with
+      (fun ~budget ~telemetry ~nvars ~box rels ->
+        match
+          Branch_prune.solve ~config ~budget ~telemetry ~jobs ~nvars ~box rels
+        with
         | Branch_prune.Sat p, _ -> N_sat p
         | Branch_prune.Approx_sat p, _ -> N_approx p
         | Branch_prune.Unsat, _ -> N_unsat

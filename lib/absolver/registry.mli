@@ -63,11 +63,17 @@ type nonlinear_solver = {
   ns_name : string;
   ns_solve :
     budget:Absolver_resource.Budget.t ->
+    telemetry:Absolver_telemetry.Telemetry.t ->
     nvars:int ->
     box:Absolver_nlp.Box.t ->
     Expr.rel list ->
     nonlinear_verdict;
 }
+(** [telemetry] is the engine's handle with the [nonlinear_check] span
+    open; oracles that fan out over domains fork it per worker so a
+    traced run stays one connected span tree (and may record their own
+    histograms, e.g. [nlp.bp_depth]). A solver free of instrumentation
+    just ignores it. *)
 
 type t = {
   boolean : bool_solver list;

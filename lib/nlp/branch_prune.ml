@@ -196,7 +196,7 @@ type par_fin = Certificate of float array | Capped
 
 let sample_chunk = 64
 
-let solve_par ~(config : config) ~budget ~jobs ~nvars ~box rels =
+let solve_par ~(config : config) ~budget ~telemetry ~jobs ~nvars ~box rels =
   let nodes = Atomic.make 0
   and prunings = Atomic.make 0
   and max_depth = Atomic.make 0 in
@@ -292,7 +292,7 @@ let solve_par ~(config : config) ~budget ~jobs ~nvars ~box rels =
     chunks 0 0 [ Explore (Box.copy box, 0, 1) ]
   in
   let outcome =
-    match Pool.Frontier.run ~budget ~jobs ~init work with
+    match Pool.Frontier.run ~budget ~telemetry ~jobs ~init work with
     | Pool.Frontier.Finished (Certificate p) -> Sat p
     | Pool.Frontier.Finished Capped | Pool.Frontier.Stopped -> (
       (* Node cap or a tripped budget: same degradation as sequential. *)
@@ -305,12 +305,19 @@ let solve_par ~(config : config) ~budget ~jobs ~nvars ~box rels =
   ignore (Atomic.fetch_and_add global_prunings pr);
   (outcome, { nodes = n; prunings = pr; max_depth = Atomic.get max_depth })
 
-let solve ?(config = default_config) ?(budget = Budget.unlimited) ?(jobs = 1)
-    ~nvars ~box rels =
-  if jobs <= 1 then solve_seq ~config ~budget ~nvars ~box rels
-  else begin
-    match Budget.guard budget (fun () -> Faults.hit "nlp.branch_prune" budget)
-    with
-    | Error _ -> (Unknown, { nodes = 0; prunings = 0; max_depth = 0 })
-    | Ok () -> solve_par ~config ~budget ~jobs ~nvars ~box rels
-  end
+let solve ?(config = default_config) ?(budget = Budget.unlimited)
+    ?(telemetry = Absolver_telemetry.Telemetry.disabled) ?(jobs = 1) ~nvars
+    ~box rels =
+  let ((_, stats) as r) =
+    if jobs <= 1 then solve_seq ~config ~budget ~nvars ~box rels
+    else begin
+      match
+        Budget.guard budget (fun () -> Faults.hit "nlp.branch_prune" budget)
+      with
+      | Error _ -> (Unknown, { nodes = 0; prunings = 0; max_depth = 0 })
+      | Ok () -> solve_par ~config ~budget ~telemetry ~jobs ~nvars ~box rels
+    end
+  in
+  Absolver_telemetry.Telemetry.observe telemetry "nlp.bp_depth"
+    (float_of_int stats.max_depth);
+  r

@@ -47,6 +47,7 @@ val total_prunings : unit -> int
 val solve :
   ?config:config ->
   ?budget:Absolver_resource.Budget.t ->
+  ?telemetry:Absolver_telemetry.Telemetry.t ->
   ?jobs:int ->
   nvars:int ->
   box:Box.t ->
@@ -54,6 +55,11 @@ val solve :
   outcome * stats
 (** Decide feasibility of the conjunction over the box. Variables absent
     from all constraints keep their box midpoint in witness points.
+
+    [telemetry] is threaded into the parallel frontier (per-worker forks
+    under the caller's open span, so traced runs stay one connected
+    tree) and records the final search depth into the [nlp.bp_depth]
+    histogram at every job count.
 
     The [budget] is ticked once per search node (and threaded into the HC4
     and Newton contractors). Exhaustion degrades exactly like the node

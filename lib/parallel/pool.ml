@@ -44,15 +44,27 @@ let race ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
     let cancel_losers me =
       Array.iteri (fun i b -> if i <> me then Budget.cancel b) budgets
     in
+    (* The parent for each entrant's spans is whatever span the spawner
+       has open at race time (the engine's [portfolio] span), captured
+       before the domains exist so the stitching is deterministic. *)
+    let parent = Telemetry.current_span telemetry in
     let run i (name, f) =
-      (* Per-entrant telemetry handle, merged by the spawner at join:
+      (* Per-entrant telemetry fork, merged by the spawner at join:
          enabled handles are lock-protected, but per-domain handles keep
-         span nesting meaningful (see Telemetry.merge). *)
+         span nesting meaningful, and a fork shares the spawner's trace
+         sink and id space so entrant spans land in the same tree (see
+         Telemetry.fork/merge). *)
       let tele =
-        if Telemetry.enabled telemetry then Telemetry.create () else telemetry
+        if Telemetry.enabled telemetry then Telemetry.fork ~parent telemetry
+        else telemetry
       in
       let outcome =
-        match f ~budget:budgets.(i) ~telemetry:tele with
+        match
+          Telemetry.span tele
+            ~attrs:[ ("entrant", Telemetry.String name) ]
+            "pool.entrant"
+            (fun () -> f ~budget:budgets.(i) ~telemetry:tele)
+        with
         | v ->
           if
             decisive v
@@ -216,11 +228,18 @@ module Frontier = struct
         Atomic.incr sh.pending;
         Ws_deque.push sh.deques.(i mod jobs) x)
       init;
+    (* As in [race]: capture the spawner's open span before any domain
+       starts, so every worker's spans hang under it. *)
+    let parent = Telemetry.current_span telemetry in
     let spawn me () =
       let tele =
-        if Telemetry.enabled telemetry then Telemetry.create () else telemetry
+        if Telemetry.enabled telemetry then Telemetry.fork ~parent telemetry
+        else telemetry
       in
-      worker_loop sh me work tele;
+      Telemetry.span tele
+        ~attrs:[ ("worker", Telemetry.Int me) ]
+        "pool.worker"
+        (fun () -> worker_loop sh me work tele);
       tele
     in
     if jobs = 1 then begin

@@ -36,8 +36,11 @@ val race :
     reaches all of them, while cancelling one entrant does not disturb
     the others).  The first result satisfying [decisive] wins and cancels
     the rest; all domains are joined before returning.  Each entrant
-    records into a private telemetry handle merged into [telemetry] at
-    join.  If nobody is decisive and some entrant raised, the first
+    records into a private {!Absolver_telemetry.Telemetry.fork} of
+    [telemetry] (merged back at join), wrapped in a [pool.entrant] span
+    parented under the spawner's open span — a traced portfolio run
+    stays one connected span tree.  If nobody is decisive and some
+    entrant raised, the first
     exception is re-raised after the join; with a single entrant the race
     degenerates to an inline call on the caller's domain. *)
 
@@ -102,7 +105,9 @@ module Frontier : sig
     budget : Absolver_resource.Budget.t;
         (** this worker's forked budget — tick it from the work body *)
     telemetry : Absolver_telemetry.Telemetry.t;
-        (** this worker's private handle, merged at join *)
+        (** this worker's private fork of the spawner's handle, merged at
+            join; its spans sit inside a per-worker [pool.worker] span
+            parented under the spawner's open span *)
   }
 
   type 'r outcome =

@@ -15,6 +15,7 @@ type request =
     }
   | Smt2_script of { script : string; timeout_ms : int option }
   | Stats
+  | Metrics
   | Health
   | Quit
 
@@ -65,6 +66,7 @@ let parse_request line =
         | Some script ->
           Ok (Smt2_script { script; timeout_ms = int_field "timeout_ms" }))
       | Some "stats" -> Ok Stats
+      | Some "metrics" -> Ok Metrics
       | Some "health" -> Ok Health
       | Some "exit" -> Ok Quit
       | Some op -> Error (Printf.sprintf "unknown op %s" op)

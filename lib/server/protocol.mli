@@ -7,12 +7,20 @@
      "limit":10,"timeout_ms":5000}
     {"id":2,"op":"smt2","script":"(declare-const x Real)...","timeout_ms":5000}
     {"id":3,"op":"stats"}   {"id":4,"op":"health"}   {"id":5,"op":"exit"}
+    {"id":6,"op":"metrics"}
     v}
 
     Responses echo the request's [id] verbatim and carry
     ["status":"ok"], ["status":"rejected"] (admission control, with a
     [reason]) or ["status":"error"] (with an [error]).  The [id] of a
-    line that could not even be parsed is [null]. *)
+    line that could not even be parsed is [null].
+
+    [metrics] answers with a single ["metrics"] string field holding the
+    server aggregate in Prometheus text-exposition format (counters,
+    gauges, latency/allocation histograms, span totals).  When the
+    server was started with request tracing, [solve] and [smt2]
+    responses additionally echo ["trace_id"] and ["span_id"] — the keys
+    to slice the JSONL trace by request. *)
 
 type format = F_dimacs | F_smt1
 
@@ -26,6 +34,7 @@ type request =
     }
   | Smt2_script of { script : string; timeout_ms : int option }
   | Stats
+  | Metrics
   | Health
   | Quit
 

@@ -1,5 +1,6 @@
 module Budget = Absolver_resource.Budget
 module Telemetry = Absolver_telemetry.Telemetry
+module Prometheus = Absolver_telemetry.Prometheus
 module Clock = Absolver_telemetry.Telemetry.Clock
 module Pool = Absolver_parallel.Pool
 module Engine = Absolver_core.Engine
@@ -21,6 +22,9 @@ type config = {
   default_timeout_ms : int option;
   engine_options : Engine.options;
   registry : unit -> Registry.t * (unit -> unit);
+  trace : out_channel option;
+  slow_log : out_channel option;
+  slow_ms : float;
 }
 
 let default_registry () =
@@ -36,6 +40,9 @@ let default_config =
     default_timeout_ms = Some 30_000;
     engine_options = Engine.default_options;
     registry = default_registry;
+    trace = None;
+    slow_log = None;
+    slow_ms = 100.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -47,6 +54,7 @@ type t = {
   exec : Pool.Executor.t;
   tel : Telemetry.t;
   tel_lock : Mutex.t;
+  slow_lock : Mutex.t;
   root : Budget.t;  (* cancellable umbrella over every request budget *)
   started : float;
   clients : int Atomic.t;
@@ -63,8 +71,9 @@ let create ?(config = default_config) () =
     exec =
       Pool.Executor.create ~queue_capacity:config.queue_capacity
         ~workers:config.workers ();
-    tel = Telemetry.create ();
+    tel = Telemetry.create ?trace:config.trace ();
     tel_lock = Mutex.create ();
+    slow_lock = Mutex.create ();
     root = Budget.create ();
     started = Clock.wall ();
     clients = Atomic.make 0;
@@ -75,15 +84,20 @@ let create ?(config = default_config) () =
     stopping = false;
   }
 
+let tracing srv = srv.config.trace <> None
+
 (* The server-side aggregate is one Telemetry handle shared by every
-   worker domain, so all access goes through [tel_lock] (the engine
-   itself runs with telemetry disabled per request — observation here
-   is end-to-end, around the solve). *)
+   worker domain, so all access goes through [tel_lock] (solve/smt2
+   requests additionally record into a per-request fork of this handle,
+   merged back at request end — see [begin_request]). *)
 let bump srv name n =
   Mutex.protect srv.tel_lock (fun () -> Telemetry.add srv.tel name n)
 
 let observe srv name v =
   Mutex.protect srv.tel_lock (fun () -> Telemetry.observe srv.tel name v)
+
+let set_gauge srv name v =
+  Mutex.protect srv.tel_lock (fun () -> Telemetry.set_gauge srv.tel name v)
 
 let budget_for srv timeout_ms =
   let ms =
@@ -96,19 +110,125 @@ let budget_for srv timeout_ms =
     Budget.child srv.root ~deadline_seconds:(float_of_int m /. 1000.) ()
   | _ -> Budget.child srv.root ()
 
-let request_options srv budget =
-  {
-    srv.config.engine_options with
-    Engine.budget;
-    telemetry = Telemetry.disabled;
-  }
-
 let absorb_run_stats srv (rs : Engine.run_stats) =
   Mutex.protect srv.tel_lock (fun () ->
       Telemetry.add srv.tel "server.lp_cache_hits" rs.Engine.lp_cache_hits;
       Telemetry.add srv.tel "server.lp_cache_misses" rs.Engine.lp_cache_misses;
       if rs.Engine.budget_exhausted <> None then
         Telemetry.add srv.tel "server.budget_trips" 1)
+
+(* ------------------------------------------------------------------ *)
+(* Per-request trace context                                           *)
+(*                                                                     *)
+(* Every solve/smt2 request gets a fresh trace id and a fork of the    *)
+(* server handle with one [server.request] root span.  The fork shares *)
+(* the server's trace sink and span-id space, so engine spans — and    *)
+(* their further forks across the domain pool — stitch into a single   *)
+(* connected tree per request in the JSONL stream; aggregates          *)
+(* (counters, span totals, pivot/depth/allocation histograms) merge    *)
+(* back into the long-running server handle at request end.            *)
+(* ------------------------------------------------------------------ *)
+
+type req = {
+  rq_op : string;
+  rq_trace_id : string;
+  rq_tel : Telemetry.t;
+  rq_span : int;
+  rq_started : float;
+  rq_alloc0 : float;
+}
+
+(* Words allocated by this domain so far.  A request runs entirely on
+   one executor worker domain (the lane serializes it), so the delta
+   across the request is its own allocation. *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let begin_request srv ~op ~enqueued =
+  let rq_trace_id = Telemetry.mint_trace_id () in
+  let rq_tel = Telemetry.fork ~parent:(-1) ~trace_id:rq_trace_id srv.tel in
+  let rq_started = Clock.now () in
+  let queue_wait_ms = Float.max 0.0 ((rq_started -. enqueued) *. 1000.) in
+  Telemetry.observe rq_tel "server.queue_wait_ms" queue_wait_ms;
+  let rq_span =
+    Telemetry.span_open rq_tel "server.request"
+      ~attrs:
+        [
+          ("op", Telemetry.String op);
+          ("queue_wait_ms", Telemetry.Float queue_wait_ms);
+        ]
+  in
+  { rq_op = op; rq_trace_id; rq_tel; rq_span; rq_started; rq_alloc0 = allocated_words () }
+
+let request_options srv rq budget =
+  { srv.config.engine_options with Engine.budget; telemetry = rq.rq_tel }
+
+let log_slow srv rq ~verdict ~latency_ms ~(run_stats : Engine.run_stats option) =
+  match srv.config.slow_log with
+  | Some oc when latency_ms >= srv.config.slow_ms ->
+    let module J = Telemetry.Json in
+    let quoted s = Printf.sprintf "\"%s\"" (J.escape s) in
+    let budget_outcome =
+      match run_stats with
+      | Some rs -> (
+        match rs.Engine.budget_exhausted with
+        | Some e -> quoted (Absolver_resource.Absolver_error.to_string e)
+        | None -> "null")
+      | None -> "null"
+    in
+    let lp_cache_hits =
+      match run_stats with Some rs -> rs.Engine.lp_cache_hits | None -> 0
+    in
+    let line =
+      J.obj
+        [
+          ("type", "\"slow_query\"");
+          ("t", J.of_float (Clock.wall ()));
+          ("op", quoted rq.rq_op);
+          ("verdict", quoted verdict);
+          ("latency_ms", J.of_float latency_ms);
+          ("budget", budget_outcome);
+          ("lp_cache_hits", string_of_int lp_cache_hits);
+          ("trace_id", quoted rq.rq_trace_id);
+        ]
+    in
+    Mutex.protect srv.slow_lock (fun () ->
+        try
+          output_string oc line;
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ -> ())
+  | _ -> ()
+
+let end_request srv rq ~verdict ~run_stats =
+  let latency_ms = (Clock.now () -. rq.rq_started) *. 1000. in
+  let alloc = Float.max 0.0 (allocated_words () -. rq.rq_alloc0) in
+  Telemetry.observe rq.rq_tel "server.request_alloc_words" alloc;
+  Telemetry.observe rq.rq_tel "server.latency_ms" latency_ms;
+  Telemetry.span_close rq.rq_tel rq.rq_span
+    ~attrs:
+      [
+        ("verdict", Telemetry.String verdict);
+        ("latency_ms", Telemetry.Float latency_ms);
+      ];
+  Telemetry.flush rq.rq_tel;
+  Mutex.protect srv.tel_lock (fun () ->
+      Telemetry.merge srv.tel rq.rq_tel;
+      Telemetry.add srv.tel ("server." ^ rq.rq_op) 1);
+  (match run_stats with Some rs -> absorb_run_stats srv rs | None -> ());
+  log_slow srv rq ~verdict ~latency_ms ~run_stats
+
+(* Extra response fields when tracing is on: the keys to slice the
+   JSONL stream by request.  Silent otherwise, keeping the default
+   wire format byte-identical. *)
+let trace_fields srv rq =
+  if tracing srv then
+    [
+      ("trace_id", Sjson.Str rq.rq_trace_id);
+      ("span_id", Sjson.Num (float_of_int rq.rq_span));
+    ]
+  else []
 
 (* ------------------------------------------------------------------ *)
 (* Stats / health payloads                                             *)
@@ -126,15 +246,17 @@ let stats_fields srv =
   in
   Mutex.protect srv.tel_lock (fun () ->
       let c name = Sjson.Num (float_of_int (Telemetry.counter srv.tel name)) in
+      (* One source of truth for latency: the same mergeable histogram
+         the Prometheus exporter renders. *)
       let latency =
-        match Telemetry.distribution srv.tel "server.latency_ms" with
-        | Some d ->
+        match Telemetry.histogram srv.tel "server.latency_ms" with
+        | Some h ->
           [
-            ("count", Sjson.Num (float_of_int d.Telemetry.d_count));
-            ("p50_ms", Sjson.Num (Telemetry.dist_percentile d 0.50));
-            ("p95_ms", Sjson.Num (Telemetry.dist_percentile d 0.95));
-            ("p99_ms", Sjson.Num (Telemetry.dist_percentile d 0.99));
-            ("max_ms", Sjson.Num d.Telemetry.d_max);
+            ("count", Sjson.Num (float_of_int h.Telemetry.h_count));
+            ("p50_ms", Sjson.Num (Telemetry.hist_quantile h 0.50));
+            ("p95_ms", Sjson.Num (Telemetry.hist_quantile h 0.95));
+            ("p99_ms", Sjson.Num (Telemetry.hist_quantile h 0.99));
+            ("max_ms", Sjson.Num h.Telemetry.h_max);
           ]
         | None -> [ ("count", Sjson.Num 0.) ]
       in
@@ -157,7 +279,18 @@ let stats_fields srv =
         ("rejected", c "server.rejected");
         ("budget_trips", c "server.budget_trips");
         ("latency_ms", Sjson.Obj latency);
-        ("pool", Sjson.Obj pool_fields);
+        ( "pool",
+          Sjson.Obj
+            (pool_fields
+            @ [
+                (* last sampled at an enqueue/dequeue edge, vs the
+                   instantaneous [queued] probe above *)
+                ( "queue_depth",
+                  Sjson.Num
+                    (Option.value ~default:0.
+                       (List.assoc_opt "pool.queue_depth"
+                          (Telemetry.gauges srv.tel))) );
+              ]) );
         ( "lp_cache",
           Sjson.Obj
             [
@@ -174,6 +307,25 @@ let stats_fields srv =
       ])
 
 let stats_json srv = Sjson.to_string (Sjson.Obj (stats_fields srv))
+
+(* Prometheus text exposition of the whole aggregate.  Liveness gauges
+   are refreshed at render time so a scrape always sees current
+   occupancy, not the last request's. *)
+let metrics_text srv =
+  Mutex.protect srv.tel_lock (fun () ->
+      Telemetry.set_gauge srv.tel "server.uptime_s"
+        (Clock.wall () -. srv.started);
+      Telemetry.set_gauge srv.tel "server.clients_active"
+        (float_of_int (Atomic.get srv.clients));
+      Telemetry.set_gauge srv.tel "server.clients_total"
+        (float_of_int (Atomic.get srv.total_clients));
+      Telemetry.set_gauge srv.tel "pool.workers"
+        (float_of_int (Pool.Executor.workers srv.exec));
+      Telemetry.set_gauge srv.tel "pool.in_flight"
+        (float_of_int (Pool.Executor.in_flight srv.exec));
+      Telemetry.set_gauge srv.tel "pool.queued"
+        (float_of_int (Pool.Executor.queued srv.exec));
+      Prometheus.render srv.tel)
 
 let health_fields srv =
   [
@@ -224,19 +376,25 @@ let write_line c line =
 (* Requires [c.m] held.  On executor rejection the job is answered
    immediately (out of band) and the lane moves on — the reader is
    never blocked and nothing is silently dropped. *)
+let sample_queue_depth srv =
+  set_gauge srv "pool.queue_depth"
+    (float_of_int (Pool.Executor.queued srv.exec))
+
 let rec pump c =
   if (not c.busy) && not (Queue.is_empty c.q) then begin
     let e = Queue.pop c.q in
     c.busy <- true;
     match
       Pool.Executor.submit c.srv.exec (fun () ->
+          sample_queue_depth c.srv;
           (try e.run () with _ -> ());
           Mutex.protect c.m (fun () ->
               c.busy <- false;
               pump c;
               Condition.broadcast c.cv))
     with
-    | Pool.Executor.Submitted -> ()
+    | Pool.Executor.Submitted ->
+      sample_queue_depth c.srv
     | Pool.Executor.Rejected reason ->
       c.busy <- false;
       bump c.srv "server.rejected" 1;
@@ -275,8 +433,9 @@ let finish_query c ~started ~op =
   observe c.srv "server.latency_ms" ((Clock.now () -. started) *. 1000.);
   bump c.srv ("server." ^ op) 1
 
-let run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms () =
-  let started = Clock.now () in
+let run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms ~enqueued
+    () =
+  let rq = begin_request c.srv ~op:"solve" ~enqueued in
   let budget = budget_for c.srv timeout_ms in
   let parsed =
     match format with
@@ -286,56 +445,62 @@ let run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms () =
       | Error e -> Error e
       | Ok b -> To_ab.convert b)
   in
-  let line =
+  let line, verdict, run_stats =
     match parsed with
-    | Error e -> Protocol.error ~id ("parse error: " ^ e)
+    | Error e -> (Protocol.error ~id ("parse error: " ^ e), "parse_error", None)
     | Ok prob ->
-      let options = request_options c.srv budget in
+      let options = request_options c.srv rq budget in
       if all_models then begin
         match Engine.all_models ~registry:c.registry ~options ?limit prob with
-        | Error e -> Protocol.error ~id e
+        | Error e -> (Protocol.error ~id e, "error", None)
         | Ok (models, rs) ->
-          absorb_run_stats c.srv rs;
           bump c.srv "server.sat" (List.length models);
-          Protocol.ok ~id
-            [
-              ("verdict", Sjson.Str "models");
-              ("count", Sjson.Num (float_of_int (List.length models)));
-              ( "models",
-                Sjson.Arr
-                  (List.map
-                     (fun m -> Sjson.Str (Protocol.model_to_string prob m))
-                     models) );
-            ]
+          ( Protocol.ok ~id
+              ([
+                 ("verdict", Sjson.Str "models");
+                 ("count", Sjson.Num (float_of_int (List.length models)));
+                 ( "models",
+                   Sjson.Arr
+                     (List.map
+                        (fun m -> Sjson.Str (Protocol.model_to_string prob m))
+                        models) );
+               ]
+              @ trace_fields c.srv rq),
+            "models",
+            Some rs )
       end
       else begin
         let result, rs = Engine.solve ~registry:c.registry ~options prob in
-        absorb_run_stats c.srv rs;
-        bump c.srv
-          (match result with
-          | Engine.R_sat _ -> "server.sat"
-          | Engine.R_unsat -> "server.unsat"
-          | Engine.R_unknown _ -> "server.unknown")
-          1;
-        Protocol.ok ~id (Protocol.verdict_fields prob result)
+        let verdict =
+          match result with
+          | Engine.R_sat _ -> "sat"
+          | Engine.R_unsat -> "unsat"
+          | Engine.R_unknown _ -> "unknown"
+        in
+        bump c.srv ("server." ^ verdict) 1;
+        ( Protocol.ok ~id
+            (Protocol.verdict_fields prob result @ trace_fields c.srv rq),
+          verdict,
+          Some rs )
       end
   in
-  finish_query c ~started ~op:"solve";
+  end_request c.srv rq ~verdict ~run_stats;
   write_line c line
 
-let run_smt2 c ~id ~script ~timeout_ms () =
-  let started = Clock.now () in
+let run_smt2 c ~id ~script ~timeout_ms ~enqueued () =
+  let rq = begin_request c.srv ~op:"smt2" ~enqueued in
   let budget = budget_for c.srv timeout_ms in
   let check =
     Smt2.engine_check ~registry:c.registry
-      ~options:(request_options c.srv budget) ()
+      ~options:(request_options c.srv rq budget) ()
   in
   let replies, exited = Smt2.run_string c.smt2 ~check script in
-  finish_query c ~started ~op:"smt2";
+  end_request c.srv rq ~verdict:"-" ~run_stats:None;
   write_line c
     (Protocol.ok ~id
        (("replies", Sjson.Arr (List.map (fun s -> Sjson.Str s) replies))
-       :: (if exited then [ ("exited", Sjson.Bool true) ] else [])))
+       :: ((if exited then [ ("exited", Sjson.Bool true) ] else [])
+          @ trace_fields c.srv rq)))
 
 let handle_json_line c stop_reading line =
   match Protocol.parse_request line with
@@ -364,6 +529,17 @@ let handle_json_line c stop_reading line =
               write_line c (Protocol.ok ~id [ ("stats", Sjson.Obj fields) ]));
           entry_reject;
         }
+    | Protocol.Metrics ->
+      enqueue c
+        {
+          run =
+            (fun () ->
+              let started = Clock.now () in
+              let text = metrics_text c.srv in
+              finish_query c ~started ~op:"metrics";
+              write_line c (Protocol.ok ~id [ ("metrics", Sjson.Str text) ]));
+          entry_reject;
+        }
     | Protocol.Health ->
       enqueue c
         {
@@ -376,13 +552,17 @@ let handle_json_line c stop_reading line =
           entry_reject;
         }
     | Protocol.Solve { format; problem; all_models; limit; timeout_ms } ->
+      let enqueued = Clock.now () in
       enqueue c
         {
-          run = run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms;
+          run =
+            run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms
+              ~enqueued;
           entry_reject;
         }
     | Protocol.Smt2_script { script; timeout_ms } ->
-      enqueue c { run = run_smt2 c ~id ~script ~timeout_ms; entry_reject })
+      let enqueued = Clock.now () in
+      enqueue c { run = run_smt2 c ~id ~script ~timeout_ms ~enqueued; entry_reject })
 
 (* ------------------------------------------------------------------ *)
 (* SMT-LIB 2 framing                                                   *)
@@ -417,30 +597,57 @@ let handle_smt2_form c stop_reading form =
             | Error e -> enqueue_error e
             | Ok cmd ->
               if cmd = Smt2.Exit then stop_reading := true;
+              let enqueued = Clock.now () in
               enqueue c
                 {
                   run =
                     (fun () ->
-                      let started = Clock.now () in
-                      let budget = budget_for c.srv None in
-                      let check =
-                        Smt2.engine_check ~registry:c.registry
-                          ~options:(request_options c.srv budget) ()
-                      in
-                      let reply = Smt2.execute c.smt2 ~check cmd in
-                      (match cmd with
+                      (* Only [check-sat] runs the engine; it alone gets
+                         the per-request trace context and latency
+                         accounting, like a JSON solve. *)
+                      match cmd with
                       | Smt2.Check_sat ->
-                        finish_query c ~started ~op:"smt2";
-                        bump c.srv
-                          (match reply with
-                          | Smt2.R_sat -> "server.sat"
-                          | Smt2.R_unsat -> "server.unsat"
-                          | _ -> "server.unknown")
-                          1
-                      | _ -> ());
-                      match Smt2.render c.smt2 reply with
-                      | Some line -> write_line c line
-                      | None -> ());
+                        let rq = begin_request c.srv ~op:"smt2" ~enqueued in
+                        let budget = budget_for c.srv None in
+                        let check =
+                          Smt2.engine_check ~registry:c.registry
+                            ~options:(request_options c.srv rq budget) ()
+                        in
+                        let reply = Smt2.execute c.smt2 ~check cmd in
+                        let verdict =
+                          match reply with
+                          | Smt2.R_sat -> "sat"
+                          | Smt2.R_unsat -> "unsat"
+                          | _ -> "unknown"
+                        in
+                        bump c.srv ("server." ^ verdict) 1;
+                        end_request c.srv rq ~verdict ~run_stats:None;
+                        (match Smt2.render c.smt2 reply with
+                        | Some line -> write_line c line
+                        | None -> ());
+                        (* SMT-LIB has no response metadata slot, so the
+                           trace keys ride an info comment — parsers
+                           skip [;] lines by definition. *)
+                        if tracing c.srv then
+                          write_line c
+                            (Printf.sprintf "; trace_id=%s span_id=%d"
+                               rq.rq_trace_id rq.rq_span)
+                      | _ -> (
+                        let budget = budget_for c.srv None in
+                        let check =
+                          Smt2.engine_check ~registry:c.registry
+                            ~options:
+                              {
+                                c.srv.config.engine_options with
+                                Engine.budget;
+                                telemetry = Telemetry.disabled;
+                              }
+                            ()
+                        in
+                        let reply = Smt2.execute c.smt2 ~check cmd in
+                        match Smt2.render c.smt2 reply with
+                        | Some line -> write_line c line
+                        | None -> ()));
                   entry_reject;
                 })
         sexps
@@ -596,4 +803,7 @@ let shutdown srv =
   while Atomic.get srv.clients > 0 && Clock.now () < deadline do
     Unix.sleepf 0.01
   done;
-  Pool.Executor.shutdown srv.exec
+  Pool.Executor.shutdown srv.exec;
+  (* Seal the trace (final counter/gauge totals, flush).  Aggregates
+     stay readable: [stats_json] / [metrics_text] still answer. *)
+  Mutex.protect srv.tel_lock (fun () -> Telemetry.close srv.tel)

@@ -39,13 +39,28 @@ type config = {
       (** per-request deadline when the request names none;
           [None] = unbounded (still cancellable via shutdown) *)
   engine_options : Absolver_core.Engine.options;
-      (** base options; each request overrides [budget] (and runs with
-          telemetry disabled — the server keeps its own aggregate) *)
+      (** base options; each request overrides [budget] and [telemetry]
+          (solve/smt2 requests run under a per-request fork of the
+          server's handle, merged back at request end) *)
   registry : unit -> Absolver_core.Registry.t * (unit -> unit);
       (** per-client registry factory; the second component disposes
           client-held state at disconnect.  Default: {!Absolver_core.Registry.default}
           with the linear solver replaced by a fresh
           [persistent_simplex]. *)
+  trace : out_channel option;
+      (** JSONL request-trace sink (default [None]).  When set, every
+          solve/smt2 request records a [server.request] root span with
+          the engine's span tree (and its pool forks) beneath it, all
+          tagged with the request's minted trace id; responses echo
+          ["trace_id"]/["span_id"] (JSON) or an [; trace_id=...] info
+          comment (SMT-LIB 2).  The caller owns the channel; close it
+          after {!shutdown}. *)
+  slow_log : out_channel option;
+      (** structured slow-query JSONL sink (default [None]): one
+          [{"type":"slow_query",...}] object per request at or over
+          {!field-slow_ms}, with op, verdict, latency, budget outcome,
+          LP-cache hits and trace id. *)
+  slow_ms : float;  (** slow-query threshold, milliseconds (default 100) *)
 }
 
 val default_config : config
@@ -80,9 +95,19 @@ val shutdown : t -> unit
 
 val stats_json : t -> string
 (** The [stats] op's payload: queries served by op and verdict,
-    rejections, budget trips, end-to-end latency percentiles
-    (p50/p95/p99 ms), executor occupancy, LP-cache hit counters,
-    connection counts, uptime. *)
+    rejections, budget trips, end-to-end latency quantiles
+    (p50/p95/p99 ms, estimated from the shared latency histogram),
+    executor occupancy, LP-cache hit counters, connection counts,
+    uptime. *)
+
+val metrics_text : t -> string
+(** The [metrics] op's payload: the server aggregate in Prometheus
+    text-exposition format — request counters, liveness gauges
+    (refreshed at render time), latency / queue-wait / allocation /
+    pivot / branch-and-prune-depth histograms with cumulative
+    [_bucket{le=...}] series, and per-span-name call/seconds totals.
+    Also reachable without a connection (the CLI's [--metrics-file]
+    writes it at exit). *)
 
 val health_fields : t -> (string * Sjson.t) list
 (** The [health] op's payload fields (also usable before [create]d

@@ -1,0 +1,80 @@
+(* Prometheus text exposition format (version 0.0.4) over a telemetry
+   handle's aggregate.  No client library: the format is line-oriented
+   and tiny, and the container must not grow dependencies. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let metric_name ?(prefix = "absolver") name =
+  let b = Buffer.create (String.length prefix + String.length name + 1) in
+  Buffer.add_string b prefix;
+  Buffer.add_char b '_';
+  String.iter (fun c -> Buffer.add_char b (if is_name_char c then c else '_')) name;
+  Buffer.contents b
+
+(* Label values escape backslash, double quote and newline. *)
+let label_value s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" f
+
+let render ?(prefix = "absolver") t =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name ~prefix name ^ "_total" in
+      line "# TYPE %s counter" m;
+      line "%s %d" m v)
+    (Telemetry.counters t);
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name ~prefix name in
+      line "# TYPE %s gauge" m;
+      line "%s %s" m (number v))
+    (Telemetry.gauges t);
+  List.iter
+    (fun (name, (h : Telemetry.hist)) ->
+      let m = metric_name ~prefix name in
+      line "# TYPE %s histogram" m;
+      List.iter
+        (fun (ub, cum) ->
+          line "%s_bucket{le=\"%s\"} %d" m (label_value (number ub)) cum)
+        (Telemetry.hist_cumulative h);
+      line "%s_bucket{le=\"+Inf\"} %d" m h.Telemetry.h_count;
+      line "%s_sum %s" m (number h.Telemetry.h_sum);
+      line "%s_count %d" m h.Telemetry.h_count)
+    (Telemetry.histograms t);
+  (match Telemetry.span_aggregates t with
+  | [] -> ()
+  | aggs ->
+    let calls = metric_name ~prefix "span_calls" ^ "_total" in
+    let secs = metric_name ~prefix "span_seconds" ^ "_total" in
+    line "# TYPE %s counter" calls;
+    List.iter
+      (fun (name, (a : Telemetry.span_agg)) ->
+        line "%s{span=\"%s\"} %d" calls (label_value name) a.Telemetry.agg_calls)
+      aggs;
+    line "# TYPE %s counter" secs;
+    List.iter
+      (fun (name, (a : Telemetry.span_agg)) ->
+        line "%s{span=\"%s\"} %s" secs (label_value name)
+          (number a.Telemetry.agg_total_s))
+      aggs);
+  Buffer.contents b

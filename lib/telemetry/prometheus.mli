@@ -1,0 +1,20 @@
+(** Prometheus text-exposition rendering of a telemetry handle.
+
+    Everything a handle aggregates maps onto the standard instrument
+    types: monotone counters become [counter] samples suffixed [_total],
+    gauges become [gauge] samples, histograms become the cumulative
+    [_bucket{le="..."}] / [_sum] / [_count] triple (with the mandatory
+    [+Inf] bucket), and span aggregates become a pair of counters labeled
+    by span name ([_span_calls_total] / [_span_seconds_total]). Metric
+    names are sanitized to the Prometheus grammar ([[a-zA-Z_:][a-zA-Z0-9_:]*]);
+    dots in telemetry names become underscores. *)
+
+val metric_name : ?prefix:string -> string -> string
+(** The sanitized exposition name for a telemetry instrument name,
+    without any type suffix. *)
+
+val render : ?prefix:string -> Telemetry.t -> string
+(** The full exposition document for the handle's current aggregate:
+    [# TYPE] comments and samples, families sorted by name, terminated
+    by a newline. [prefix] (default ["absolver"]) namespaces every
+    metric. *)

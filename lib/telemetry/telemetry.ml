@@ -1,7 +1,9 @@
-(* See telemetry.mli for the contract. The design constraint driving the
+(* See telemetry.mli for the contract. The design constraints driving the
    shape of this file: a [disabled] handle must make every operation a
    single match on an immutable constructor, so instrumentation can stay
-   in place permanently. *)
+   in place permanently; and span ids come from one process-wide counter,
+   so handles [fork]ed across domains write into one trace without id
+   collisions and stitch back together through parent links alone. *)
 
 module Clock = struct
   (* Monotonized wall clock: remember the largest reading handed out (in
@@ -55,27 +57,109 @@ end
 
 type span_agg = { agg_calls : int; agg_total_s : float; agg_max_s : float }
 
-type dist = {
-  d_count : int;
-  d_sum : float;
-  d_min : float;
-  d_max : float;
-  d_window : float array;
+(* ---- histograms ----
+
+   Sparse log-bucketed: bucket [i] covers (γ^(i-1), γ^i] with γ = 2^(1/4),
+   so four buckets per octave and a worst-case quantile error of √γ ≈ 9%.
+   Non-positive samples get a dedicated bucket (key [min_int], reported
+   with upper bound 0).  Bucket counts merge exactly, which is the whole
+   point: per-request and per-worker histograms fold into a long-running
+   aggregate without the bias a bounded sample window would introduce. *)
+
+let hist_gamma = Float.pow 2.0 0.25
+let log_gamma = Float.log hist_gamma
+let nonpos_bucket = min_int
+
+let bucket_of v =
+  if v <= 0.0 then nonpos_bucket
+  else int_of_float (Float.ceil (Float.log v /. log_gamma))
+
+let bucket_bound i =
+  if i = nonpos_bucket then 0.0 else Float.pow hist_gamma (float_of_int i)
+
+(* Recover a bucket index from its reported upper bound.  Bounds are
+   exactly γ^i for integer i, so rounding (not [ceil], which would drift
+   up on a positive float error) round-trips them. *)
+let bucket_of_bound ub =
+  if ub <= 0.0 then nonpos_bucket
+  else int_of_float (Float.round (Float.log ub /. log_gamma))
+
+type hist = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
 }
 
-(* One observed distribution: exact count/sum/min/max plus a bounded
-   window of the most recent samples (a ring) from which percentiles are
-   estimated.  8192 samples is plenty for p99 at server request rates
-   while keeping a cold distribution under 64 KiB. *)
-let dist_window_capacity = 8192
-
-type dist_cell = {
-  mutable o_count : int;
-  mutable o_sum : float;
-  mutable o_min : float;
-  mutable o_max : float;
-  ring : float array;
+type hist_cell = {
+  mutable hc_count : int;
+  mutable hc_sum : float;
+  mutable hc_min : float;
+  mutable hc_max : float;
+  hc_buckets : (int, int ref) Hashtbl.t;
 }
+
+let hist_cell () =
+  {
+    hc_count = 0;
+    hc_sum = 0.0;
+    hc_min = infinity;
+    hc_max = neg_infinity;
+    hc_buckets = Hashtbl.create 8;
+  }
+
+let hist_cell_add c v n =
+  (match Hashtbl.find_opt c.hc_buckets (bucket_of v) with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add c.hc_buckets (bucket_of v) (ref n));
+  c.hc_count <- c.hc_count + n;
+  c.hc_sum <- c.hc_sum +. (v *. float_of_int n);
+  if v < c.hc_min then c.hc_min <- v;
+  if v > c.hc_max then c.hc_max <- v
+
+let hist_of_cell c =
+  let idx = Hashtbl.fold (fun i r acc -> (i, !r) :: acc) c.hc_buckets [] in
+  let idx = List.sort (fun (a, _) (b, _) -> compare a b) idx in
+  {
+    h_count = c.hc_count;
+    h_sum = c.hc_sum;
+    h_min = (if c.hc_count = 0 then 0.0 else c.hc_min);
+    h_max = (if c.hc_count = 0 then 0.0 else c.hc_max);
+    h_buckets = List.map (fun (i, n) -> (bucket_bound i, n)) idx;
+  }
+
+let hist_quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+      max 1 (min h.h_count r)
+    in
+    let rec walk cum = function
+      | [] -> h.h_max
+      | (ub, n) :: rest ->
+        let cum = cum + n in
+        if cum >= rank then
+          (* geometric midpoint of (ub/γ, ub], clamped to observed range *)
+          let est = if ub <= 0.0 then 0.0 else ub /. sqrt hist_gamma in
+          Float.max h.h_min (Float.min h.h_max est)
+        else walk cum rest
+    in
+    walk 0 h.h_buckets
+  end
+
+let hist_cumulative h =
+  let _, acc =
+    List.fold_left
+      (fun (cum, acc) (ub, n) ->
+        let cum = cum + n in
+        (cum, (ub, cum) :: acc))
+      (0, []) h.h_buckets
+  in
+  List.rev acc
+
+(* ---- handles ---- *)
 
 type agg_cell = {
   mutable c_calls : int;
@@ -92,20 +176,26 @@ type span_rec = {
   snapshot : (string * int) list; (* counter totals when the span opened *)
 }
 
+(* The trace sink is shared by a handle and all its forks; the write lock
+   keeps concurrent domains' lines whole. *)
+type writer = { w_oc : out_channel; w_lock : Mutex.t }
+
 type state = {
   mutable stack : span_rec list;
-  mutable next_id : int;
   cnt : (string, int ref) Hashtbl.t;
   ggs : (string, float ref) Hashtbl.t;
   aggs : (string, agg_cell) Hashtbl.t;
-  dists : (string, dist_cell) Hashtbl.t;
-  trace : out_channel option;
+  hists : (string, hist_cell) Hashtbl.t;
+  trace : writer option;
+  mutable trace_ctx : string option; (* trace id stamped on emitted spans *)
+  default_parent : int; (* parent of top-level spans; -1 for a root handle *)
+  root : bool; (* created (not forked): owns the final counter dump *)
   mutable closed : bool;
   (* Every public operation takes this lock, so one handle may be shared
-     across domains without corrupting the hash tables or the trace.  The
-     span stack still interleaves nonsensically under concurrent spans —
-     parallel workers should use their own handle and [merge] it at join
-     (the lock only makes the shared-handle case safe, not meaningful). *)
+     across domains without corrupting the hash tables.  The span stack
+     still interleaves nonsensically under concurrent spans — parallel
+     workers should use their own [fork] and [merge] it at join (the lock
+     only makes the shared-handle case safe, not meaningful). *)
   lock : Mutex.t;
 }
 
@@ -114,36 +204,96 @@ type t = Disabled | Enabled of state
 let disabled = Disabled
 let enabled = function Disabled -> false | Enabled _ -> true
 
+(* Span ids are process-global so spans recorded by linked handles on
+   different domains never collide; 0 is reserved (never allocated) and
+   -1 means "no parent". *)
+let span_ids = Atomic.make 1
+
+(* Trace ids: a per-process random-ish prefix plus a counter, 16 hex
+   chars.  Uniqueness matters within one trace file, which one process
+   writes; the prefix keeps ids from colliding across restarts. *)
+let trace_prefix =
+  Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0xffffff
+
+let trace_ids = Atomic.make 1
+
+let mint_trace_id () =
+  Printf.sprintf "%06x%010x" trace_prefix (Atomic.fetch_and_add trace_ids 1)
+
 let emit st line =
   match st.trace with
   | None -> ()
-  | Some oc ->
-    output_string oc line;
-    output_char oc '\n'
+  | Some w ->
+    Mutex.protect w.w_lock (fun () ->
+        output_string w.w_oc line;
+        output_char w.w_oc '\n')
+
+let mk_state ~trace ~trace_ctx ~default_parent ~root =
+  {
+    stack = [];
+    cnt = Hashtbl.create 32;
+    ggs = Hashtbl.create 8;
+    aggs = Hashtbl.create 32;
+    hists = Hashtbl.create 8;
+    trace;
+    trace_ctx;
+    default_parent;
+    root;
+    closed = false;
+    lock = Mutex.create ();
+  }
 
 let create ?trace () =
-  let st =
-    {
-      stack = [];
-      next_id = 0;
-      cnt = Hashtbl.create 32;
-      ggs = Hashtbl.create 8;
-      aggs = Hashtbl.create 32;
-      dists = Hashtbl.create 8;
-      trace;
-      closed = false;
-      lock = Mutex.create ();
-    }
+  let trace =
+    Option.map (fun oc -> { w_oc = oc; w_lock = Mutex.create () }) trace
   in
+  let st = mk_state ~trace ~trace_ctx:None ~default_parent:(-1) ~root:true in
   emit st
     (Json.obj
        [
          ("type", "\"meta\"");
          ("format", "\"absolver-trace\"");
-         ("version", "1");
+         ("version", "2");
          ("clock", "\"monotonic-seconds\"");
        ]);
   Enabled st
+
+let set_trace_id t id =
+  match t with
+  | Disabled -> ()
+  | Enabled st -> Mutex.protect st.lock (fun () -> st.trace_ctx <- Some id)
+
+let trace_id t =
+  match t with
+  | Disabled -> None
+  | Enabled st -> Mutex.protect st.lock (fun () -> st.trace_ctx)
+
+let current_span t =
+  match t with
+  | Disabled -> -1
+  | Enabled st ->
+    Mutex.protect st.lock (fun () ->
+        match st.stack with sp :: _ -> sp.id | [] -> st.default_parent)
+
+let fork ?parent ?trace_id t =
+  match t with
+  | Disabled -> Disabled
+  | Enabled st ->
+    let default_parent, inherited =
+      Mutex.protect st.lock (fun () ->
+          ( (match parent with
+            | Some p -> p
+            | None -> (
+              match st.stack with
+              | sp :: _ -> sp.id
+              | [] -> st.default_parent)),
+            st.trace_ctx ))
+    in
+    let trace_ctx =
+      match trace_id with Some _ -> trace_id | None -> inherited
+    in
+    Enabled
+      (mk_state ~trace:st.trace ~trace_ctx ~default_parent ~root:false)
 
 (* ---- counters / gauges ---- *)
 
@@ -172,63 +322,29 @@ let observe t name v =
   | Enabled st ->
     Mutex.protect st.lock (fun () ->
         let c =
-          match Hashtbl.find_opt st.dists name with
+          match Hashtbl.find_opt st.hists name with
           | Some c -> c
           | None ->
-            let c =
-              {
-                o_count = 0;
-                o_sum = 0.0;
-                o_min = infinity;
-                o_max = neg_infinity;
-                ring = Array.make dist_window_capacity 0.0;
-              }
-            in
-            Hashtbl.add st.dists name c;
+            let c = hist_cell () in
+            Hashtbl.add st.hists name c;
             c
         in
-        c.ring.(c.o_count mod dist_window_capacity) <- v;
-        c.o_count <- c.o_count + 1;
-        c.o_sum <- c.o_sum +. v;
-        if v < c.o_min then c.o_min <- v;
-        if v > c.o_max then c.o_max <- v)
+        hist_cell_add c v 1)
 
-let dist_of_cell c =
-  {
-    d_count = c.o_count;
-    d_sum = c.o_sum;
-    d_min = (if c.o_count = 0 then 0.0 else c.o_min);
-    d_max = (if c.o_count = 0 then 0.0 else c.o_max);
-    d_window = Array.sub c.ring 0 (min c.o_count dist_window_capacity);
-  }
-
-let distributions t =
+let histograms t =
   match t with
   | Disabled -> []
   | Enabled st ->
     Mutex.protect st.lock (fun () ->
-        Hashtbl.fold (fun k c acc -> (k, dist_of_cell c) :: acc) st.dists [])
+        Hashtbl.fold (fun k c acc -> (k, hist_of_cell c) :: acc) st.hists [])
     |> List.sort compare
 
-let distribution t name =
+let histogram t name =
   match t with
   | Disabled -> None
   | Enabled st ->
     Mutex.protect st.lock (fun () ->
-        Option.map dist_of_cell (Hashtbl.find_opt st.dists name))
-
-(* Nearest-rank percentile over a copy of the samples; [q] in [0,1]. *)
-let percentile_of samples q =
-  let n = Array.length samples in
-  if n = 0 then 0.0
-  else begin
-    let sorted = Array.copy samples in
-    Array.sort Float.compare sorted;
-    let rank = int_of_float (ceil (q *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
-  end
-
-let dist_percentile d q = percentile_of d.d_window q
+        Option.map hist_of_cell (Hashtbl.find_opt st.hists name))
 
 let counter t name =
   match t with
@@ -263,9 +379,10 @@ let span_open t ?(attrs = []) name =
   | Disabled -> -1
   | Enabled st ->
     Mutex.protect st.lock (fun () ->
-        let id = st.next_id in
-        st.next_id <- id + 1;
-        let parent = match st.stack with [] -> -1 | s :: _ -> s.id in
+        let id = Atomic.fetch_and_add span_ids 1 in
+        let parent =
+          match st.stack with [] -> st.default_parent | s :: _ -> s.id
+        in
         st.stack <-
           {
             id;
@@ -312,6 +429,9 @@ let close_one st ~extra_attrs (sp : span_rec) =
         ("start", Json.of_float sp.t_start);
         ("dur", Json.of_float dur);
       ]
+      @ (match st.trace_ctx with
+        | None -> []
+        | Some tid -> [ ("trace", Printf.sprintf "\"%s\"" (Json.escape tid)) ])
       @ (if attrs = [] then []
          else
            [
@@ -330,13 +450,16 @@ let close_one st ~extra_attrs (sp : span_rec) =
     emit st (Json.obj fields)
   end
 
+let abandoned_attr = [ ("abandoned", Bool true) ]
+
 let span_close t ?(attrs = []) id =
   match t with
   | Disabled -> ()
   | Enabled st ->
     if id >= 0 then
       Mutex.protect st.lock (fun () ->
-          (* Close any still-open children first (properly nested). *)
+          (* Close any still-open children first (properly nested); they
+             were force-closed rather than finished, and say so. *)
           let rec pop () =
             match st.stack with
             | [] -> ()
@@ -344,7 +467,7 @@ let span_close t ?(attrs = []) id =
               st.stack <- rest;
               if sp.id = id then close_one st ~extra_attrs:attrs sp
               else begin
-                close_one st ~extra_attrs:[] sp;
+                close_one st ~extra_attrs:abandoned_attr sp;
                 pop ()
               end
           in
@@ -363,7 +486,9 @@ let event t ?(attrs = []) name =
   | Enabled st ->
     if st.trace <> None then
       Mutex.protect st.lock (fun () ->
-      let parent = match st.stack with [] -> -1 | s :: _ -> s.id in
+      let parent =
+        match st.stack with [] -> st.default_parent | s :: _ -> s.id
+      in
       let fields =
         [
           ("type", "\"event\"");
@@ -371,6 +496,10 @@ let event t ?(attrs = []) name =
           ("t", Json.of_float (Clock.now ()));
           ("span", string_of_int parent);
         ]
+        @ (match st.trace_ctx with
+          | None -> []
+          | Some tid ->
+            [ ("trace", Printf.sprintf "\"%s\"" (Json.escape tid)) ])
         @
         if attrs = [] then []
         else
@@ -400,11 +529,13 @@ let span_aggregates t =
           st.aggs [])
     |> List.sort compare
 
-(* Fold a worker handle's totals into a parent handle: counters add,
-   span aggregates combine (calls and totals add, maxima max), gauges
-   last-write-wins.  Trace lines are not merged — workers that need a
-   trace should write their own file.  This is the join-side half of the
-   per-worker-handle discipline used by the parallel subsystem. *)
+(* Fold a fork's totals back into its parent handle: counters add, span
+   aggregates combine (calls and totals add, maxima max), gauges
+   last-write-wins, histograms merge bucket-wise (exact — the reason the
+   buckets are log-spaced rather than a sample window).  Trace lines need
+   no merging: a fork already writes into the shared sink.  This is the
+   join-side half of the per-worker-handle discipline used by the
+   parallel subsystem and the server's per-request handles. *)
 let merge dst src =
   match (dst, src) with
   | Disabled, _ | _, Disabled -> ()
@@ -412,7 +543,8 @@ let merge dst src =
     let src_counters = counters src in
     let src_aggs = span_aggregates src in
     let src_gauges = gauges src in
-    let src_dists = distributions src in
+    let src_hists = histograms src in
+    let src_tid = trace_id src in
     Mutex.protect dstst.lock (fun () ->
         List.iter
           (fun (k, v) ->
@@ -443,36 +575,32 @@ let merge dst src =
             | None -> Hashtbl.add dstst.ggs k (ref v))
           src_gauges;
         List.iter
-          (fun (k, (d : dist)) ->
-            if d.d_count > 0 then begin
+          (fun (k, (h : hist)) ->
+            if h.h_count > 0 then begin
               let c =
-                match Hashtbl.find_opt dstst.dists k with
+                match Hashtbl.find_opt dstst.hists k with
                 | Some c -> c
                 | None ->
-                  let c =
-                    {
-                      o_count = 0;
-                      o_sum = 0.0;
-                      o_min = infinity;
-                      o_max = neg_infinity;
-                      ring = Array.make dist_window_capacity 0.0;
-                    }
-                  in
-                  Hashtbl.add dstst.dists k c;
+                  let c = hist_cell () in
+                  Hashtbl.add dstst.hists k c;
                   c
               in
-              (* The src window lands in the dst ring (unordered, bounded);
-                 the exact meters add. *)
-              Array.iteri
-                (fun i v ->
-                  c.ring.((c.o_count + i) mod dist_window_capacity) <- v)
-                d.d_window;
-              c.o_count <- c.o_count + d.d_count;
-              c.o_sum <- c.o_sum +. d.d_sum;
-              if d.d_min < c.o_min then c.o_min <- d.d_min;
-              if d.d_max > c.o_max then c.o_max <- d.d_max
+              List.iter
+                (fun (ub, n) ->
+                  let i = bucket_of_bound ub in
+                  match Hashtbl.find_opt c.hc_buckets i with
+                  | Some r -> r := !r + n
+                  | None -> Hashtbl.add c.hc_buckets i (ref n))
+                h.h_buckets;
+              c.hc_count <- c.hc_count + h.h_count;
+              c.hc_sum <- c.hc_sum +. h.h_sum;
+              if h.h_min < c.hc_min then c.hc_min <- h.h_min;
+              if h.h_max > c.hc_max then c.hc_max <- h.h_max
             end)
-          src_dists)
+          src_hists;
+        match (dstst.trace_ctx, src_tid) with
+        | None, Some tid -> dstst.trace_ctx <- Some tid
+        | _ -> ())
 
 let pp_summary fmt t =
   match t with
@@ -516,25 +644,33 @@ let stats_json t =
             ] ))
       (span_aggregates t)
   in
-  let ds =
+  let hs =
     List.map
-      (fun (k, d) ->
+      (fun (k, h) ->
         ( k,
           Json.obj
             [
-              ("count", string_of_int d.d_count);
-              ("sum", Json.of_float d.d_sum);
-              ("min", Json.of_float d.d_min);
-              ("max", Json.of_float d.d_max);
-              ("p50", Json.of_float (dist_percentile d 0.50));
-              ("p95", Json.of_float (dist_percentile d 0.95));
-              ("p99", Json.of_float (dist_percentile d 0.99));
+              ("count", string_of_int h.h_count);
+              ("sum", Json.of_float h.h_sum);
+              ("min", Json.of_float h.h_min);
+              ("max", Json.of_float h.h_max);
+              ("p50", Json.of_float (hist_quantile h 0.50));
+              ("p95", Json.of_float (hist_quantile h 0.95));
+              ("p99", Json.of_float (hist_quantile h 0.99));
             ] ))
-      (distributions t)
+      (histograms t)
   in
   Json.obj
     ([ ("counters", Json.obj cs); ("gauges", Json.obj gs); ("spans", Json.obj ss) ]
-    @ if ds = [] then [] else [ ("dists", Json.obj ds) ])
+    @ if hs = [] then [] else [ ("hists", Json.obj hs) ])
+
+let flush t =
+  match t with
+  | Disabled -> ()
+  | Enabled st -> (
+    match st.trace with
+    | None -> ()
+    | Some w -> Mutex.protect w.w_lock (fun () -> Stdlib.flush w.w_oc))
 
 (* [close] already holds the state lock; these lock-free variants avoid
    re-entering it (the mutex is not recursive). *)
@@ -551,28 +687,36 @@ let close t =
     Mutex.protect st.lock (fun () ->
     if not st.closed then begin
       st.closed <- true;
-      (* Close any spans left open so the trace is well-formed. *)
-      List.iter (fun sp -> close_one st ~extra_attrs:[] sp) st.stack;
+      (* Close any spans left open so the trace is well-formed; they did
+         not finish on their own, and the trace says so. *)
+      List.iter (fun sp -> close_one st ~extra_attrs:abandoned_attr sp) st.stack;
       st.stack <- [];
-      List.iter
-        (fun (k, v) ->
-          emit st
-            (Json.obj
-               [
-                 ("type", "\"counter\"");
-                 ("name", Printf.sprintf "\"%s\"" (Json.escape k));
-                 ("total", string_of_int v);
-               ]))
-        (counters_unlocked st);
-      List.iter
-        (fun (k, v) ->
-          emit st
-            (Json.obj
-               [
-                 ("type", "\"gauge\"");
-                 ("name", Printf.sprintf "\"%s\"" (Json.escape k));
-                 ("value", Json.of_float v);
-               ]))
-        (gauges_unlocked st);
-      match st.trace with None -> () | Some oc -> flush oc
+      (* Only the handle that created the sink dumps the final totals —
+         a fork closing must not interleave its partial counters into
+         the shared stream. *)
+      if st.root then begin
+        List.iter
+          (fun (k, v) ->
+            emit st
+              (Json.obj
+                 [
+                   ("type", "\"counter\"");
+                   ("name", Printf.sprintf "\"%s\"" (Json.escape k));
+                   ("total", string_of_int v);
+                 ]))
+          (counters_unlocked st);
+        List.iter
+          (fun (k, v) ->
+            emit st
+              (Json.obj
+                 [
+                   ("type", "\"gauge\"");
+                   ("name", Printf.sprintf "\"%s\"" (Json.escape k));
+                   ("value", Json.of_float v);
+                 ]))
+          (gauges_unlocked st)
+      end;
+      match st.trace with
+      | None -> ()
+      | Some w -> Mutex.protect w.w_lock (fun () -> Stdlib.flush w.w_oc)
     end)

@@ -1,5 +1,6 @@
-(** Zero-dependency observability: monotonic clock, hierarchical spans,
-    named monotone counters and gauges, pluggable sinks.
+(** Zero-dependency observability: monotonic clock, hierarchical spans
+    with cross-domain trace context, named monotone counters and gauges,
+    log-bucketed histograms, pluggable sinks.
 
     The paper's evaluation (Sec. 5) is entirely about where the time goes
     — which subsystem rejects a candidate model, how many Boolean models
@@ -9,6 +10,14 @@
     happens, and a sink turns the stream into either an in-memory
     aggregate (for [--stats] / [--stats-json]) or a JSONL trace file (for
     [--trace]).
+
+    Span ids are allocated from one process-wide counter, so spans
+    recorded by different handles never collide; {!fork} hands a worker
+    domain (or a server request) a {e linked} handle that shares the
+    parent's trace sink and id space and remembers which span it hangs
+    under. A single query that fans out across the executor and the
+    domain pool therefore yields one connected span tree in the trace,
+    stitched by parent links alone.
 
     A disabled handle ({!disabled}) compiles every operation down to a
     single pattern match on an immutable constructor — the instrumented
@@ -39,11 +48,11 @@ type value = Int of int | Float of float | String of string | Bool of bool
 type t
 (** A telemetry handle: either disabled (all operations no-ops) or an
     enabled recorder with an in-memory aggregator and an optional JSONL
-    trace channel. Enabled handles are domain-safe — every operation
-    takes an internal lock — but spans opened concurrently from several
-    domains interleave on one stack and nest meaninglessly; parallel
-    workers should record into their own handle and {!merge} it into the
-    parent's at join. *)
+    trace sink. Enabled handles are domain-safe — every operation takes
+    an internal lock — but spans opened concurrently from several domains
+    interleave on one stack and nest meaninglessly; parallel workers
+    record into a {!fork} of the spawner's handle and {!merge} it back at
+    join. *)
 
 val disabled : t
 (** The null sink. [enabled disabled = false]; every operation is a
@@ -51,12 +60,42 @@ val disabled : t
 
 val create : ?trace:out_channel -> unit -> t
 (** An enabled recorder. Aggregation (counter totals, per-span-name call
-    counts and cumulative durations) is always on; [trace] additionally
-    streams spans, events and final counter totals as JSONL (one object
-    per line) to the channel. The caller owns the channel; call {!close}
-    before closing it. *)
+    counts and cumulative durations, histograms) is always on; [trace]
+    additionally streams spans, events and final counter totals as JSONL
+    (one object per line) to the channel. The caller owns the channel;
+    call {!close} before closing it. *)
 
 val enabled : t -> bool
+
+(** {1 Trace context}
+
+    A {e trace id} names one logical request end to end; every span a
+    handle records while a trace id is set carries it in the trace
+    stream, so one file multiplexing many concurrent requests can be
+    sliced back into per-request trees. *)
+
+val mint_trace_id : unit -> string
+(** A fresh process-unique trace id (16 lowercase hex chars). *)
+
+val set_trace_id : t -> string -> unit
+(** Tag every span recorded by this handle from now on. *)
+
+val trace_id : t -> string option
+(** The handle's current trace id, if any. *)
+
+val current_span : t -> int
+(** The innermost open span's id — the parent a new child would get.
+    Falls back to the handle's fork parent when no span is open; [-1]
+    when disabled or at top level. *)
+
+val fork : ?parent:int -> ?trace_id:string -> t -> t
+(** [fork t] is a linked child handle: it shares [t]'s trace sink and the
+    process-wide span-id space, inherits [t]'s trace id (unless
+    [trace_id] overrides it), and parents its top-level spans under
+    [parent] (default: [current_span t] at fork time). Counters, gauges,
+    histograms and span aggregates accumulate locally — hand the fork to
+    a worker domain or a server request, then {!merge} it back. Forking
+    {!disabled} yields {!disabled}. *)
 
 (** {1 Spans}
 
@@ -74,9 +113,11 @@ val span_open : t -> ?attrs:(string * value) list -> string -> int
     ([-1] when disabled). *)
 
 val span_close : t -> ?attrs:(string * value) list -> int -> unit
-(** Close the span [id] (and any spans opened after it that are still
-    open — closing is properly nested by construction). Extra [attrs] are
-    appended to the span's record. *)
+(** Close the span [id]. Any spans opened after it that are still open
+    are closed first (closing is properly nested by construction) and
+    marked with an [abandoned:true] attribute, so a truncated trace is
+    distinguishable from a clean one. Extra [attrs] are appended to the
+    span's record. *)
 
 val event : t -> ?attrs:(string * value) list -> string -> unit
 (** A point-in-time occurrence, attributed to the innermost open span. *)
@@ -93,36 +134,45 @@ val set_gauge : t -> string -> float -> unit
 val counter : t -> string -> int
 (** Current total of a counter (0 when disabled or never bumped). *)
 
-(** {1 Distributions}
+(** {1 Histograms}
 
-    Observed samples (latencies, sizes…): exact count/sum/min/max plus a
-    bounded window of the most recent samples from which percentiles are
-    estimated — the machinery behind the solve server's p50/p99 latency
-    reporting and the bench harness's tail-latency columns. *)
+    Observed samples (latencies, pivot counts, sizes…) land in sparse
+    log-bucketed histograms: bucket [i] covers [(γ^(i-1), γ^i]] with
+    γ = 2{^1/4} ≈ 1.189, one extra bucket holds non-positive samples.
+    Count/sum/min/max are exact; quantiles are estimated from the bucket
+    boundaries and are accurate within a factor of √γ ≈ 1.09. Unlike a
+    sample window, bucket counts merge exactly and associatively — the
+    property that lets per-worker and per-request histograms fold into
+    the server's long-running aggregate without bias. *)
 
-type dist = {
-  d_count : int;  (** samples observed (exact) *)
-  d_sum : float;  (** sum of all samples (exact) *)
-  d_min : float;
-  d_max : float;
-  d_window : float array;
-      (** the most recent samples (bounded, unordered) — the percentile
-          estimation basis *)
+val hist_gamma : float
+(** The bucket growth factor γ = 2{^1/4}. *)
+
+type hist = {
+  h_count : int;  (** samples observed (exact) *)
+  h_sum : float;  (** sum of all samples (exact) *)
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+      (** occupied buckets, ascending by bound: [(ub, n)] means [n]
+          samples in [(ub/γ, ub]]; bound [0.] holds samples [<= 0]. *)
 }
 
 val observe : t -> string -> float -> unit
-(** Record one sample into the named distribution. No-op when disabled. *)
+(** Record one sample into the named histogram. No-op when disabled. *)
 
-val distribution : t -> string -> dist option
-val distributions : t -> (string * dist) list
-(** All distributions, sorted by name. Empty when disabled. *)
+val histogram : t -> string -> hist option
+val histograms : t -> (string * hist) list
+(** All histograms, sorted by name. Empty when disabled. *)
 
-val dist_percentile : dist -> float -> float
-(** Nearest-rank percentile over the window; the quantile is in [0,1]
-    (e.g. [0.99] for p99). 0 on an empty distribution. *)
+val hist_quantile : hist -> float -> float
+(** Nearest-rank quantile estimate, [q] in [0,1] (e.g. [0.99] for p99):
+    the geometric midpoint of the bucket holding the rank, clamped to
+    [[h_min, h_max]]. 0 on an empty histogram. *)
 
-val percentile_of : float array -> float -> float
-(** Nearest-rank percentile of a raw sample array (sorts a copy). *)
+val hist_cumulative : hist -> (float * int) list
+(** Cumulative counts by ascending upper bound — the Prometheus
+    [_bucket{le=...}] view. The final entry's count equals [h_count]. *)
 
 (** {1 Reading the aggregate} *)
 
@@ -143,11 +193,13 @@ val span_aggregates : t -> (string * span_agg) list
 val merge : t -> t -> unit
 (** [merge dst src] folds [src]'s aggregate into [dst]: counters add,
     span aggregates combine (calls and totals add, maxima max), gauges
-    last-write-wins, distributions combine (exact meters add, the src
-    window lands in the dst window). Trace lines are not merged. No-op
-    when either handle is disabled. This is the join-side half of the per-worker-handle
+    last-write-wins, histograms merge bucket-wise (exactly). If [dst]
+    has no trace id and [src] does, the id is preserved onto [dst].
+    Trace lines are not merged — a {!fork} already writes into the
+    shared sink, so there is nothing to move. No-op when either handle
+    is disabled. This is the join-side half of the per-worker-handle
     discipline of the parallel subsystem: each worker records into a
-    fresh handle, and the spawner merges at join. *)
+    fork, and the spawner merges at join. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** Human-readable summary: span table (calls, total, max) then counter
@@ -156,13 +208,18 @@ val pp_summary : Format.formatter -> t -> unit
 val stats_json : t -> string
 (** The aggregate as one JSON object:
     [{"counters":{...},"gauges":{...},"spans":{name:{"calls":..,"total_s":..,"max_s":..}}}]
-    plus, when any sample was observed, a ["dists"] object with
-    count/sum/min/max/p50/p95/p99 per distribution. *)
+    plus, when any sample was observed, a ["hists"] object with
+    count/sum/min/max/p50/p95/p99 per histogram. *)
+
+val flush : t -> unit
+(** Flush the trace sink, if any. Cheap; safe from any linked handle. *)
 
 val close : t -> unit
-(** Close any spans left open, emit the final counter/gauge totals to the
-    trace channel (if any) and flush it. The handle stays readable
-    (aggregates survive) but must not record further spans. *)
+(** Close any spans left open (marked [abandoned:true]), emit the final
+    counter/gauge totals to the trace sink (if any, and only from the
+    handle that {!create}d it — forks stay quiet) and flush it. The
+    handle stays readable (aggregates survive) but must not record
+    further spans. *)
 
 (** {1 JSON helpers}
 

@@ -1,0 +1,314 @@
+(* See tracetool.mli. The loader is deliberately strict about record
+   shape (a span line missing "id" is a parse error, not a skip) but
+   lenient about record *kinds*: meta/event/gauge lines are accepted and
+   ignored, so the tool keeps working when the trace format grows. *)
+
+module Sjson = Absolver_server.Sjson
+
+type span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_start : float;
+  sp_dur : float;
+  sp_trace : string option;
+  sp_attrs : (string * Sjson.t) list;
+  sp_counters : (string * int) list;
+  sp_abandoned : bool;
+}
+
+type t = {
+  t_spans : span list; (* file order *)
+  t_by_id : (int, span) Hashtbl.t;
+  t_children : (int, span list) Hashtbl.t; (* sorted by start *)
+  t_totals : (string * int) list;
+}
+
+let get_num j = match j with Sjson.Num f -> Some f | _ -> None
+
+let span_of_obj j =
+  let field name = Sjson.member name j in
+  match
+    ( Option.bind (field "id") Sjson.get_int,
+      Option.bind (field "parent") Sjson.get_int,
+      Option.bind (field "name") Sjson.get_string,
+      Option.bind (field "start") get_num,
+      Option.bind (field "dur") get_num )
+  with
+  | Some id, Some parent, Some name, Some start, Some dur ->
+    let attrs =
+      match field "attrs" with Some (Sjson.Obj kvs) -> kvs | _ -> []
+    in
+    let counters =
+      match field "counters" with
+      | Some (Sjson.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (Sjson.get_int v))
+          kvs
+      | _ -> []
+    in
+    Ok
+      {
+        sp_id = id;
+        sp_parent = parent;
+        sp_name = name;
+        sp_start = start;
+        sp_dur = dur;
+        sp_trace = Option.bind (field "trace") Sjson.get_string;
+        sp_attrs = attrs;
+        sp_counters = counters;
+        sp_abandoned =
+          (match List.assoc_opt "abandoned" attrs with
+          | Some (Sjson.Bool b) -> b
+          | _ -> false);
+      }
+  | _ -> Error "span record missing id/parent/name/start/dur"
+
+let of_string text =
+  let exception Bad of string in
+  try
+    let lineno = ref 0 in
+    let spans = ref [] and totals = ref [] in
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           incr lineno;
+           let line = String.trim line in
+           if line <> "" then
+             match Sjson.parse line with
+             | Error e -> raise (Bad (Printf.sprintf "line %d: %s" !lineno e))
+             | Ok j -> (
+               match Option.bind (Sjson.member "type" j) Sjson.get_string with
+               | Some "span" -> (
+                 match span_of_obj j with
+                 | Ok sp -> spans := sp :: !spans
+                 | Error e ->
+                   raise (Bad (Printf.sprintf "line %d: %s" !lineno e)))
+               | Some "counter" -> (
+                 match
+                   ( Option.bind (Sjson.member "name" j) Sjson.get_string,
+                     Option.bind (Sjson.member "total" j) Sjson.get_int )
+                 with
+                 | Some name, Some v -> totals := (name, v) :: !totals
+                 | _ ->
+                   raise
+                     (Bad
+                        (Printf.sprintf "line %d: counter record missing \
+                                         name/total" !lineno)))
+               | Some _ -> () (* meta / event / gauge / future kinds *)
+               | None ->
+                 raise
+                   (Bad (Printf.sprintf "line %d: record without \"type\""
+                           !lineno))));
+    let spans = List.rev !spans in
+    let by_id = Hashtbl.create (List.length spans * 2) in
+    List.iter (fun sp -> Hashtbl.replace by_id sp.sp_id sp) spans;
+    let children = Hashtbl.create (List.length spans * 2) in
+    List.iter
+      (fun sp ->
+        let prev =
+          match Hashtbl.find_opt children sp.sp_parent with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace children sp.sp_parent (sp :: prev))
+      spans;
+    Hashtbl.iter
+      (fun k l ->
+        Hashtbl.replace children k
+          (List.sort (fun a b -> compare a.sp_start b.sp_start) l))
+      (Hashtbl.copy children);
+    Ok
+      {
+        t_spans = spans;
+        t_by_id = by_id;
+        t_children = children;
+        t_totals = List.rev !totals;
+      }
+  with Bad e -> Error e
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> of_string text
+  | exception Sys_error e -> Error e
+
+let spans t = t.t_spans
+let find t id = Hashtbl.find_opt t.t_by_id id
+
+let children t id =
+  match Hashtbl.find_opt t.t_children id with Some l -> l | None -> []
+
+let roots ?trace_id t =
+  List.filter
+    (fun sp ->
+      sp.sp_parent = -1
+      && match trace_id with None -> true | Some _ -> sp.sp_trace = trace_id)
+    t.t_spans
+  |> List.sort (fun a b -> compare a.sp_start b.sp_start)
+
+let unresolved t =
+  List.filter
+    (fun sp -> sp.sp_parent <> -1 && not (Hashtbl.mem t.t_by_id sp.sp_parent))
+    t.t_spans
+
+let trace_ids t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun sp ->
+      match sp.sp_trace with
+      | Some tid when not (Hashtbl.mem seen tid) ->
+        Hashtbl.add seen tid ();
+        Some tid
+      | _ -> None)
+    t.t_spans
+
+let counter_totals t = t.t_totals
+
+let self_seconds t sp =
+  let kids = children t sp.sp_id in
+  let inner = List.fold_left (fun acc k -> acc +. k.sp_dur) 0.0 kids in
+  Float.max 0.0 (sp.sp_dur -. inner)
+
+let aggregates t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let calls, total, self =
+        match Hashtbl.find_opt tbl sp.sp_name with
+        | Some x -> x
+        | None -> (0, 0.0, 0.0)
+      in
+      Hashtbl.replace tbl sp.sp_name
+        (calls + 1, total +. sp.sp_dur, self +. self_seconds t sp))
+    t.t_spans;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (na, (_, ta, _)) (nb, (_, tb, _)) ->
+         match compare tb ta with 0 -> compare na nb | c -> c)
+
+let critical_path t root =
+  let rec descend sp acc =
+    match children t sp.sp_id with
+    | [] -> List.rev (sp :: acc)
+    | kids ->
+      let widest =
+        List.fold_left
+          (fun best k -> if k.sp_dur > best.sp_dur then k else best)
+          (List.hd kids) (List.tl kids)
+      in
+      descend widest (sp :: acc)
+  in
+  descend root []
+
+let folded ?trace_id t =
+  let tbl = Hashtbl.create 64 in
+  let rec walk stack sp =
+    let stack = stack ^ (if stack = "" then "" else ";") ^ sp.sp_name in
+    let us =
+      int_of_float (Float.round (self_seconds t sp *. 1e6))
+    in
+    if us > 0 then
+      Hashtbl.replace tbl stack
+        ((match Hashtbl.find_opt tbl stack with Some n -> n | None -> 0) + us);
+    List.iter (walk stack) (children t sp.sp_id)
+  in
+  List.iter (walk "") (roots ?trace_id t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---- rendering ---- *)
+
+let ms s = s *. 1e3
+
+let render_attr (k, v) = Printf.sprintf "%s=%s" k (Sjson.to_string v)
+
+let render_tree ?(max_depth = max_int) t root =
+  let b = Buffer.create 256 in
+  let rec walk depth sp =
+    if depth <= max_depth then begin
+      let label =
+        Printf.sprintf "%s%s (#%d)" (String.make (2 * depth) ' ') sp.sp_name
+          sp.sp_id
+      in
+      let flags =
+        (if sp.sp_abandoned then " [abandoned]" else "")
+        ^
+        match sp.sp_counters with
+        | [] -> ""
+        | cs ->
+          " {"
+          ^ String.concat ", "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cs)
+          ^ "}"
+      in
+      let attrs =
+        match
+          List.filter (fun (k, _) -> k <> "abandoned") sp.sp_attrs
+        with
+        | [] -> ""
+        | l -> " " ^ String.concat " " (List.map render_attr l)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-48s %10.3fms  self %8.3fms%s%s\n" label
+           (ms sp.sp_dur)
+           (ms (self_seconds t sp))
+           attrs flags);
+      List.iter (walk (depth + 1)) (children t sp.sp_id)
+    end
+  in
+  walk 0 root;
+  Buffer.contents b
+
+let render_aggregates t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%-32s %8s %12s %12s\n" "span" "calls" "total(ms)"
+       "self(ms)");
+  List.iter
+    (fun (name, (calls, total, self)) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-32s %8d %12.3f %12.3f\n" name calls (ms total)
+           (ms self)))
+    (aggregates t);
+  Buffer.contents b
+
+let render_critical_path t root =
+  let path = critical_path t root in
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "critical path (%.3fms root):\n" (ms root.sp_dur));
+  List.iter
+    (fun sp ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-40s %10.3fms (%5.1f%%)\n" sp.sp_name
+           (ms sp.sp_dur)
+           (if root.sp_dur > 0.0 then 100.0 *. sp.sp_dur /. root.sp_dur
+            else 0.0)))
+    path;
+  Buffer.contents b
+
+let render_summary t =
+  let rs = roots t in
+  let rooted = List.fold_left (fun acc r -> acc +. r.sp_dur) 0.0 rs in
+  let broken = unresolved t in
+  let abandoned =
+    List.length (List.filter (fun sp -> sp.sp_abandoned) t.t_spans)
+  in
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "spans: %d   roots: %d   traces: %d   rooted time: %.3fms\n"
+       (List.length t.t_spans) (List.length rs)
+       (List.length (trace_ids t))
+       (ms rooted));
+  if broken <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "BROKEN LINKS: %d spans with unresolvable parents (%s)\n"
+         (List.length broken)
+         (String.concat ", "
+            (List.map (fun sp -> Printf.sprintf "#%d" sp.sp_id) broken)));
+  if abandoned > 0 then
+    Buffer.add_string b (Printf.sprintf "abandoned spans: %d\n" abandoned);
+  Buffer.contents b

@@ -1,0 +1,81 @@
+(** Offline analysis of JSONL telemetry traces (the [--trace] files of
+    the CLI and the solve server's request tracing).
+
+    A trace is a stream of span records stitched by id/parent links;
+    with the process-wide span ids of {!Absolver_telemetry.Telemetry}, a
+    file multiplexing many concurrent requests (and their domain-pool
+    forks) still decomposes into clean trees. This module loads such a
+    file and answers the questions the [absolver trace] subcommand
+    renders: the span tree per root, per-name aggregates, the critical
+    path under a root, and flamegraph-ready folded stacks. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** [-1] at top level *)
+  sp_name : string;
+  sp_start : float;  (** monotonic seconds (the trace's clock) *)
+  sp_dur : float;  (** seconds *)
+  sp_trace : string option;  (** request trace id, when tagged *)
+  sp_attrs : (string * Absolver_server.Sjson.t) list;
+  sp_counters : (string * int) list;  (** counter deltas inside the span *)
+  sp_abandoned : bool;  (** force-closed, not finished on its own *)
+}
+
+type t
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSONL document. Lines that are not well-formed
+    trace records are an error (with their line number); a missing
+    leading meta record is tolerated. *)
+
+val load : string -> (t, string) result
+(** {!of_string} over a file's contents. *)
+
+val spans : t -> span list
+(** Every span, in file (i.e. close-time) order. *)
+
+val find : t -> int -> span option
+val children : t -> int -> span list
+(** Direct children of the span id, by start time. *)
+
+val roots : ?trace_id:string -> t -> span list
+(** Top-level spans ([sp_parent = -1]), by start time; [trace_id]
+    restricts to one request's tree. *)
+
+val unresolved : t -> span list
+(** Spans whose parent id is neither [-1] nor present in the trace —
+    broken links. Empty on any well-formed trace, whatever the
+    interleaving. *)
+
+val trace_ids : t -> string list
+(** Distinct request trace ids present, in first-appearance order. *)
+
+val counter_totals : t -> (string * int) list
+(** The final counter records ([{"type":"counter",...}]), if the trace
+    was sealed by [Telemetry.close]. *)
+
+val self_seconds : t -> span -> float
+(** The span's duration minus its direct children's, clamped at 0 —
+    the time attributable to the span itself. *)
+
+val aggregates : t -> (string * (int * float * float)) list
+(** Per-name [(calls, total_s, self_s)], sorted by descending total. *)
+
+val critical_path : t -> span -> span list
+(** Root-to-leaf chain following the longest-duration child at every
+    step — where an end-to-end latency budget actually went. *)
+
+val folded : ?trace_id:string -> t -> (string * int) list
+(** Flamegraph-ready folded stacks: [("root;child;...;leaf", n)] with
+    [n] the stack's self time in microseconds (rounded, summed over
+    equal stacks, zero-self stacks dropped), sorted by stack string —
+    pipe to [flamegraph.pl]. *)
+
+(** {1 Rendering} (the [absolver trace] subcommand's output) *)
+
+val render_tree : ?max_depth:int -> t -> span -> string
+val render_aggregates : t -> string
+val render_critical_path : t -> span -> string
+val render_summary : t -> string
+(** Header block: span/root/trace-id counts, total rooted time, broken
+    links and abandoned spans if any. *)

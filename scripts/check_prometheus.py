@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition (0.0.4) output.
+
+Used by CI against the solve server's `metrics` op and the CLI's
+--metrics-file output. Checks the line grammar, that every sample
+belongs to a `# TYPE`d family, and the histogram contract: cumulative
+`_bucket{le="..."}` series capped by a `+Inf` bucket whose count equals
+the family's `_count`.
+
+Usage: check_prometheus.py [FILE]   (reads stdin when FILE is absent)
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises on garbage
+
+
+def fail(lineno, line, why):
+    sys.exit(f"check_prometheus: line {lineno}: {why}: {line!r}")
+
+
+def main():
+    text = open(sys.argv[1]).read() if len(sys.argv) > 1 else sys.stdin.read()
+    types = {}
+    samples = []  # (name, labels-dict, value, lineno)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(lineno, line, "malformed TYPE comment")
+                _, _, name, kind = parts
+                if not NAME_RE.match(name):
+                    fail(lineno, line, "bad metric name in TYPE")
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    fail(lineno, line, f"unknown type {kind}")
+                if name in types:
+                    fail(lineno, line, "duplicate TYPE for family")
+                types[name] = kind
+            # other comments (HELP, free-form) are fine
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, line, "not a sample line")
+        labels = {}
+        if m.group("labels"):
+            for pair in re.split(r",(?=[a-zA-Z_])", m.group("labels")):
+                if not LABEL_RE.match(pair):
+                    fail(lineno, line, f"bad label {pair!r}")
+                k, v = pair.split("=", 1)
+                labels[k] = v[1:-1]
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            fail(lineno, line, f"unparseable value {m.group('value')!r}")
+        samples.append((m.group("name"), labels, value, lineno))
+
+    if not samples:
+        sys.exit("check_prometheus: no samples")
+
+    def family(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    for name, _, _, lineno in samples:
+        if family(name) not in types:
+            fail(lineno, name, "sample without a TYPE comment")
+
+    n_hist = 0
+    for fam, kind in types.items():
+        if kind != "histogram":
+            continue
+        n_hist += 1
+        buckets = [
+            (float("inf") if lb["le"] == "+Inf" else float(lb["le"]), v)
+            for (name, lb, v, _) in samples
+            if name == fam + "_bucket" and "le" in lb
+        ]
+        if not buckets:
+            sys.exit(f"check_prometheus: histogram {fam} has no buckets")
+        buckets.sort()
+        counts = [c for _, c in buckets]
+        if counts != sorted(counts):
+            sys.exit(f"check_prometheus: {fam} buckets not cumulative")
+        if buckets[-1][0] != float("inf"):
+            sys.exit(f"check_prometheus: {fam} missing +Inf bucket")
+        total = [v for (name, _, v, _) in samples if name == fam + "_count"]
+        if len(total) != 1:
+            sys.exit(f"check_prometheus: {fam} needs exactly one _count")
+        if buckets[-1][1] != total[0]:
+            sys.exit(f"check_prometheus: {fam} +Inf bucket != _count")
+        if not any(name == fam + "_sum" for (name, _, _, _) in samples):
+            sys.exit(f"check_prometheus: {fam} missing _sum")
+
+    print(
+        f"check_prometheus: OK — {len(samples)} samples, "
+        f"{len(types)} families ({n_hist} histograms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

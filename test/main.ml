@@ -13,6 +13,7 @@ let () =
       ("encodings", Test_encodings.suite);
       ("preprocess", Test_preprocess.suite);
       ("telemetry", Test_telemetry.suite);
+      ("tracetool", Test_tracetool.suite);
       ("resource", Test_resource.suite);
       ("incremental", Test_incremental.suite);
       ("parallel", Test_parallel.suite);

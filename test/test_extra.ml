@@ -31,7 +31,7 @@ let test_nonlinear_solver_fallback () =
     {
       A.Registry.ns_name = "always-unknown";
       ns_solve =
-        (fun ~budget:_ ~nvars:_ ~box:_ _ ->
+        (fun ~budget:_ ~telemetry:_ ~nvars:_ ~box:_ _ ->
           incr gave_up_calls;
           A.Registry.N_unknown);
     }
@@ -55,7 +55,7 @@ let test_nonlinear_all_solvers_fail () =
   let give_up =
     {
       A.Registry.ns_name = "always-unknown";
-      ns_solve = (fun ~budget:_ ~nvars:_ ~box:_ _ -> A.Registry.N_unknown);
+      ns_solve = (fun ~budget:_ ~telemetry:_ ~nvars:_ ~box:_ _ -> A.Registry.N_unknown);
     }
   in
   let registry = { A.Registry.default with A.Registry.nonlinear = [ give_up ] } in

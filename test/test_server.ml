@@ -353,7 +353,233 @@ let test_stats_and_health_track_queries () =
       check bool_t "latency recorded" true
         (Sjson.get_int (Option.get (Sjson.member "count" (get [ "latency_ms" ])))
         = Some 2);
+      check bool_t "queue depth gauge present" true
+        (match Sjson.get_int (get [ "pool"; "queue_depth" ]) with
+        | Some d -> d >= 0
+        | None -> false);
       ignore (finish conn))
+
+(* ------------------------------------------------------------------ *)
+(* Observability: the metrics op's Prometheus text, request tracing.   *)
+(* ------------------------------------------------------------------ *)
+
+(* A line-level Prometheus text-format check mirroring
+   scripts/check_prometheus.py: TYPEd families, parseable samples,
+   cumulative histogram buckets capped by a +Inf bucket = _count. *)
+let validate_prometheus text =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  check bool_t "metrics nonempty" true (lines <> []);
+  let types = Hashtbl.create 16 in
+  let samples = ref [] in
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ]
+          when List.mem kind [ "counter"; "gauge"; "histogram" ] ->
+          Hashtbl.replace types name kind
+        | _ -> Alcotest.failf "bad comment line: %s" line
+      end
+      else begin
+        let name_part, value_part =
+          match String.rindex_opt line ' ' with
+          | Some i ->
+            ( String.sub line 0 i,
+              String.sub line (i + 1) (String.length line - i - 1) )
+          | None -> Alcotest.failf "no value: %s" line
+        in
+        (match value_part with
+        | "+Inf" | "-Inf" | "NaN" -> ()
+        | v ->
+          if float_of_string_opt v = None then
+            Alcotest.failf "unparseable value %s in: %s" v line);
+        let name, label =
+          match String.index_opt name_part '{' with
+          | Some i ->
+            if name_part.[String.length name_part - 1] <> '}' then
+              Alcotest.failf "unterminated labels: %s" line;
+            ( String.sub name_part 0 i,
+              String.sub name_part (i + 1) (String.length name_part - i - 2) )
+          | None -> (name_part, "")
+        in
+        String.iter
+          (fun c ->
+            let ok =
+              (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+              || (c >= '0' && c <= '9') || c = '_' || c = ':'
+            in
+            if not ok then Alcotest.failf "bad metric name char in: %s" line)
+          name;
+        samples := (name, label, value_part) :: !samples
+      end)
+    lines;
+  let samples = List.rev !samples in
+  (* every sample belongs to a TYPEd family *)
+  let family name =
+    let strip suff =
+      let n = String.length name and s = String.length suff in
+      if n > s && String.sub name (n - s) s = suff then
+        Some (String.sub name 0 (n - s))
+      else None
+    in
+    let base =
+      List.find_map strip [ "_bucket"; "_sum"; "_count" ]
+      |> Option.value ~default:name
+    in
+    if Hashtbl.mem types base then base
+    else if Hashtbl.mem types name then name
+    else Alcotest.failf "sample without TYPE: %s" name
+  in
+  List.iter (fun (n, _, _) -> ignore (family n)) samples;
+  (* histogram series: cumulative buckets, +Inf present and = _count *)
+  Hashtbl.iter
+    (fun name kind ->
+      if kind = "histogram" then begin
+        let buckets =
+          List.filter_map
+            (fun (n, l, v) ->
+              if n = name ^ "_bucket" then Some (l, float_of_string v)
+              else None)
+            (List.map
+               (fun (n, l, v) ->
+                 (n, l, (if v = "+Inf" then "inf" else v)))
+               samples)
+        in
+        check bool_t (name ^ " has buckets") true (buckets <> []);
+        let le_of label =
+          (* le="..." -> the bound, +Inf as infinity *)
+          match String.split_on_char '"' label with
+          | [ "le="; b; "" ] ->
+            if b = "+Inf" then infinity else float_of_string b
+          | _ -> Alcotest.failf "bad bucket label %s on %s" label name
+        in
+        let sorted =
+          List.sort compare (List.map (fun (l, v) -> (le_of l, v)) buckets)
+        in
+        let rec cumulative = function
+          | (_, a) :: ((_, b) :: _ as rest) ->
+            check bool_t (name ^ " buckets cumulative") true (a <= b);
+            cumulative rest
+          | _ -> ()
+        in
+        cumulative sorted;
+        let inf_count =
+          match List.rev sorted with
+          | (le, v) :: _ when le = infinity -> v
+          | _ -> Alcotest.failf "%s missing +Inf bucket" name
+        in
+        let total =
+          match
+            List.find_opt (fun (n, _, _) -> n = name ^ "_count") samples
+          with
+          | Some (_, _, v) -> float_of_string v
+          | None -> Alcotest.failf "%s missing _count" name
+        in
+        check bool_t (name ^ " +Inf = count") true (inf_count = total);
+        check bool_t (name ^ " has _sum") true
+          (List.exists (fun (n, _, _) -> n = name ^ "_sum") samples)
+      end)
+    types
+
+let test_metrics_op_prometheus () =
+  with_server (fun srv ->
+      let conn = connect srv in
+      ignore (roundtrip conn (solve_request 1 "p cnf 1 1\n1 0\nc def real 1 u >= 1\n"));
+      ignore (roundtrip conn (solve_request 2 "p cnf 1 2\n1 0\n-1 0\nc def real 1 u >= 1\n"));
+      let resp = roundtrip conn {|{"id":3,"op":"metrics"}|} in
+      let text =
+        match str_field "metrics" resp with
+        | Some t -> t
+        | None -> Alcotest.failf "no metrics payload in %s" resp
+      in
+      validate_prometheus text;
+      let contains needle =
+        let n = String.length text and m = String.length needle in
+        let rec at i =
+          i + m <= n && (String.sub text i m = needle || at (i + 1))
+        in
+        at 0
+      in
+      check bool_t "request counter" true
+        (contains "absolver_server_solve_total 2");
+      check bool_t "latency histogram buckets" true
+        (contains "absolver_server_latency_ms_bucket{le=");
+      check bool_t "queue-wait histogram" true
+        (contains "absolver_server_queue_wait_ms_count 2");
+      check bool_t "per-span seconds" true
+        (contains "absolver_span_seconds_total{span=\"server.request\"}");
+      ignore (finish conn))
+
+module TT = Absolver_tracetool.Tracetool
+
+let nonlinear_unsat_text =
+  "p cnf 1 1\n1 0\nc def real 1 x * x + y * y <= 1\nc def real 1 x * y >= 2\n\
+   c bound x -10 10\nc bound y -10 10\n"
+
+let test_traced_request_single_tree () =
+  (* one traced query through the full server stack — reader thread,
+     executor lane, branch-and-prune frontier domains — must produce
+     exactly one connected span tree, stitched by the echoed trace id *)
+  let path = Filename.temp_file "absolver_srvtrace" ".jsonl" in
+  let oc = open_out path in
+  let config =
+    {
+      (test_config ()) with
+      Server.trace = Some oc;
+      registry =
+        (fun () ->
+          ( {
+              Registry.default with
+              Registry.nonlinear = [ Registry.branch_prune_solver ~jobs:2 () ];
+            },
+            fun () -> () ));
+    }
+  in
+  with_server ~config (fun srv ->
+      let conn = connect srv in
+      let resp = roundtrip conn (solve_request 1 nonlinear_unsat_text) in
+      check (Alcotest.option string_t) "unsat" (Some "unsat")
+        (str_field "verdict" resp);
+      let tid =
+        match str_field "trace_id" resp with
+        | Some tid -> tid
+        | None -> Alcotest.failf "no trace_id echoed in %s" resp
+      in
+      check bool_t "span_id echoed" true (field "span_id" resp <> None);
+      ignore (finish conn);
+      (* end_request flushed the sink before the reply line was written,
+         so the file is complete for this request already *)
+      let t =
+        match TT.load path with
+        | Ok t -> t
+        | Error e -> Alcotest.failf "trace load: %s" e
+      in
+      check int_t "no unresolved parents" 0 (List.length (TT.unresolved t));
+      (match TT.roots ~trace_id:tid t with
+      | [ r ] ->
+        check string_t "root is the request span" "server.request"
+          r.TT.sp_name;
+        check bool_t "request attrs" true
+          (List.mem_assoc "op" r.TT.sp_attrs);
+        (* the engine's solve span hangs under the request root *)
+        check bool_t "solve under request" true
+          (List.exists
+             (fun sp -> sp.TT.sp_name = "solve")
+             (TT.children t r.TT.sp_id))
+      | other ->
+        Alcotest.failf "expected 1 root for %s, got %d" tid
+          (List.length other));
+      (* every span written belongs to this request's trace *)
+      check bool_t "single trace id in file" true (TT.trace_ids t = [ tid ]);
+      List.iter
+        (fun sp ->
+          check bool_t "span tagged with the trace id" true
+            (sp.TT.sp_trace = Some tid))
+        (TT.spans t));
+  close_out_noerr oc;
+  Sys.remove path
 
 let test_smt2_framing_over_connection () =
   with_server (fun srv ->
@@ -631,6 +857,10 @@ let suite =
       test_timeout_degrades_to_unknown;
     Alcotest.test_case "stats and health track queries" `Quick
       test_stats_and_health_track_queries;
+    Alcotest.test_case "metrics op emits valid Prometheus text" `Quick
+      test_metrics_op_prometheus;
+    Alcotest.test_case "traced request is one connected tree" `Quick
+      test_traced_request_single_tree;
     Alcotest.test_case "smt2 framing over a connection" `Quick
       test_smt2_framing_over_connection;
     Alcotest.test_case "smt2: push/pop scoping" `Quick

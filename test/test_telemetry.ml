@@ -294,6 +294,241 @@ let test_all_models_equivalence () =
   T.close tel;
   check bool_t "all_models identical with telemetry on" true (off = on)
 
+(* ---- histograms ---- *)
+
+let test_hist_basic () =
+  let tel = T.create () in
+  List.iter (T.observe tel "lat") [ 1.0; 2.0; 4.0; 8.0; 100.0 ];
+  let h =
+    match T.histogram tel "lat" with
+    | Some h -> h
+    | None -> Alcotest.fail "histogram missing"
+  in
+  check int_t "count" 5 h.T.h_count;
+  check bool_t "sum" true (Float.abs (h.T.h_sum -. 115.0) < 1e-9);
+  check bool_t "min" true (h.T.h_min = 1.0);
+  check bool_t "max" true (h.T.h_max = 100.0);
+  check bool_t "unknown name" true (T.histogram tel "nope" = None);
+  T.close tel
+
+let test_hist_bucket_boundaries () =
+  (* every bucket bound is an exact power of γ, and each sample lands in
+     the bucket whose range (ub/γ, ub] contains it *)
+  let tel = T.create () in
+  let samples = [ 0.0013; 0.7; 1.0; 1.0000001; 3.5; 1234.5; -2.0; 0.0 ] in
+  List.iter (T.observe tel "x") samples;
+  let h = Option.get (T.histogram tel "x") in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 h.T.h_buckets in
+  check int_t "bucket counts sum to count" h.T.h_count total;
+  List.iter
+    (fun (ub, _) ->
+      if ub > 0.0 then begin
+        let i = Float.round (Float.log ub /. Float.log T.hist_gamma) in
+        let back = Float.pow T.hist_gamma i in
+        if Float.abs (back -. ub) > 1e-9 *. ub then
+          Alcotest.failf "bucket bound %.17g is not a power of gamma" ub
+      end)
+    h.T.h_buckets;
+  List.iter
+    (fun v ->
+      let covering =
+        List.filter
+          (fun (ub, _) ->
+            if v <= 0.0 then ub = 0.0 else v <= ub && v > ub /. T.hist_gamma)
+          h.T.h_buckets
+      in
+      check int_t
+        (Printf.sprintf "exactly one bucket covers %g" v)
+        1 (List.length covering))
+    samples;
+  (* cumulative counts are monotone and end at the total *)
+  let cum = T.hist_cumulative h in
+  let rec mono = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  check bool_t "cumulative monotone" true (mono cum);
+  (match List.rev cum with
+  | (_, last) :: _ -> check int_t "cumulative ends at count" h.T.h_count last
+  | [] -> Alcotest.fail "empty cumulative");
+  T.close tel
+
+let test_hist_quantile_bounds () =
+  (* nearest-rank estimate stays within a √γ factor of the exact
+     percentile, and within [min,max], for a deterministic LCG stream *)
+  let n = 2000 in
+  let seed = ref 12345 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12321) land 0x3FFFFFFF;
+    float_of_int (1 + (!seed mod 100000)) /. 7.0
+  in
+  let tel = T.create () in
+  let values = Array.init n (fun _ -> next ()) in
+  Array.iter (T.observe tel "v") values;
+  let h = Option.get (T.histogram tel "v") in
+  Array.sort compare values;
+  let tol = sqrt T.hist_gamma *. 1.0001 in
+  List.iter
+    (fun q ->
+      let est = T.hist_quantile h q in
+      let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+      let exact = values.(rank - 1) in
+      check bool_t
+        (Printf.sprintf "q%.2f within range" q)
+        true
+        (est >= h.T.h_min && est <= h.T.h_max);
+      if est > exact *. tol || est < exact /. tol then
+        Alcotest.failf "q%.2f estimate %g too far from exact %g" q est exact)
+    [ 0.01; 0.25; 0.50; 0.90; 0.95; 0.99; 1.0 ];
+  T.close tel
+
+let hist_as_list tel name =
+  match T.histogram tel name with
+  | Some h -> (h.T.h_count, h.T.h_sum, h.T.h_min, h.T.h_max, h.T.h_buckets)
+  | None -> Alcotest.fail ("no histogram " ^ name)
+
+let test_hist_merge_associative () =
+  let mk samples =
+    let tel = T.create () in
+    List.iter (T.observe tel "m") samples;
+    tel
+  in
+  let a () = mk [ 0.5; 1.0; 2.0 ]
+  and b () = mk [ 2.0; 64.0; -1.0 ]
+  and c () = mk [ 0.001; 3.14159; 1e6 ] in
+  (* (a ⊕ b) ⊕ c versus a ⊕ (b ⊕ c), both into a fresh destination *)
+  let left =
+    let ab = a () in
+    T.merge ab (b ());
+    T.merge ab (c ());
+    hist_as_list ab "m"
+  in
+  let right =
+    let bc = b () in
+    T.merge bc (c ());
+    let abc = a () in
+    T.merge abc bc;
+    hist_as_list abc "m"
+  in
+  check bool_t "merge associative (bucket-exact)" true (left = right);
+  let count, sum, mn, mx, _ = left in
+  check int_t "merged count" 9 count;
+  check bool_t "merged sum" true (Float.abs (sum -. 1000071.64259) < 1e-4);
+  check bool_t "merged min" true (mn = -1.0);
+  check bool_t "merged max" true (mx = 1e6)
+
+let test_merge_preserves_trace_id () =
+  let dst = T.create () in
+  let src = T.create () in
+  T.set_trace_id src "deadbeef00000001";
+  T.observe src "q" 5.0;
+  T.merge dst src;
+  check bool_t "trace id carried" true
+    (T.trace_id dst = Some "deadbeef00000001");
+  let h = Option.get (T.histogram dst "q") in
+  check int_t "histogram carried" 1 h.T.h_count;
+  (* an already-set destination id wins over later merges *)
+  let src2 = T.create () in
+  T.set_trace_id src2 "feedface00000002";
+  T.merge dst src2;
+  check bool_t "existing id kept" true
+    (T.trace_id dst = Some "deadbeef00000001")
+
+(* ---- fork / trace context ---- *)
+
+module TT = Absolver_tracetool.Tracetool
+
+let with_trace f =
+  let path = Filename.temp_file "absolver_tt" ".jsonl" in
+  let oc = open_out path in
+  let tel = T.create ~trace:oc () in
+  f tel;
+  close_out oc;
+  let t =
+    match TT.load path with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "trace load: %s" e
+  in
+  Sys.remove path;
+  t
+
+let test_fork_parent_links () =
+  let t =
+    with_trace (fun tel ->
+        T.set_trace_id tel (T.mint_trace_id ());
+        let root = T.span_open tel "root" in
+        let parent = T.current_span tel in
+        check int_t "current_span is the open span" root parent;
+        (* one fork per "worker", as the pool does *)
+        let workers = List.init 3 (fun _ -> T.fork ~parent tel) in
+        List.iter (fun w -> T.span w "work" (fun () -> ())) workers;
+        List.iter (fun w -> T.merge tel w) workers;
+        T.span_close tel root;
+        T.close tel)
+  in
+  check int_t "no unresolved parents" 0 (List.length (TT.unresolved t));
+  (match TT.roots t with
+  | [ r ] ->
+    check string_t "single root" "root" r.TT.sp_name;
+    check int_t "three children" 3 (List.length (TT.children t r.TT.sp_id));
+    List.iter
+      (fun c -> check string_t "child name" "work" c.TT.sp_name)
+      (TT.children t r.TT.sp_id)
+  | other -> Alcotest.failf "expected one root, got %d" (List.length other));
+  (* every span carries the minted trace id *)
+  check int_t "one trace id" 1 (List.length (TT.trace_ids t));
+  List.iter
+    (fun sp ->
+      check bool_t "span tagged" true (sp.TT.sp_trace <> None))
+    (TT.spans t)
+
+let test_abandoned_children_marked () =
+  let t =
+    with_trace (fun tel ->
+        let a = T.span_open tel "a" in
+        let _b = T.span_open tel "b" in
+        T.span_close tel a;
+        let _c = T.span_open tel "c" in
+        T.close tel)
+  in
+  let by_name n =
+    match List.find_opt (fun sp -> sp.TT.sp_name = n) (TT.spans t) with
+    | Some sp -> sp
+    | None -> Alcotest.failf "span %s missing" n
+  in
+  check bool_t "b force-closed" true (by_name "b").TT.sp_abandoned;
+  check bool_t "c force-closed at close" true (by_name "c").TT.sp_abandoned;
+  check bool_t "a closed normally" false (by_name "a").TT.sp_abandoned
+
+let test_jobs4_trace_single_tree () =
+  (* the acceptance test of the tracing tentpole: a parallel (--jobs 4)
+     branch-and-prune run writes one connected span tree — every span's
+     parent resolves across the executor/pool domain hand-offs *)
+  let registry =
+    {
+      A.Registry.default with
+      A.Registry.nonlinear = [ A.Registry.branch_prune_solver ~jobs:4 () ];
+    }
+  in
+  let t =
+    with_trace (fun tel ->
+        let options =
+          { A.Engine.default_options with A.Engine.telemetry = tel }
+        in
+        let result, _ = A.Engine.solve ~registry ~options (parse nonlinear_text) in
+        (match result with
+        | A.Engine.R_unsat -> ()
+        | _ -> Alcotest.fail "nonlinear fragment should be unsat");
+        T.close tel)
+  in
+  check bool_t "has spans" true (TT.spans t <> []);
+  check int_t "no unresolved parents" 0 (List.length (TT.unresolved t));
+  (match TT.roots t with
+  | [ r ] -> check string_t "single solve root" "solve" r.TT.sp_name
+  | other -> Alcotest.failf "expected one root, got %d" (List.length other));
+  check bool_t "worker spans present" true
+    (List.exists (fun sp -> sp.TT.sp_name = "pool.worker") (TT.spans t))
+
 let suite =
   [
     Alcotest.test_case "clock is monotone" `Quick test_clock_monotone;
@@ -309,4 +544,19 @@ let suite =
       test_on_off_equivalence;
     Alcotest.test_case "all_models: telemetry on/off equivalence" `Quick
       test_all_models_equivalence;
+    Alcotest.test_case "histogram basics" `Quick test_hist_basic;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_hist_bucket_boundaries;
+    Alcotest.test_case "histogram quantile bounds" `Quick
+      test_hist_quantile_bounds;
+    Alcotest.test_case "histogram merge is associative" `Quick
+      test_hist_merge_associative;
+    Alcotest.test_case "merge preserves trace id" `Quick
+      test_merge_preserves_trace_id;
+    Alcotest.test_case "fork stitches parent links" `Quick
+      test_fork_parent_links;
+    Alcotest.test_case "abandoned spans are marked" `Quick
+      test_abandoned_children_marked;
+    Alcotest.test_case "jobs=4 trace is one connected tree" `Quick
+      test_jobs4_trace_single_tree;
   ]

@@ -1,0 +1,182 @@
+(* Tracetool: the JSONL loader and the analyses the [absolver trace]
+   subcommand renders, exercised on synthetic traces where tree shape,
+   critical path and folded stacks are known exactly. *)
+
+module TT = Absolver_tracetool.Tracetool
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let span ?(trace = "") ?(attrs = "") ~id ~parent ~start ~dur name =
+  Printf.sprintf
+    "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"start\":%g,\"dur\":%g%s%s}"
+    id parent name start dur
+    (if trace = "" then "" else Printf.sprintf ",\"trace\":\"%s\"" trace)
+    (if attrs = "" then "" else Printf.sprintf ",\"attrs\":{%s}" attrs)
+
+(* Two requests interleaved in close order, as a concurrent server
+   writes them:
+     req A: root(1) [0,10ms] -> lp(2) [1,6ms] -> pivot(3) [2,2ms]
+     req B: root(4) [0,4ms]  -> lp(5) [1,1ms]                      *)
+let interleaved =
+  String.concat "\n"
+    [
+      "{\"type\":\"meta\",\"format\":\"absolver-trace\",\"version\":2}";
+      span ~trace:"aaaa" ~id:3 ~parent:2 ~start:0.002 ~dur:0.002 "pivot";
+      span ~trace:"bbbb" ~id:5 ~parent:4 ~start:0.001 ~dur:0.001 "lp";
+      span ~trace:"bbbb" ~id:4 ~parent:(-1) ~start:0.0 ~dur:0.004 "root";
+      span ~trace:"aaaa" ~id:2 ~parent:1 ~start:0.001 ~dur:0.006 "lp";
+      span ~trace:"aaaa" ~id:1 ~parent:(-1) ~start:0.0 ~dur:0.010 "root";
+      "{\"type\":\"counter\",\"name\":\"lp.pivots\",\"total\":7}";
+    ]
+
+let load text =
+  match TT.of_string text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "load: %s" e
+
+let test_load_and_index () =
+  let t = load interleaved in
+  check int_t "five spans" 5 (List.length (TT.spans t));
+  check int_t "two roots" 2 (List.length (TT.roots t));
+  check int_t "no unresolved" 0 (List.length (TT.unresolved t));
+  (match TT.find t 2 with
+  | Some sp ->
+    check string_t "find by id" "lp" sp.TT.sp_name;
+    check int_t "parent kept" 1 sp.TT.sp_parent
+  | None -> Alcotest.fail "span 2 missing");
+  check bool_t "children sorted by start" true
+    (match List.map (fun sp -> sp.TT.sp_id) (TT.children t 1) with
+    | [ 2 ] -> true
+    | _ -> false);
+  check bool_t "counter totals" true
+    (TT.counter_totals t = [ ("lp.pivots", 7) ])
+
+let test_trace_id_slicing () =
+  let t = load interleaved in
+  check bool_t "ids in first-appearance order" true
+    (TT.trace_ids t = [ "aaaa"; "bbbb" ]);
+  (match TT.roots ~trace_id:"bbbb" t with
+  | [ r ] ->
+    check int_t "request B root" 4 r.TT.sp_id;
+    check int_t "one child" 1 (List.length (TT.children t r.TT.sp_id))
+  | other -> Alcotest.failf "expected 1 root for bbbb, got %d" (List.length other));
+  check int_t "unknown id selects nothing" 0
+    (List.length (TT.roots ~trace_id:"cccc" t))
+
+let test_self_time_and_aggregates () =
+  let t = load interleaved in
+  let root_a = Option.get (TT.find t 1) in
+  (* 10ms total, 6ms in the lp child -> 4ms self *)
+  check bool_t "self time subtracts children" true
+    (Float.abs (TT.self_seconds t root_a -. 0.004) < 1e-9);
+  match List.assoc_opt "lp" (TT.aggregates t) with
+  | Some (calls, total, self) ->
+    check int_t "lp calls across requests" 2 calls;
+    check bool_t "lp total" true (Float.abs (total -. 0.007) < 1e-9);
+    check bool_t "lp self" true (Float.abs (self -. 0.005) < 1e-9)
+  | None -> Alcotest.fail "lp not aggregated"
+
+let test_critical_path () =
+  let text =
+    String.concat "\n"
+      [
+        span ~id:1 ~parent:(-1) ~start:0.0 ~dur:0.010 "root";
+        span ~id:2 ~parent:1 ~start:0.001 ~dur:0.003 "short";
+        span ~id:3 ~parent:1 ~start:0.004 ~dur:0.005 "long";
+        span ~id:4 ~parent:3 ~start:0.004 ~dur:0.004 "leaf";
+      ]
+  in
+  let t = load text in
+  let root = Option.get (TT.find t 1) in
+  check bool_t "descends into the widest child" true
+    (List.map (fun sp -> sp.TT.sp_name) (TT.critical_path t root)
+    = [ "root"; "long"; "leaf" ])
+
+let test_folded_stacks () =
+  let t = load interleaved in
+  (* self times: root A 4ms, lp A 4ms, pivot 2ms; root B 3ms, lp B 1ms;
+     equal stacks from both requests sum *)
+  check bool_t "folded stacks with summed self time" true
+    (TT.folded t
+    = [
+        ("root", 7000); ("root;lp", 5000); ("root;lp;pivot", 2000);
+      ]);
+  check bool_t "folded respects trace-id filter" true
+    (TT.folded ~trace_id:"bbbb" t = [ ("root", 3000); ("root;lp", 1000) ])
+
+let test_unresolved_detection () =
+  let text =
+    String.concat "\n"
+      [
+        span ~id:1 ~parent:(-1) ~start:0.0 ~dur:0.01 "root";
+        span ~id:2 ~parent:99 ~start:0.0 ~dur:0.01 "lost";
+      ]
+  in
+  let t = load text in
+  match TT.unresolved t with
+  | [ sp ] -> check int_t "broken link found" 2 sp.TT.sp_id
+  | other -> Alcotest.failf "expected 1 unresolved, got %d" (List.length other)
+
+let test_abandoned_flag () =
+  let text =
+    span ~attrs:"\"abandoned\":true" ~id:1 ~parent:(-1) ~start:0.0 ~dur:0.01
+      "cut"
+  in
+  let t = load text in
+  check bool_t "abandoned surfaced" true
+    (Option.get (TT.find t 1)).TT.sp_abandoned
+
+let test_parse_errors () =
+  (match TT.of_string "{\"type\":\"span\",\"id\":1}" with
+  | Error e ->
+    check bool_t "missing fields rejected" true
+      (String.length e > 0)
+  | Ok _ -> Alcotest.fail "truncated span accepted");
+  (match TT.of_string "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (* unknown record kinds are tolerated, blank lines skipped *)
+  match TT.of_string "{\"type\":\"fancy-new-thing\"}\n\n" with
+  | Ok t -> check int_t "future kinds ignored" 0 (List.length (TT.spans t))
+  | Error e -> Alcotest.failf "forward-compat parse failed: %s" e
+
+let test_rendering () =
+  let t = load interleaved in
+  let root = Option.get (TT.find t 1) in
+  let tree = TT.render_tree t root in
+  let contains needle hay =
+    let n = String.length hay and m = String.length needle in
+    let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+    at 0
+  in
+  check bool_t "tree shows root" true (contains "root (#1)" tree);
+  check bool_t "tree shows nested pivot" true (contains "    pivot (#3)" tree);
+  check bool_t "depth cap prunes" false
+    (contains "pivot" (TT.render_tree ~max_depth:1 t root));
+  check bool_t "critical path renders percents" true
+    (contains "100.0%" (TT.render_critical_path t root));
+  check bool_t "aggregates header" true
+    (contains "total(ms)" (TT.render_aggregates t));
+  let summary = TT.render_summary t in
+  check bool_t "summary counts" true
+    (contains "spans: 5   roots: 2   traces: 2" summary)
+
+let suite =
+  [
+    Alcotest.test_case "load + index interleaved trace" `Quick
+      test_load_and_index;
+    Alcotest.test_case "trace-id slicing" `Quick test_trace_id_slicing;
+    Alcotest.test_case "self time and aggregates" `Quick
+      test_self_time_and_aggregates;
+    Alcotest.test_case "critical path" `Quick test_critical_path;
+    Alcotest.test_case "folded stacks" `Quick test_folded_stacks;
+    Alcotest.test_case "unresolved parents detected" `Quick
+      test_unresolved_detection;
+    Alcotest.test_case "abandoned flag surfaced" `Quick test_abandoned_flag;
+    Alcotest.test_case "parse errors and forward compat" `Quick
+      test_parse_errors;
+    Alcotest.test_case "rendering" `Quick test_rendering;
+  ]
