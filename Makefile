@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-parallel bench-incremental bench-server bench-all fuzz fmt clean
+.PHONY: all build test check bench bench-json bench-parallel bench-incremental bench-server bench-chaos bench-all fuzz fmt clean
 
 all: build
 
@@ -37,9 +37,17 @@ bench-incremental:
 bench-server:
 	dune exec bench/main.exe server
 
+# Seeded session workload over a real socket, fault-free vs under the
+# network fault injector: byte-identical transcripts, latency
+# percentiles, client retry counters and the half-open reclaim time,
+# written to BENCH_chaos.json.  Exits non-zero on a transcript flip or
+# a missed idle-timeout reclaim.
+bench-chaos:
+	dune exec bench/main.exe chaos
+
 # Re-emit every machine-readable benchmark artefact (BENCH_*.json) in
 # one go — the full measurement sweep behind the README numbers.
-bench-all: bench-json bench-parallel bench-incremental bench-server
+bench-all: bench-json bench-parallel bench-incremental bench-server bench-chaos
 
 # Resource-governor robustness: the seeded differential fuzzer (500
 # random problems, engine and DPLL(T) baseline under tight budgets vs

@@ -18,6 +18,11 @@
      dune exec bench/main.exe server     -- mixed workload through the solve
                                             server at 1/4/16 clients, written
                                             to BENCH_server.json
+     dune exec bench/main.exe chaos      -- session workload over a socket,
+                                            fault-free vs the seeded network
+                                            fault injector, plus the half-open
+                                            reclaim time, written to
+                                            BENCH_chaos.json
 
    Absolute times are not expected to match a 2007 notebook; the shapes
    (who wins, rough factors, where solvers reject or abort) are. *)
@@ -960,6 +965,222 @@ let server_mode () =
   print_endline "wrote BENCH_server.json"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos mode: seeded SMT-LIB 2 session workload through the           *)
+(* reconnecting client over a real Unix socket, fault-free vs under    *)
+(* the seeded network fault injector — per-command latency percentiles *)
+(* must not grow a cliff, transcripts must stay byte-identical — plus  *)
+(* the half-open-client reclaim time against the idle timeout.         *)
+(* Written to BENCH_chaos.json.                                        *)
+
+let chaos_mode () =
+  let module Server = Absolver_server.Server in
+  let module Io = Absolver_server.Io in
+  let module Sjson = Absolver_server.Sjson in
+  let module Client = Absolver_client.Client in
+  let module Faults = Absolver_resource.Faults in
+  let sessions = 64 in
+  let idle_timeout_s = 2.0 in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "absolver-bench-chaos-%d.sock" (Unix.getpid ()))
+  in
+  let gen_session st =
+    let a () = 1 + Random.State.int st 5 in
+    let r () = Random.State.int st 13 - 4 in
+    let cmds = ref [ "(declare-const y Real)"; "(declare-const x Real)" ] in
+    let n = 4 + Random.State.int st 5 in
+    for _ = 1 to n do
+      match Random.State.int st 4 with
+      | 0 | 1 ->
+        cmds :=
+          Printf.sprintf "(assert (<= (+ (* %d x) (* %d y)) %d))" (a ()) (a ())
+            (r ())
+          :: !cmds
+      | 2 -> cmds := Printf.sprintf "(assert (>= x %d))" (r ()) :: !cmds
+      | _ -> cmds := "(check-sat)" :: !cmds
+    done;
+    List.rev ("(check-sat)" :: !cmds)
+  in
+  let scripts =
+    let st = Random.State.make [| 0xbc4a05 |] in
+    Array.init sessions (fun _ -> gen_session st)
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.default_timeout_ms = None;
+      io = { Io.default_limits with Io.idle_timeout_s = Some idle_timeout_s };
+    }
+  in
+  let srv = Server.create ~config () in
+  let srv_th = Thread.create (fun () -> ignore (Server.serve_socket srv ~path)) () in
+  let rec wait_up tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with _ -> ());
+      if tries = 0 then failwith "chaos bench: daemon did not come up";
+      Thread.delay 0.02;
+      wait_up (tries - 1)
+  in
+  wait_up 250;
+  let cconfig =
+    {
+      Client.default_config with
+      Client.journal_solves = true;
+      max_attempts = 16;
+      backoff_base_s = 0.002;
+      backoff_max_s = 0.05;
+    }
+  in
+  let percentile sorted q =
+    let m = Array.length sorted in
+    if m = 0 then 0.0
+    else sorted.(min (m - 1) (int_of_float (ceil (q *. float_of_int m)) - 1))
+  in
+  (* one phase: all sessions across 8 threads; per-command latency, the
+     full transcripts and the client fault counters *)
+  let run_phase name =
+    let transcripts = Array.make sessions [] in
+    let lat = Array.init sessions (fun _ -> ref []) in
+    let retries = Atomic.make 0 and reconnects = Atomic.make 0 in
+    let replayed = Atomic.make 0 in
+    let next = Atomic.make 0 in
+    let t0 = Telemetry.Clock.now () in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < sessions then begin
+          (match Client.connect ~config:cconfig ~path () with
+          | Error e -> failwith ("chaos bench connect: " ^ e)
+          | Ok cl ->
+            let out =
+              List.concat_map
+                (fun cmd ->
+                  let t = Telemetry.Clock.now () in
+                  match Client.command cl cmd with
+                  | Ok rs ->
+                    lat.(i) :=
+                      ((Telemetry.Clock.now () -. t) *. 1000.0) :: !(lat.(i));
+                    rs
+                  | Error e -> failwith ("chaos bench command: " ^ e))
+                scripts.(i)
+            in
+            transcripts.(i) <- out;
+            Atomic.fetch_and_add retries (Client.retries cl) |> ignore;
+            Atomic.fetch_and_add reconnects (Client.reconnects cl) |> ignore;
+            Atomic.fetch_and_add replayed (Client.replayed cl) |> ignore;
+            Client.close cl);
+          go ()
+        end
+      in
+      go ()
+    in
+    let ths = List.init 8 (fun _ -> Thread.create worker ()) in
+    List.iter Thread.join ths;
+    let wall = Telemetry.Clock.now () -. t0 in
+    let all = Array.of_list (List.concat_map (fun r -> !r) (Array.to_list lat)) in
+    Array.sort compare all;
+    let cmds = Array.length all in
+    Printf.printf
+      "%-9s %s  %5d commands  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  \
+       retries %d  reconnects %d  replayed %d\n%!"
+      name (fmt_time wall) cmds (percentile all 0.50) (percentile all 0.95)
+      (percentile all 0.99) (Atomic.get retries) (Atomic.get reconnects)
+      (Atomic.get replayed);
+    let json =
+      Telemetry.Json.obj
+        [
+          ("seconds", Telemetry.Json.of_float wall);
+          ("commands", string_of_int cmds);
+          ("p50_ms", Telemetry.Json.of_float (percentile all 0.50));
+          ("p95_ms", Telemetry.Json.of_float (percentile all 0.95));
+          ("p99_ms", Telemetry.Json.of_float (percentile all 0.99));
+          ("retries", string_of_int (Atomic.get retries));
+          ("reconnects", string_of_int (Atomic.get reconnects));
+          ("replayed_commands", string_of_int (Atomic.get replayed));
+        ]
+    in
+    (json, Array.to_list transcripts, percentile all 0.99)
+  in
+  let base_json, base_out, base_p99 = run_phase "baseline" in
+  Faults.Net.arm
+    ~plan:{ Faults.Net.default_plan with Faults.Net.seed = 42; max_delay_ms = 2.0 }
+    ();
+  let chaos_json, chaos_out, chaos_p99 =
+    match run_phase "chaos" with
+    | r -> r
+    | exception e ->
+      Faults.Net.disarm ();
+      raise e
+  in
+  let injected =
+    List.fold_left (fun n (_, k) -> n + k) 0 (Faults.Net.injected ())
+  in
+  Faults.Net.disarm ();
+  let identical = base_out = chaos_out in
+  Printf.printf "transcripts identical under chaos: %b (%d faults injected)\n%!"
+    identical injected;
+  (* half-open reclaim: a client sends one command, reads its reply and
+     goes silent without closing; the idle timeout must reclaim it *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let line = "(check-sat)\n" in
+  ignore (Unix.write_substring fd line 0 (String.length line));
+  let buf = Bytes.create 256 in
+  ignore (Unix.read fd buf 0 256);
+  let clients_now () =
+    match List.assoc_opt "clients" (Server.health_fields srv) with
+    | Some (Sjson.Num n) -> int_of_float n
+    | _ -> -1
+  in
+  let t0 = Telemetry.Clock.now () in
+  let rec wait_reclaim () =
+    if clients_now () = 0 then Telemetry.Clock.now () -. t0
+    else if Telemetry.Clock.now () -. t0 > idle_timeout_s +. 5.0 then -1.0
+    else begin
+      Thread.delay 0.05;
+      wait_reclaim ()
+    end
+  in
+  let reclaim_s = wait_reclaim () in
+  (try Unix.close fd with _ -> ());
+  let within = reclaim_s >= 0.0 && reclaim_s <= idle_timeout_s +. 1.0 in
+  Printf.printf "half-open client reclaimed in %s (idle timeout %.1fs): %b\n%!"
+    (fmt_time reclaim_s) idle_timeout_s within;
+  Server.request_stop srv;
+  Thread.join srv_th;
+  Server.shutdown srv;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"fault-tolerant serving under network chaos\",\n\
+      \  \"sessions\": %d,\n\
+      \  \"faults_injected\": %d,\n\
+      \  \"transcripts_identical\": %b,\n\
+      \  \"p99_ratio_chaos_over_baseline\": %s,\n\
+      \  \"baseline\": %s,\n\
+      \  \"chaos\": %s,\n\
+      \  \"half_open\": {\"idle_timeout_s\": %s, \"reclaimed_in_s\": %s, \
+       \"within_timeout\": %b}\n\
+       }\n"
+      sessions injected identical
+      (Telemetry.Json.of_float
+         (if base_p99 <= 0.0 then 0.0 else chaos_p99 /. base_p99))
+      base_json chaos_json
+      (Telemetry.Json.of_float idle_timeout_s)
+      (Telemetry.Json.of_float reclaim_s)
+      within
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_chaos.json";
+  if not identical then exit 1;
+  if not within then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 
 let micro () =
@@ -1012,6 +1233,7 @@ let () =
   | "parallel" -> parallel_mode ()
   | "incremental" -> incremental_mode ()
   | "server" -> server_mode ()
+  | "chaos" -> chaos_mode ()
   | "all" ->
     table1 ();
     table2 ();
@@ -1020,6 +1242,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown benchmark %S (expected \
-       table1|table2|table3|ablations|micro|json|parallel|incremental|server|all)\n"
+       table1|table2|table3|ablations|micro|json|parallel|incremental|server|chaos|all)\n"
       other;
     exit 2

@@ -446,8 +446,26 @@ let serve_cmd =
       ~doc:"Write the server aggregate in Prometheus text-exposition format \
             to $(docv) at shutdown (live scraping uses the $(b,metrics) op).")
   in
+  let idle_timeout =
+    Arg.(value & opt float 300.0 & info [ "idle-timeout" ] ~docv:"SECONDS"
+      ~doc:"Reclaim a connection after this much inactivity (counted from \
+            the last byte received or reply written; suspended while the \
+            connection has a request in flight). 0 disables it.")
+  in
+  let read_deadline =
+    Arg.(value & opt float 30.0 & info [ "read-deadline" ] ~docv:"SECONDS"
+      ~doc:"A frame, once its first byte arrived, must complete within \
+            $(docv) or the connection is reclaimed. 0 disables it.")
+  in
+  let max_frame_bytes =
+    Arg.(value & opt int (64 * 1024 * 1024) & info [ "max-frame-bytes" ] ~docv:"BYTES"
+      ~doc:"Cap on one request frame; an oversized frame gets one framed \
+            error reply and the connection is closed, so adversarial input \
+            cannot exhaust memory. 0 removes the cap.")
+  in
   let run socket max_clients default_timeout workers client_cap queue_capacity
-      trace slow_log slow_ms metrics_file =
+      trace slow_log slow_ms metrics_file idle_timeout read_deadline
+      max_frame_bytes =
     let trace_oc = Option.map open_out trace in
     let slow_oc =
       Option.map
@@ -466,6 +484,15 @@ let serve_cmd =
           | None -> Server.default_config.Server.workers);
         default_timeout_ms =
           (if default_timeout > 0 then Some default_timeout else None);
+        io =
+          {
+            Absolver_server.Io.idle_timeout_s =
+              (if idle_timeout > 0.0 then Some idle_timeout else None);
+            read_deadline_s =
+              (if read_deadline > 0.0 then Some read_deadline else None);
+            max_frame_bytes =
+              (if max_frame_bytes > 0 then max_frame_bytes else max_int);
+          };
         trace = trace_oc;
         slow_log = slow_oc;
         slow_ms;
@@ -509,7 +536,109 @@ let serve_cmd =
              stdin/stdout or a Unix-domain socket.")
     Term.(
       const run $ socket $ max_clients $ default_timeout $ workers $ client_cap
-      $ queue_capacity $ trace $ slow_log $ slow_ms $ metrics_file)
+      $ queue_capacity $ trace $ slow_log $ slow_ms $ metrics_file
+      $ idle_timeout $ read_deadline $ max_frame_bytes)
+
+(* ---- client ---- *)
+
+let client_cmd =
+  let module Client = Absolver_client.Client in
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+      ~doc:"The server's Unix-domain socket.")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+      ~doc:"SMT-LIB 2 script to run (default: read stdin).")
+  in
+  let attempts =
+    Arg.(value & opt int Client.default_config.Client.max_attempts
+      & info [ "attempts" ] ~docv:"N"
+      ~doc:"Tries per command (the first included) before giving up.")
+  in
+  let request_timeout =
+    Arg.(value & opt float Client.default_config.Client.request_timeout_s
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+      ~doc:"Reply deadline per attempt; expiry triggers a retry.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+      ~doc:"Backoff-jitter PRNG seed (same seed, same retry schedule).")
+  in
+  let journal_solves =
+    Arg.(value & flag & info [ "journal-solves" ]
+      ~doc:"Also replay check-sat/get-model commands after a reconnect, \
+            reconstructing the server's warm solver state exactly.")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"FILE"
+      ~doc:"Write client-side counters (retries, reconnects, replayed \
+            commands) in Prometheus text-exposition format to $(docv) at exit.")
+  in
+  let run socket file attempts request_timeout seed journal_solves metrics_file =
+    let script =
+      match file with
+      | Some path ->
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      | None -> In_channel.input_all stdin
+    in
+    let config =
+      {
+        Client.default_config with
+        Client.max_attempts = max 1 attempts;
+        request_timeout_s = request_timeout;
+        seed;
+        journal_solves;
+      }
+    in
+    let write_metrics cl =
+      match metrics_file with
+      | None -> ()
+      | Some path ->
+        (* written directly, not via Telemetry: zero-valued counters
+           must still be present so scrapes see the family *)
+        let oc = open_out path in
+        List.iter
+          (fun (name, v) ->
+            Printf.fprintf oc "# TYPE %s counter\n%s %d\n" name name v)
+          [
+            ("absolver_client_retries_total", Client.retries cl);
+            ("absolver_client_reconnects_total", Client.reconnects cl);
+            ( "absolver_client_replayed_commands_total",
+              Client.replayed cl );
+          ];
+        close_out oc
+    in
+    match Client.connect ~config ~path:socket () with
+    | Error e ->
+      prerr_endline ("client: " ^ e);
+      1
+    | Ok cl -> (
+      match Client.run_script cl script with
+      | Ok replies ->
+        List.iter print_endline replies;
+        write_metrics cl;
+        Client.close cl;
+        0
+      | Error e ->
+        prerr_endline ("client: " ^ e);
+        write_metrics cl;
+        Client.close cl;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Run an SMT-LIB 2 script against a solve server through the \
+             fault-tolerant session client: transport faults are retried \
+             with seeded backoff, and a dropped connection is rebuilt by \
+             replaying the command journal.")
+    Term.(
+      const run $ socket $ file $ attempts $ request_timeout $ seed
+      $ journal_solves $ metrics_file)
 
 (* ---- trace ---- *)
 
@@ -595,6 +724,6 @@ let main =
   let doc = "ABSOLVER: an extensible multi-domain constraint solver (DATE'07 reproduction)" in
   Cmd.group
     (Cmd.info "absolver" ~version:"1.0.0" ~doc)
-    [ solve_cmd; convert_cmd; gen_cmd; circuit_cmd; serve_cmd; trace_cmd ]
+    [ solve_cmd; convert_cmd; gen_cmd; circuit_cmd; serve_cmd; client_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main)

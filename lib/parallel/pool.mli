@@ -55,6 +55,12 @@ val race :
 module Executor : sig
   type t
 
+  exception Kill_worker
+  (** Deterministically kills the worker domain running the job that
+      raises it — the supervision tests' stand-in for a process-level
+      disaster ([Out_of_memory] and [Stack_overflow] get the same
+      treatment). *)
+
   type submit_outcome =
     | Submitted
     | Rejected of string
@@ -62,14 +68,26 @@ module Executor : sig
             or "executor shutting down") — the caller is expected to
             surface it, not retry blindly *)
 
-  val create : ?queue_capacity:int -> workers:int -> unit -> t
-  (** Spawn [max 1 workers] worker domains. [queue_capacity] (default
-      64) bounds the number of {e queued} (not yet running) jobs. *)
+  val is_fatal : exn -> bool
+  (** Would this exception, escaping a job, kill its worker domain?
+      Lets an outer panic barrier (the server's lane wrapper) answer
+      recoverable failures and re-raise worker-fatal ones. *)
+
+  val create :
+    ?queue_capacity:int -> ?restart_limit:int -> workers:int -> unit -> t
+  (** Spawn [max 1 workers] supervised worker domains. [queue_capacity]
+      (default 64) bounds the number of {e queued} (not yet running)
+      jobs; [restart_limit] (default 8) bounds worker replacements over
+      the executor's lifetime. *)
 
   val submit : t -> (unit -> unit) -> submit_outcome
   (** Enqueue a job. Jobs must contain their own exceptions as a matter
       of hygiene, but a leak is contained by the worker loop — one bad
-      job never takes a worker down. *)
+      job never takes a worker down.  The exceptions are fatal ones
+      ({!Kill_worker}, [Out_of_memory], [Stack_overflow]): those kill
+      the worker domain, abandoning the job (counted in {!lost_jobs}),
+      and the supervisor spawns a replacement — up to [restart_limit]
+      times, after which the pool shrinks and {!degraded} turns true. *)
 
   val workers : t -> int
   val in_flight : t -> int  (** jobs currently executing *)
@@ -80,9 +98,23 @@ module Executor : sig
 
   val completed : t -> int  (** jobs finished (including failed) *)
 
+  val live_workers : t -> int  (** workers currently serving the queue *)
+
+  val worker_deaths : t -> int  (** fatal exceptions that killed a worker *)
+
+  val worker_restarts : t -> int  (** replacements spawned so far *)
+
+  val lost_jobs : t -> int  (** jobs abandoned by a dying worker *)
+
+  val degraded : t -> bool
+  (** The supervisor gave up on at least one worker (restart budget
+      exhausted): the pool runs below its configured width.  Surfaced
+      by the server's [health] op. *)
+
   val shutdown : t -> unit
   (** Stop accepting, drain every already-accepted job, join all worker
-      domains. Idempotent; blocks until the pool is quiet. *)
+      domains (including replacements spawned mid-shutdown). Idempotent;
+      blocks until the pool is quiet. *)
 end
 
 (** {1 Work-stealing frontier}

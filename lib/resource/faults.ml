@@ -16,6 +16,7 @@ let known =
     "sat.all_sat";
     "lp.solve_system";
     "nlp.branch_prune";
+    "server.lane";
   ]
 
 type armed = { mutable countdown : int; action : action }
@@ -56,3 +57,135 @@ let hit point budget =
         | Raise -> raise (Injected point)
       end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Network fault injection                                             *)
+(*                                                                     *)
+(* A seeded decision oracle for the solve server's read/write/accept   *)
+(* paths.  This module only *decides* (tear here, delay that long,     *)
+(* drop now) — applying a decision (sleeping, shutting a socket down)  *)
+(* is the caller's job, so this library stays free of Unix.  All       *)
+(* draws come from one seeded PRNG behind a mutex: a chaos run is      *)
+(* reproducible up to thread interleaving, and the differential suite  *)
+(* asserts on transcripts, which are interleaving-independent.         *)
+(* ------------------------------------------------------------------ *)
+
+module Net = struct
+  type plan = {
+    seed : int;
+    tear_write : float;
+    delay : float;
+    drop : float;
+    refuse_accept : float;
+    max_delay_ms : float;
+  }
+
+  let default_plan =
+    {
+      seed = 0;
+      tear_write = 0.15;
+      delay = 0.15;
+      drop = 0.05;
+      refuse_accept = 0.1;
+      max_delay_ms = 5.0;
+    }
+
+  type decision = {
+    delay_ms : float;  (** sleep this long before the operation *)
+    tear_at : int option;  (** split a write at this byte offset *)
+    drop : bool;  (** sever the connection instead of completing *)
+  }
+
+  let no_decision = { delay_ms = 0.0; tear_at = None; drop = false }
+
+  type state = { st : Random.State.t; mutable counts : (string * int) list }
+
+  let lock = Mutex.create ()
+  let state : state option ref = ref None
+
+  let arm plan =
+    Mutex.protect lock (fun () ->
+        state :=
+          Some { st = Random.State.make [| plan.seed; 0x6e657446 |]; counts = [] })
+
+  let plan_ref = ref default_plan
+
+  let arm ?(plan = default_plan) () =
+    plan_ref := plan;
+    arm plan
+
+  let disarm () = Mutex.protect lock (fun () -> state := None)
+  let armed () = Mutex.protect lock (fun () -> !state <> None)
+
+  let count s kind =
+    s.counts <-
+      (match List.assoc_opt kind s.counts with
+      | Some n -> (kind, n + 1) :: List.remove_assoc kind s.counts
+      | None -> (kind, 1) :: s.counts)
+
+  let injected () =
+    Mutex.protect lock (fun () ->
+        match !state with Some s -> s.counts | None -> [])
+
+  let chance s p = p > 0.0 && Random.State.float s.st 1.0 < p
+
+  let delay_of s plan =
+    if chance s plan.delay then begin
+      count s "delay";
+      Random.State.float s.st (Float.max 0.01 plan.max_delay_ms)
+    end
+    else 0.0
+
+  (* Decision for one write of [len] bytes. *)
+  let on_write ~len =
+    Mutex.protect lock (fun () ->
+        match !state with
+        | None -> no_decision
+        | Some s ->
+          let plan = !plan_ref in
+          let delay_ms = delay_of s plan in
+          let tear_at =
+            if len > 1 && chance s plan.tear_write then begin
+              count s "tear";
+              Some (1 + Random.State.int s.st (len - 1))
+            end
+            else None
+          in
+          let drop =
+            if chance s plan.drop then begin
+              count s "drop_write";
+              true
+            end
+            else false
+          in
+          { delay_ms; tear_at; drop })
+
+  (* Decision for one read attempt. *)
+  let on_read () =
+    Mutex.protect lock (fun () ->
+        match !state with
+        | None -> no_decision
+        | Some s ->
+          let plan = !plan_ref in
+          let delay_ms = delay_of s plan in
+          let drop =
+            if chance s plan.drop then begin
+              count s "drop_read";
+              true
+            end
+            else false
+          in
+          { delay_ms; tear_at = None; drop })
+
+  (* [true]: refuse (sever) this freshly accepted connection. *)
+  let on_accept () =
+    Mutex.protect lock (fun () ->
+        match !state with
+        | None -> false
+        | Some s ->
+          if chance s (!plan_ref).refuse_accept then begin
+            count s "refuse_accept";
+            true
+          end
+          else false)
+end

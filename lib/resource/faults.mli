@@ -39,3 +39,54 @@ val hit : string -> Budget.t -> unit
 val hits : string -> int
 (** Observed hits of a point since the last {!disarm_all} (counted only
     while any point is armed). *)
+
+(** Seeded network fault injection for the solve server's read, write
+    and accept paths (DESIGN.md Sec. 15).
+
+    Unlike the solver points above, network faults are drawn from a
+    seeded PRNG with per-kind probabilities: torn frames (a write split
+    in two with a delay between the halves), delayed bytes, mid-frame
+    disconnects and refused accepts.  This module only {e decides};
+    applying a decision (sleeping, shutting a socket down) is the I/O
+    layer's job ({!Absolver_server.Io}), so this library stays free of
+    [Unix].  Disarmed, every query is one mutex-protected [None]
+    check. *)
+module Net : sig
+  type plan = {
+    seed : int;  (** PRNG seed; same seed = same decision stream *)
+    tear_write : float;  (** probability a write is split in two *)
+    delay : float;  (** probability an operation is delayed *)
+    drop : float;  (** probability the connection is severed mid-frame *)
+    refuse_accept : float;  (** probability a fresh accept is severed *)
+    max_delay_ms : float;  (** injected delays are uniform in [0, max] *)
+  }
+
+  val default_plan : plan
+
+  type decision = {
+    delay_ms : float;  (** sleep this long before the operation *)
+    tear_at : int option;  (** split a write at this byte offset *)
+    drop : bool;  (** sever the connection instead of completing *)
+  }
+
+  val no_decision : decision
+
+  val arm : ?plan:plan -> unit -> unit
+  (** Start injecting network faults according to [plan]. *)
+
+  val disarm : unit -> unit
+  val armed : unit -> bool
+
+  val on_write : len:int -> decision
+  (** Decision for one write of [len] bytes. *)
+
+  val on_read : unit -> decision
+  (** Decision for one read attempt. *)
+
+  val on_accept : unit -> bool
+  (** [true]: sever this freshly accepted connection immediately. *)
+
+  val injected : unit -> (string * int) list
+  (** Injected-event counts by kind ([tear], [delay], [drop_read],
+      [drop_write], [refuse_accept]) since {!arm}. *)
+end

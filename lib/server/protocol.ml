@@ -86,6 +86,10 @@ let ok ~id fields = respond ~id ~status:"ok" fields
 let rejected ~id reason = respond ~id ~status:"rejected" [ ("reason", Sjson.Str reason) ]
 let error ~id msg = respond ~id ~status:"error" [ ("error", Sjson.Str msg) ]
 
+let internal_error ~id msg =
+  respond ~id ~status:"error"
+    [ ("kind", Sjson.Str "internal_error"); ("error", Sjson.Str msg) ]
+
 (* ------------------------------------------------------------------ *)
 (* Canonical models                                                    *)
 (* ------------------------------------------------------------------ *)

@@ -50,6 +50,11 @@ val ok : id:Sjson.t -> (string * Sjson.t) list -> string
 val rejected : id:Sjson.t -> string -> string
 val error : id:Sjson.t -> string -> string
 
+val internal_error : id:Sjson.t -> string -> string
+(** An ["error"] response with ["kind":"internal_error"]: the request
+    itself was well-formed but its execution escaped the lane's panic
+    barrier.  The connection stays usable — only this request failed. *)
+
 (** {1 Canonical model rendering}
 
     Shared between the server and the differential test suite so

@@ -19,7 +19,9 @@ type config = {
   client_cap : int;
   queue_capacity : int;
   workers : int;
+  restart_limit : int;
   default_timeout_ms : int option;
+  io : Io.limits;
   engine_options : Engine.options;
   registry : unit -> Registry.t * (unit -> unit);
   trace : out_channel option;
@@ -37,7 +39,9 @@ let default_config =
     client_cap = 8;
     queue_capacity = 64;
     workers = max 1 (min 4 (Pool.available_cores () - 1));
+    restart_limit = 8;
     default_timeout_ms = Some 30_000;
+    io = Io.default_limits;
     engine_options = Engine.default_options;
     registry = default_registry;
     trace = None;
@@ -66,11 +70,17 @@ type t = {
 }
 
 let create ?(config = default_config) () =
+  (* A peer that closes mid-reply must surface as EPIPE on the write —
+     a per-connection error value — not as a process-killing signal.
+     Idempotent, and harmless in-process: nothing here relies on
+     default SIGPIPE delivery. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
   {
     config;
     exec =
       Pool.Executor.create ~queue_capacity:config.queue_capacity
-        ~workers:config.workers ();
+        ~restart_limit:config.restart_limit ~workers:config.workers ();
     tel = Telemetry.create ?trace:config.trace ();
     tel_lock = Mutex.create ();
     slow_lock = Mutex.create ();
@@ -98,17 +108,6 @@ let observe srv name v =
 
 let set_gauge srv name v =
   Mutex.protect srv.tel_lock (fun () -> Telemetry.set_gauge srv.tel name v)
-
-let budget_for srv timeout_ms =
-  let ms =
-    match timeout_ms with
-    | Some _ as m -> m
-    | None -> srv.config.default_timeout_ms
-  in
-  match ms with
-  | Some m when m > 0 ->
-    Budget.child srv.root ~deadline_seconds:(float_of_int m /. 1000.) ()
-  | _ -> Budget.child srv.root ()
 
 let absorb_run_stats srv (rs : Engine.run_stats) =
   Mutex.protect srv.tel_lock (fun () ->
@@ -234,6 +233,19 @@ let trace_fields srv rq =
 (* Stats / health payloads                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Counters named [base|k=v] (the Prometheus label convention) fold
+   into a JSON object keyed by the label value: the stats view of
+   [server.disconnects|reason=...] / [server.errors|kind=...]. *)
+let labelled_counts tel prefix =
+  List.filter_map
+    (fun (name, v) ->
+      let n = String.length prefix in
+      if String.length name > n && String.sub name 0 n = prefix then
+        Some
+          (String.sub name n (String.length name - n), Sjson.Num (float_of_int v))
+      else None)
+    (List.sort compare (Telemetry.counters tel))
+
 let stats_fields srv =
   let pool_fields =
     [
@@ -242,6 +254,13 @@ let stats_fields srv =
       ("queued", Sjson.Num (float_of_int (Pool.Executor.queued srv.exec)));
       ("submitted", Sjson.Num (float_of_int (Pool.Executor.submitted srv.exec)));
       ("completed", Sjson.Num (float_of_int (Pool.Executor.completed srv.exec)));
+      ( "workers_live",
+        Sjson.Num (float_of_int (Pool.Executor.live_workers srv.exec)) );
+      ( "worker_deaths",
+        Sjson.Num (float_of_int (Pool.Executor.worker_deaths srv.exec)) );
+      ( "worker_restarts",
+        Sjson.Num (float_of_int (Pool.Executor.worker_restarts srv.exec)) );
+      ("lost_jobs", Sjson.Num (float_of_int (Pool.Executor.lost_jobs srv.exec)));
     ]
   in
   Mutex.protect srv.tel_lock (fun () ->
@@ -278,6 +297,9 @@ let stats_fields srv =
             ] );
         ("rejected", c "server.rejected");
         ("budget_trips", c "server.budget_trips");
+        ( "disconnects",
+          Sjson.Obj (labelled_counts srv.tel "server.disconnects|reason=") );
+        ("errors", Sjson.Obj (labelled_counts srv.tel "server.errors|kind="));
         ("latency_ms", Sjson.Obj latency);
         ( "pool",
           Sjson.Obj
@@ -328,14 +350,25 @@ let metrics_text srv =
       Prometheus.render srv.tel)
 
 let health_fields srv =
+  let state =
+    if srv.stopping then "stopping"
+    else if Pool.Executor.degraded srv.exec then "degraded"
+    else "ok"
+  in
   [
-    ("health", Sjson.Str (if srv.stopping then "stopping" else "ok"));
+    ("health", Sjson.Str state);
     ("accepting", Sjson.Bool (not srv.stopping));
     ("uptime_s", Sjson.Num (Clock.wall () -. srv.started));
     ("clients", Sjson.Num (float_of_int (Atomic.get srv.clients)));
     ("workers", Sjson.Num (float_of_int (Pool.Executor.workers srv.exec)));
     ("in_flight", Sjson.Num (float_of_int (Pool.Executor.in_flight srv.exec)));
     ("queued", Sjson.Num (float_of_int (Pool.Executor.queued srv.exec)));
+    ( "workers_live",
+      Sjson.Num (float_of_int (Pool.Executor.live_workers srv.exec)) );
+    ( "worker_deaths",
+      Sjson.Num (float_of_int (Pool.Executor.worker_deaths srv.exec)) );
+    ( "worker_restarts",
+      Sjson.Num (float_of_int (Pool.Executor.worker_restarts srv.exec)) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -350,28 +383,70 @@ let health_fields srv =
 (* executor's FIFO: C clients have at most C jobs in the global queue. *)
 (* ------------------------------------------------------------------ *)
 
-type entry = { run : unit -> unit; entry_reject : string -> unit }
+type entry = {
+  run : unit -> unit;
+  entry_reject : string -> unit;
+  entry_panic : exn -> unit;  (* typed internal-error reply for this entry *)
+}
 
 type client = {
   srv : t;
-  oc : out_channel;
+  fd_out : Unix.file_descr;
   out_lock : Mutex.t;
+  dead : bool Atomic.t;  (* reply write failed: peer is fully gone *)
+  disc : string option Atomic.t;  (* disconnect reason, recorded once *)
+  cbudget : Budget.t;  (* umbrella over this connection's request budgets *)
   m : Mutex.t;
   cv : Condition.t;
   q : entry Queue.t;
   mutable busy : bool;
+  mutable rdr : Io.reader option;
   registry : Registry.t;
   dispose : unit -> unit;
   smt2 : Smt2.session;
 }
 
+(* Every request budget is a child of the connection's [cbudget] (itself
+   a child of the server root), so tearing down a client cancels its
+   queued and in-flight work in one stroke without touching anyone
+   else's. *)
+let budget_for c timeout_ms =
+  let ms =
+    match timeout_ms with
+    | Some _ as m -> m
+    | None -> c.srv.config.default_timeout_ms
+  in
+  match ms with
+  | Some m when m > 0 ->
+    Budget.child c.cbudget ~deadline_seconds:(float_of_int m /. 1000.) ()
+  | _ -> Budget.child c.cbudget ()
+
+let record_disconnect c reason =
+  if Atomic.compare_and_set c.disc None (Some reason) then
+    bump c.srv ("server.disconnects|reason=" ^ reason) 1
+
+(* Tear the client down from the writing side: the peer is fully gone
+   (EPIPE) or the transport is broken, so queued and in-flight work is
+   pointless — cancel the connection umbrella and let the lane drain
+   without writing to the dead fd. *)
+let mark_dead c reason =
+  if not (Atomic.exchange c.dead true) then begin
+    record_disconnect c reason;
+    Budget.cancel c.cbudget
+    (* the reader polls [c.dead] via its stop condition within one
+       select slice, so no need to sever the fd from here *)
+  end
+
 let write_line c line =
-  Mutex.protect c.out_lock (fun () ->
-      try
-        output_string c.oc line;
-        output_char c.oc '\n';
-        flush c.oc
-      with Sys_error _ -> ())
+  if not (Atomic.get c.dead) then
+    Mutex.protect c.out_lock (fun () ->
+        if not (Atomic.get c.dead) then
+          match Io.write_all ~chaos:true c.fd_out (line ^ "\n") with
+          | Ok () -> ( match c.rdr with Some r -> Io.touch r | None -> ())
+          | Error Io.Peer_closed -> mark_dead c "epipe"
+          | Error (Io.Write_error _) ->
+            bump c.srv "server.errors|kind=io_write" 1;
+            mark_dead c "io_error")
 
 (* Requires [c.m] held.  On executor rejection the job is answered
    immediately (out of band) and the lane moves on — the reader is
@@ -386,12 +461,32 @@ let rec pump c =
     c.busy <- true;
     match
       Pool.Executor.submit c.srv.exec (fun () ->
-          sample_queue_depth c.srv;
-          (try e.run () with _ -> ());
-          Mutex.protect c.m (fun () ->
-              c.busy <- false;
-              pump c;
-              Condition.broadcast c.cv))
+          (* Panic barrier.  An exception escaping [e.run] is answered
+             with a typed internal error and counted; the lane and the
+             worker both survive.  The [finally] releases the lane even
+             when the exception is a worker-fatal one (Kill_worker,
+             OOM, stack overflow) that must keep propagating to kill
+             the domain — otherwise a dying worker would wedge this
+             client forever. *)
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.protect c.m (fun () ->
+                  c.busy <- false;
+                  pump c;
+                  Condition.broadcast c.cv))
+            (fun () ->
+              sample_queue_depth c.srv;
+              match
+                Absolver_resource.Faults.hit "server.lane" Budget.unlimited;
+                e.run ()
+              with
+              | () -> ()
+              | exception ex ->
+                if Pool.Executor.is_fatal ex then raise ex
+                else begin
+                  bump c.srv "server.errors|kind=internal" 1;
+                  try e.entry_panic ex with _ -> ()
+                end))
     with
     | Pool.Executor.Submitted ->
       sample_queue_depth c.srv
@@ -412,7 +507,9 @@ let rec pump c =
 let enqueue c e =
   Mutex.protect c.m (fun () ->
       while
-        Queue.length c.q >= c.srv.config.client_cap && not c.srv.stopping
+        Queue.length c.q >= c.srv.config.client_cap
+        && (not c.srv.stopping)
+        && not (Atomic.get c.dead)
       do
         Condition.wait c.cv c.m
       done;
@@ -436,7 +533,7 @@ let finish_query c ~started ~op =
 let run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms ~enqueued
     () =
   let rq = begin_request c.srv ~op:"solve" ~enqueued in
-  let budget = budget_for c.srv timeout_ms in
+  let budget = budget_for c timeout_ms in
   let parsed =
     match format with
     | Protocol.F_dimacs -> Dimacs.parse_string problem
@@ -489,7 +586,7 @@ let run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms ~enqueued
 
 let run_smt2 c ~id ~script ~timeout_ms ~enqueued () =
   let rq = begin_request c.srv ~op:"smt2" ~enqueued in
-  let budget = budget_for c.srv timeout_ms in
+  let budget = budget_for c timeout_ms in
   let check =
     Smt2.engine_check ~registry:c.registry
       ~options:(request_options c.srv rq budget) ()
@@ -509,6 +606,9 @@ let handle_json_line c stop_reading line =
   | Ok (id, Error e) -> write_line c (Protocol.error ~id e)
   | Ok (id, Ok req) -> (
     let entry_reject reason = write_line c (Protocol.rejected ~id reason) in
+    let entry_panic ex =
+      write_line c (Protocol.internal_error ~id (Printexc.to_string ex))
+    in
     match req with
     | Protocol.Quit ->
       stop_reading := true;
@@ -517,6 +617,7 @@ let handle_json_line c stop_reading line =
           run =
             (fun () -> write_line c (Protocol.ok ~id [ ("bye", Sjson.Bool true) ]));
           entry_reject;
+          entry_panic;
         }
     | Protocol.Stats ->
       enqueue c
@@ -528,6 +629,7 @@ let handle_json_line c stop_reading line =
               finish_query c ~started ~op:"stats";
               write_line c (Protocol.ok ~id [ ("stats", Sjson.Obj fields) ]));
           entry_reject;
+          entry_panic;
         }
     | Protocol.Metrics ->
       enqueue c
@@ -539,6 +641,7 @@ let handle_json_line c stop_reading line =
               finish_query c ~started ~op:"metrics";
               write_line c (Protocol.ok ~id [ ("metrics", Sjson.Str text) ]));
           entry_reject;
+          entry_panic;
         }
     | Protocol.Health ->
       enqueue c
@@ -550,6 +653,7 @@ let handle_json_line c stop_reading line =
               finish_query c ~started ~op:"health";
               write_line c (Protocol.ok ~id fields));
           entry_reject;
+          entry_panic;
         }
     | Protocol.Solve { format; problem; all_models; limit; timeout_ms } ->
       let enqueued = Clock.now () in
@@ -559,10 +663,12 @@ let handle_json_line c stop_reading line =
             run_solve c ~id ~format ~problem ~all_models ~limit ~timeout_ms
               ~enqueued;
           entry_reject;
+          entry_panic;
         }
     | Protocol.Smt2_script { script; timeout_ms } ->
       let enqueued = Clock.now () in
-      enqueue c { run = run_smt2 c ~id ~script ~timeout_ms ~enqueued; entry_reject })
+      enqueue c
+        { run = run_smt2 c ~id ~script ~timeout_ms ~enqueued; entry_reject; entry_panic })
 
 (* ------------------------------------------------------------------ *)
 (* SMT-LIB 2 framing                                                   *)
@@ -584,8 +690,16 @@ let smt2_error_line reason =
 let handle_smt2_form c stop_reading form =
   if not !stop_reading then begin
     let entry_reject reason = write_line c (smt2_error_line reason) in
+    let entry_panic ex =
+      write_line c (smt2_error_line ("internal error: " ^ Printexc.to_string ex))
+    in
     let enqueue_error e =
-      enqueue c { run = (fun () -> write_line c (smt2_error_line e)); entry_reject }
+      enqueue c
+        {
+          run = (fun () -> write_line c (smt2_error_line e));
+          entry_reject;
+          entry_panic;
+        }
     in
     match Smt_parser.parse_sexps form with
     | Error e -> enqueue_error e
@@ -608,7 +722,7 @@ let handle_smt2_form c stop_reading form =
                       match cmd with
                       | Smt2.Check_sat ->
                         let rq = begin_request c.srv ~op:"smt2" ~enqueued in
-                        let budget = budget_for c.srv None in
+                        let budget = budget_for c None in
                         let check =
                           Smt2.engine_check ~registry:c.registry
                             ~options:(request_options c.srv rq budget) ()
@@ -633,7 +747,7 @@ let handle_smt2_form c stop_reading form =
                             (Printf.sprintf "; trace_id=%s span_id=%d"
                                rq.rq_trace_id rq.rq_span)
                       | _ -> (
-                        let budget = budget_for c.srv None in
+                        let budget = budget_for c None in
                         let check =
                           Smt2.engine_check ~registry:c.registry
                             ~options:
@@ -649,6 +763,7 @@ let handle_smt2_form c stop_reading form =
                         | Some line -> write_line c line
                         | None -> ()));
                   entry_reject;
+                  entry_panic;
                 })
         sexps
   end
@@ -657,16 +772,19 @@ let handle_smt2_form c stop_reading form =
 (* Connections                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let serve_channel srv ic oc =
-  if Atomic.get srv.clients >= srv.config.max_clients then begin
-    (try
-       output_string oc
+(* Serve one connection over raw fds.  The reader waits in bounded
+   select slices (Io.read_line), so server shutdown, a peer declared
+   dead by the write path, the idle timeout, the per-frame read
+   deadline and the frame-size cap all interrupt it; every abnormal end
+   is answered (when the framing is known), counted by reason, and
+   tears down only this connection. *)
+let serve_fd srv ~fd_in ~fd_out =
+  if Atomic.get srv.clients >= srv.config.max_clients then
+    ignore
+      (Io.write_all fd_out
          (Protocol.rejected ~id:Sjson.Null
-            (Printf.sprintf "server at max clients (%d)" srv.config.max_clients));
-       output_char oc '\n';
-       flush oc
-     with Sys_error _ -> ())
-  end
+            (Printf.sprintf "server at max clients (%d)" srv.config.max_clients)
+         ^ "\n"))
   else begin
     Atomic.incr srv.clients;
     Atomic.incr srv.total_clients;
@@ -674,58 +792,142 @@ let serve_channel srv ic oc =
     let c =
       {
         srv;
-        oc;
+        fd_out;
         out_lock = Mutex.create ();
+        dead = Atomic.make false;
+        disc = Atomic.make None;
+        cbudget = Budget.child srv.root ();
         m = Mutex.create ();
         cv = Condition.create ();
         q = Queue.create ();
         busy = false;
+        rdr = None;
         registry;
         dispose;
         smt2 = Smt2.create ();
       }
     in
-    let stop_reading = ref false in
     let mode = ref `Undecided in
+    let rdr =
+      Io.reader ~limits:srv.config.io ~chaos:true
+        ~should_stop:(fun () -> srv.stopping || Atomic.get c.dead)
+        ~busy:(fun () ->
+          Mutex.protect c.m (fun () -> c.busy || not (Queue.is_empty c.q)))
+        fd_in
+    in
+    c.rdr <- Some rdr;
+    let stop_reading = ref false in
     let buf = Buffer.create 256 in
-    (try
-       while (not !stop_reading) && not srv.stopping do
-         match input_line ic with
-         | exception End_of_file -> stop_reading := true
-         | line -> (
-           let trimmed = String.trim line in
-           match !mode with
-           | `Undecided when trimmed = "" -> ()
-           | _ -> (
-             let m =
-               match !mode with
-               | `Undecided ->
-                 (* framing auto-detection: a JSON request line must
-                    start with '{'; anything else is an smt2 stream *)
-                 let m = if trimmed.[0] = '{' then `Json else `Smt2 in
-                 mode := m;
-                 m
-               | (`Json | `Smt2) as m -> m
-             in
-             match m with
-             | `Json -> handle_json_line c stop_reading line
-             | `Smt2 ->
-               Buffer.add_string buf line;
-               Buffer.add_char buf '\n';
-               let forms, rest = Smt2.split_complete (Buffer.contents buf) in
-               Buffer.clear buf;
-               Buffer.add_string buf rest;
-               List.iter (handle_smt2_form c stop_reading) forms))
-       done
-     with Sys_error _ -> ());
+    (* A limit violation still gets one framed error line (when the
+       framing is already known) before the connection is torn down. *)
+    let abnormal reason msg =
+      (match !mode with
+      | `Json -> write_line c (Protocol.error ~id:Sjson.Null msg)
+      | `Smt2 -> write_line c (smt2_error_line msg)
+      | `Undecided -> ());
+      record_disconnect c reason;
+      (* reclaim, don't linger: queued and in-flight work of a torn
+         connection is cancelled outright *)
+      Budget.cancel c.cbudget;
+      stop_reading := true
+    in
+    while not !stop_reading do
+      match Io.read_line rdr with
+      | Io.Stopped ->
+        record_disconnect c (if srv.stopping then "shutdown" else "dead_peer");
+        stop_reading := true
+      | Io.Eof ->
+        (* Orderly half-close: pending work still drains and replies
+           still go out (batch usage pipes a script in and reads the
+           answers).  A fully closed peer surfaces at the next write. *)
+        record_disconnect c "eof";
+        stop_reading := true
+      | Io.Idle_timeout ->
+        bump srv "server.errors|kind=idle_timeout" 1;
+        abnormal "idle_timeout" "idle timeout, closing connection"
+      | Io.Read_deadline ->
+        bump srv "server.errors|kind=read_deadline" 1;
+        abnormal "read_deadline" "read deadline exceeded, closing connection"
+      | Io.Frame_too_large ->
+        bump srv "server.errors|kind=oversize" 1;
+        abnormal "oversize"
+          (Printf.sprintf "frame exceeds %d bytes" srv.config.io.Io.max_frame_bytes)
+      | Io.Io_error msg ->
+        bump srv "server.errors|kind=io_read" 1;
+        abnormal "io_error" ("read error: " ^ msg)
+      | Io.Line line -> (
+        let trimmed = String.trim line in
+        match !mode with
+        | `Undecided when trimmed = "" -> ()
+        | _ -> (
+          let m =
+            match !mode with
+            | `Undecided ->
+              (* framing auto-detection: a JSON request line must
+                 start with '{'; anything else is an smt2 stream *)
+              let m = if trimmed.[0] = '{' then `Json else `Smt2 in
+              mode := m;
+              m
+            | (`Json | `Smt2) as m -> m
+          in
+          match m with
+          | `Json -> handle_json_line c stop_reading line
+          | `Smt2 ->
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n';
+            (* the multi-line smt2 accumulator obeys the same frame
+               cap as the line reader *)
+            if Buffer.length buf > srv.config.io.Io.max_frame_bytes then begin
+              bump srv "server.errors|kind=oversize" 1;
+              abnormal "oversize"
+                (Printf.sprintf "frame exceeds %d bytes"
+                   srv.config.io.Io.max_frame_bytes)
+            end
+            else begin
+              let forms, rest = Smt2.split_complete (Buffer.contents buf) in
+              Buffer.clear buf;
+              Buffer.add_string buf rest;
+              List.iter (handle_smt2_form c stop_reading) forms
+            end))
+    done;
+    record_disconnect c "exit";
     drain c;
     c.dispose ();
     Atomic.decr srv.clients
   end
 
-let serve_socket srv ~path =
+let serve_channel srv ic oc =
+  (* all I/O goes through the raw fds; the channels are only carriers
+     (their buffers are never used, so the caller's close is safe) *)
+  serve_fd srv ~fd_in:(Unix.descr_of_in_channel ic)
+    ~fd_out:(Unix.descr_of_out_channel oc)
+
+(* A leftover socket file from a crashed daemon must not block restart,
+   but silently unlinking the path would also hijack a live daemon's
+   socket (or destroy an unrelated file).  So: only a socket nobody
+   answers on is stale, and only stale sockets are removed. *)
+let remove_stale_socket path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if alive then
+      Error (Printf.sprintf "%s: a live daemon is already serving this socket" path)
+    else begin
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Ok ()
+    end
+  | _ -> Error (Printf.sprintf "%s: exists and is not a socket" path)
+
+let serve_socket_bound srv ~path =
   match
-    (try Unix.unlink path with Unix.Unix_error _ -> ());
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try
        Unix.bind sock (Unix.ADDR_UNIX path);
@@ -748,17 +950,26 @@ let serve_socket srv ~path =
               ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
           ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error (_, _, _) ->
+          (* a transient accept failure must never kill the daemon *)
+          Unix.sleepf 0.01;
+          loop ()
         | fd, _ ->
           if srv.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+          else if Absolver_resource.Faults.Net.on_accept () then begin
+            (* chaos: the network refused this connection — the client
+               sees an immediate reset and is expected to retry *)
+            Io.sever fd;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            loop ()
+          end
           else begin
             Mutex.protect srv.lock (fun () ->
                 srv.client_fds <- fd :: srv.client_fds);
             let th =
               Thread.create
                 (fun () ->
-                  let ic = Unix.in_channel_of_descr fd in
-                  let oc = Unix.out_channel_of_descr fd in
-                  (try serve_channel srv ic oc with _ -> ());
+                  (try serve_fd srv ~fd_in:fd ~fd_out:fd with _ -> ());
                   Mutex.protect srv.lock (fun () ->
                       srv.client_fds <-
                         List.filter (fun f -> f != fd) srv.client_fds);
@@ -776,6 +987,11 @@ let serve_socket srv ~path =
     Mutex.protect srv.lock (fun () -> srv.listener <- None);
     (try Unix.unlink path with Unix.Unix_error _ -> ());
     Ok ()
+
+let serve_socket srv ~path =
+  match remove_stale_socket path with
+  | Error _ as e -> e
+  | Ok () -> serve_socket_bound srv ~path
 
 (* ------------------------------------------------------------------ *)
 (* Shutdown                                                            *)

@@ -35,9 +35,17 @@ type config = {
           the reader stops consuming input (default 8) *)
   queue_capacity : int;  (** executor backstop queue (default 64) *)
   workers : int;  (** solver worker domains *)
+  restart_limit : int;
+      (** worker-domain replacements the executor's supervisor may spawn
+          over its lifetime (default 8); past it the pool shrinks and
+          [health] reports ["degraded"] *)
   default_timeout_ms : int option;
       (** per-request deadline when the request names none;
           [None] = unbounded (still cancellable via shutdown) *)
+  io : Io.limits;
+      (** connection I/O hardening: idle timeout, per-frame read
+          deadline, frame-size cap (default {!Io.default_limits};
+          {!Io.unlimited} restores the pre-hardening behaviour) *)
   engine_options : Absolver_core.Engine.options;
       (** base options; each request overrides [budget] and [telemetry]
           (solve/smt2 requests run under a per-request fork of the
@@ -76,11 +84,14 @@ val serve_channel : t -> in_channel -> out_channel -> unit
     [(exit)] or closes its end, with the client's session disposed. *)
 
 val serve_socket : t -> path:string -> (unit, string) result
-(** Bind a Unix-domain socket at [path] (replacing a stale file), then
-    accept-loop until {!request_stop}; each connection is served by
-    {!serve_channel} on its own thread.  Blocks the calling thread;
-    returns after the listener closed and every connection drained, with
-    the socket file removed. *)
+(** Bind a Unix-domain socket at [path], then accept-loop until
+    {!request_stop}; each connection is served on its own thread.  A
+    leftover socket file is removed only after a connect probe fails
+    (a crashed daemon's residue must not block restart, but a live
+    daemon's socket — or a non-socket file — is never hijacked:
+    [Error] instead).  Blocks the calling thread; returns after the
+    listener closed and every connection drained, with the socket file
+    removed. *)
 
 val request_stop : t -> unit
 (** Begin shutdown: stop accepting, cancel the root budget (every

@@ -14,7 +14,16 @@ let failf fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type cursor = { text : string; mutable pos : int }
+(* Adversarial-input bounds: a parse may nest at most [max_depth]
+   containers (deeper input would otherwise overflow the OCaml stack
+   long before memory runs out) and allocate at most [max_nodes] values
+   across the whole document (caps object field and array item counts
+   without a per-container knob).  Both limits reject with a byte
+   offset, like every other diagnostic here. *)
+let max_depth = 512
+let max_nodes = 1_000_000
+
+type cursor = { text : string; mutable pos : int; mutable nodes : int }
 
 let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
 
@@ -57,18 +66,19 @@ let utf8_encode b code =
   end
 
 let parse_string_body c =
+  let started = c.pos - 1 in
   let b = Buffer.create 16 in
   let fin = ref false in
   while not !fin do
     match peek c with
-    | None -> failf "unterminated string"
+    | None -> failf "unterminated string (opened at byte %d)" started
     | Some '"' ->
       c.pos <- c.pos + 1;
       fin := true
     | Some '\\' -> (
       c.pos <- c.pos + 1;
       match peek c with
-      | None -> failf "unterminated escape"
+      | None -> failf "unterminated escape (string opened at byte %d)" started
       | Some e ->
         c.pos <- c.pos + 1;
         (match e with
@@ -110,7 +120,12 @@ let parse_number c =
   | Some f -> Num f
   | None -> failf "invalid number %s" s
 
-let rec parse_value c =
+let rec parse_value depth c =
+  c.nodes <- c.nodes + 1;
+  if c.nodes > max_nodes then
+    failf "document too large (over %d values) at byte %d" max_nodes c.pos;
+  if depth > max_depth then
+    failf "nesting deeper than %d at byte %d" max_depth c.pos;
   skip_ws c;
   match peek c with
   | None -> failf "unexpected end of input"
@@ -130,7 +145,7 @@ let rec parse_value c =
         let k = parse_string_body c in
         skip_ws c;
         expect c ':';
-        let v = parse_value c in
+        let v = parse_value (depth + 1) c in
         fields := (k, v) :: !fields;
         skip_ws c;
         match peek c with
@@ -153,7 +168,7 @@ let rec parse_value c =
       let items = ref [] in
       let fin = ref false in
       while not !fin do
-        let v = parse_value c in
+        let v = parse_value (depth + 1) c in
         items := v :: !items;
         skip_ws c;
         match peek c with
@@ -176,8 +191,8 @@ let rec parse_value c =
 
 let parse text =
   match
-    let c = { text; pos = 0 } in
-    let v = parse_value c in
+    let c = { text; pos = 0; nodes = 0 } in
+    let v = parse_value 0 c in
     skip_ws c;
     if c.pos <> String.length text then failf "trailing input at %d" c.pos;
     v

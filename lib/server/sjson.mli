@@ -17,7 +17,11 @@ type t =
 
 val parse : string -> (t, string) result
 (** One JSON value; trailing non-whitespace is an error (the server
-    frames one value per line). *)
+    frames one value per line).  Adversarial input is rejected with a
+    byte offset in the diagnostic, never a crash: nesting is capped at
+    512 containers (no stack overflow), documents at 1M values (field
+    and item counts included), and unterminated strings/escapes report
+    where the string opened. *)
 
 val to_string : t -> string
 (** Canonical one-line rendering: no added whitespace, object fields in

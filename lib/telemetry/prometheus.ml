@@ -34,15 +34,50 @@ let number f =
   else if f = neg_infinity then "-Inf"
   else Printf.sprintf "%.9g" f
 
+(* A counter named [base|k=v,k2=v2] renders as a labelled sample of the
+   [base] family: [absolver_base_total{k="v",k2="v2"}].  The '|'
+   convention lets ordinary string-keyed telemetry counters carry
+   Prometheus labels (e.g. [server.errors|kind=internal]) without a
+   structured-metric layer; samples sharing a base are grouped under one
+   [# TYPE] line, as the exposition format requires. *)
+let split_labels name =
+  match String.index_opt name '|' with
+  | None -> (name, "")
+  | Some i ->
+    let base = String.sub name 0 i in
+    let pairs =
+      String.split_on_char ',' (String.sub name (i + 1) (String.length name - i - 1))
+    in
+    let rendered =
+      List.filter_map
+        (fun pair ->
+          match String.index_opt pair '=' with
+          | None -> None
+          | Some j ->
+            let k = String.sub pair 0 j in
+            let v = String.sub pair (j + 1) (String.length pair - j - 1) in
+            let k =
+              String.map (fun c -> if is_name_char c then c else '_') k
+            in
+            Some (Printf.sprintf "%s=\"%s\"" k (label_value v)))
+        pairs
+    in
+    (base, "{" ^ String.concat "," rendered ^ "}")
+
 let render ?(prefix = "absolver") t =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let typed = Hashtbl.create 16 in
   List.iter
     (fun (name, v) ->
-      let m = metric_name ~prefix name ^ "_total" in
-      line "# TYPE %s counter" m;
-      line "%s %d" m v)
-    (Telemetry.counters t);
+      let base, labels = split_labels name in
+      let m = metric_name ~prefix base ^ "_total" in
+      if not (Hashtbl.mem typed m) then begin
+        Hashtbl.add typed m ();
+        line "# TYPE %s counter" m
+      end;
+      line "%s%s %d" m labels v)
+    (List.sort compare (Telemetry.counters t));
   List.iter
     (fun (name, v) ->
       let m = metric_name ~prefix name in

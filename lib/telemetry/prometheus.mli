@@ -7,7 +7,13 @@
     [+Inf] bucket), and span aggregates become a pair of counters labeled
     by span name ([_span_calls_total] / [_span_seconds_total]). Metric
     names are sanitized to the Prometheus grammar ([[a-zA-Z_:][a-zA-Z0-9_:]*]);
-    dots in telemetry names become underscores. *)
+    dots in telemetry names become underscores.
+
+    A counter whose telemetry name carries a ['|'] suffix of [k=v]
+    pairs ([server.errors|kind=internal]) renders as a {e labelled}
+    sample of the base family
+    ([absolver_server_errors_total{kind="internal"}]); samples sharing
+    a base are grouped under a single [# TYPE] line. *)
 
 val metric_name : ?prefix:string -> string -> string
 (** The sanitized exposition name for a telemetry instrument name,

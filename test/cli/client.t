@@ -1,0 +1,38 @@
+The session client runs an SMT-LIB 2 script against a socket daemon.
+
+  $ sock="$PWD/daemon.sock"
+  $ ../../bin/absolver_cli.exe serve --socket "$sock" > server1.log 2>&1 &
+  $ pid1=$!
+  $ for i in $(seq 200); do test -S "$sock" && break; sleep 0.05; done
+  $ printf '%s\n' \
+  >   '(declare-const x Real)' \
+  >   '(assert (>= x 2))' \
+  >   '(check-sat)' \
+  >   '(get-model)' \
+  >   | ../../bin/absolver_cli.exe client --socket "$sock"
+  sat
+  (model (define-fun x () Real 2))
+
+A crashed daemon leaves its socket file behind.  A restarting daemon
+probes the stale file, finds nobody listening, removes it and binds;
+the client's dial retries ride out the restart window.
+
+  $ kill -9 "$pid1" 2> /dev/null
+  $ wait "$pid1" 2> /dev/null || true
+  $ test -S "$sock" && echo "stale socket left behind"
+  stale socket left behind
+  $ ../../bin/absolver_cli.exe serve --socket "$sock" > server2.log 2>&1 &
+  $ pid2=$!
+  $ printf '(check-sat)\n' | ../../bin/absolver_cli.exe client --socket "$sock"
+  sat
+
+A live daemon's socket is never hijacked: a second daemon pointed at
+the same path refuses to start and the first keeps serving.
+
+  $ ../../bin/absolver_cli.exe serve --socket "$sock" 2>&1
+  serve: $TESTCASE_ROOT/daemon.sock: a live daemon is already serving this socket
+  [1]
+  $ printf '(check-sat)\n' | ../../bin/absolver_cli.exe client --socket "$sock"
+  sat
+  $ kill "$pid2" 2> /dev/null
+  $ wait "$pid2" 2> /dev/null || true

@@ -19,7 +19,7 @@ Health and stats carry machine-dependent numbers; mask them.
   $ printf '%s\n' '{"id":1,"op":"health"}' '{"id":2,"op":"exit"}' \
   >   | ../../bin/absolver_cli.exe serve \
   >   | sed -E 's/[0-9]+(\.[0-9]+)?(e-?[0-9]+)?/N/g'
-  {"id":N,"status":"ok","health":"ok","accepting":true,"uptime_s":N,"clients":N,"workers":N,"in_flight":N,"queued":N}
+  {"id":N,"status":"ok","health":"ok","accepting":true,"uptime_s":N,"clients":N,"workers":N,"in_flight":N,"queued":N,"workers_live":N,"worker_deaths":N,"worker_restarts":N}
   {"id":N,"status":"ok","bye":true}
 
 A line that is not valid JSON, an unknown op and a missing field are

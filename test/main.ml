@@ -18,6 +18,7 @@ let () =
       ("incremental", Test_incremental.suite);
       ("parallel", Test_parallel.suite);
       ("server", Test_server.suite);
+      ("chaos", Test_chaos.suite);
       ("integration", Test_integration.suite);
       ("extra", Test_extra.suite);
       ("proof-diagnosis", Test_proof_diagnosis.suite);
