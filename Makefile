@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-parallel bench-incremental bench-server bench-chaos bench-all fuzz fmt clean
+.PHONY: all build test check bench bench-json bench-parallel bench-incremental bench-server bench-chaos bench-flatcore bench-all fuzz fmt clean
 
 all: build
 
@@ -45,9 +45,17 @@ bench-server:
 bench-chaos:
 	dune exec bench/main.exe chaos
 
+# Flat-core regression gate: wall time and allocated words per case
+# (fischer sat/unsat model enumeration, one-shot solves, steering at
+# jobs 1/4) against the embedded pre-refactor baseline, written to
+# BENCH_flatcore.json.  Exits non-zero on a verdict mismatch or if the
+# fischer family allocates more than half the pre-refactor words.
+bench-flatcore:
+	dune exec bench/main.exe flatcore
+
 # Re-emit every machine-readable benchmark artefact (BENCH_*.json) in
 # one go — the full measurement sweep behind the README numbers.
-bench-all: bench-json bench-parallel bench-incremental bench-server bench-chaos
+bench-all: bench-json bench-parallel bench-incremental bench-server bench-chaos bench-flatcore
 
 # Resource-governor robustness: the seeded differential fuzzer (500
 # random problems, engine and DPLL(T) baseline under tight budgets vs

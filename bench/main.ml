@@ -1221,6 +1221,214 @@ let micro () =
         tbl)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Flatcore mode: wall time and allocated words per case, new (live)   *)
+(* vs the recorded pre-refactor baseline, written to                   *)
+(* BENCH_flatcore.json.  The baseline column was measured at the seed  *)
+(* commit (before the CSR tableau / small-rational refactor) with this *)
+(* same harness; verdicts are asserted identical, and the fischer      *)
+(* family doubles as CI's allocation-budget regression check: the run  *)
+(* exits non-zero if the live fischer allocation exceeds half the      *)
+(* recorded pre-refactor total.                                        *)
+
+let flatcore_measure f =
+  let s0 = Gc.quick_stat () in
+  let t0 = Telemetry.Clock.now () in
+  let r = f () in
+  let dt = Telemetry.Clock.now () -. t0 in
+  let s1 = Gc.quick_stat () in
+  let words =
+    s1.Gc.minor_words -. s0.Gc.minor_words
+    +. (s1.Gc.major_words -. s0.Gc.major_words)
+    -. (s1.Gc.promoted_words -. s0.Gc.promoted_words)
+  in
+  (r, dt, words)
+
+(* (name, verdict, seconds, allocated words) measured pre-refactor, at
+   the seed of this change (commit 7c0eccf: Q.t IM.t tree-map tableau
+   rows, two-Bigint-boxed rationals), single run of this harness on the
+   1-core reference container. *)
+let flatcore_baseline : (string * string * float * float) list =
+  [
+    ("fischer1_models_sat", "6 models", 0.006, 961548.0);
+    ("fischer2_models_sat", "25 models", 0.055, 13411214.0);
+    ("fischer3_models_sat", "25 models", 0.111, 23400686.0);
+    ("fischer1_models_unsat", "0 models", 0.003, 669884.0);
+    ("fischer2_models_unsat", "0 models", 0.051, 10887560.0);
+    ("fischer3_models_unsat", "0 models", 0.150, 27731691.0);
+    ("fischer4_solve", "unsat", 0.210, 34816477.0);
+    ("fischer6_solve", "unsat", 0.529, 69672887.0);
+    ("car_steering_j1", "sat", 4.558, 1367482518.0);
+    ("car_steering_j4", "sat", 10.155, 743722008.0);
+    ("esat_n11_m8", "sat", 0.001, 380.0);
+    ("div_operator", "sat", 0.000, 0.0);
+  ]
+
+let flatcore_mode () =
+  let entries = ref [] in
+  let fischer_old = ref 0.0 and fischer_new = ref 0.0 in
+  let mismatches = ref 0 in
+  let case ~name run =
+    let v, t, w = flatcore_measure run in
+    let old =
+      List.find_opt (fun (n, _, _, _) -> n = name) flatcore_baseline
+    in
+    (match old with
+    | Some (_, v_old, _, _) when v_old <> v ->
+      incr mismatches;
+      Printf.printf "!! %s: verdict flipped (%s, baseline %s)\n" name v v_old
+    | _ -> ());
+    let is_fischer =
+      String.length name >= 7 && String.sub name 0 7 = "fischer"
+    in
+    if is_fischer then begin
+      fischer_new := !fischer_new +. w;
+      match old with
+      | Some (_, _, _, w_old) -> fischer_old := !fischer_old +. w_old
+      | None -> ()
+    end;
+    let old_json =
+      match old with
+      | Some (_, _, t_old, w_old) ->
+        Telemetry.Json.obj
+          [
+            ("seconds", Telemetry.Json.of_float t_old);
+            ("alloc_words", Telemetry.Json.of_float w_old);
+          ]
+      | None -> "null"
+    in
+    let ratio_json =
+      match old with
+      | Some (_, _, t_old, w_old) when w > 0.0 && t > 0.0 ->
+        Telemetry.Json.obj
+          [
+            ("alloc_reduction", Telemetry.Json.of_float (w_old /. w));
+            ("speedup", Telemetry.Json.of_float (t_old /. t));
+          ]
+      | _ -> "null"
+    in
+    entries :=
+      Telemetry.Json.obj
+        [
+          ("name", Printf.sprintf "%S" name);
+          ("verdict", Printf.sprintf "%S" v);
+          ( "new",
+            Telemetry.Json.obj
+              [
+                ("seconds", Telemetry.Json.of_float t);
+                ("alloc_words", Telemetry.Json.of_float w);
+              ] );
+          ("old", old_json);
+          ("vs_old", ratio_json);
+        ]
+      :: !entries;
+    (match old with
+    | Some (_, _, t_old, w_old) ->
+      Printf.printf
+        "%-26s %-8s %9s %12.0fw   (old %9s %12.0fw: %4.1fx alloc, %4.1fx time)\n"
+        name v (fmt_time t) w (fmt_time t_old) w_old
+        (if w > 0.0 then w_old /. w else 0.0)
+        (if t > 0.0 then t_old /. t else 0.0)
+    | None ->
+      Printf.printf "%-26s %-8s %9s %12.0fw   (no baseline)\n" name v
+        (fmt_time t) w);
+    flush stdout
+  in
+  let fischer_models ~rounds ~within n =
+    match F.problem ~rounds ~property:(F.Cs_within (Q.of_int within)) ~n () with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let models_verdict ?(registry = A.Registry.default) ?(options = A.Engine.default_options) p =
+    match A.Engine.all_models ~registry ~options ~limit:25 p with
+    | Ok (models, _) -> Printf.sprintf "%d models" (List.length models)
+    | Error e -> failwith e
+  in
+  for n = 1 to 3 do
+    case ~name:(Printf.sprintf "fischer%d_models_sat" n) (fun () ->
+        models_verdict (fischer_models ~rounds:4 ~within:4 n))
+  done;
+  for n = 1 to 3 do
+    case ~name:(Printf.sprintf "fischer%d_models_unsat" n) (fun () ->
+        models_verdict (fischer_models ~rounds:6 ~within:2 n))
+  done;
+  List.iter
+    (fun n ->
+      case ~name:(Printf.sprintf "fischer%d_solve" n) (fun () ->
+          let r, _ = A.Engine.solve (fischer_models ~rounds:6 ~within:2 n) in
+          engine_verdict r))
+    [ 4; 6 ];
+  List.iter
+    (fun jobs ->
+      case ~name:(Printf.sprintf "car_steering_j%d" jobs) (fun () ->
+          let registry =
+            {
+              A.Registry.default with
+              A.Registry.nonlinear =
+                [
+                  A.Registry.branch_prune_solver
+                    ~config:
+                      {
+                        BP.default_config with
+                        BP.max_nodes = 600;
+                        samples_per_node = 2;
+                        root_samples = 2048;
+                      }
+                    ~jobs ();
+                ];
+            }
+          in
+          let r, _ = A.Engine.solve ~registry (M.Steering.problem ()) in
+          engine_verdict r))
+    [ 1; 4 ];
+  case ~name:"esat_n11_m8" (fun () ->
+      let r, _ = A.Engine.solve (esat_problem ()) in
+      engine_verdict r);
+  case ~name:"div_operator" (fun () ->
+      let r, _ = A.Engine.solve (div_operator_problem ()) in
+      engine_verdict r);
+  let budget_ok =
+    !fischer_old = 0.0 || !fischer_new <= !fischer_old /. 2.0
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"flat core (CSR tableau + small rationals)\",\n\
+      \  \"baseline\": \"pre-refactor seed, same harness\",\n\
+      \  \"fischer_alloc_words_old\": %s,\n\
+      \  \"fischer_alloc_words_new\": %s,\n\
+      \  \"fischer_alloc_reduction\": %s,\n\
+      \  \"fischer_alloc_budget_ok\": %b,\n\
+      \  \"verdict_mismatches\": %d,\n\
+      \  \"cases\": [\n%s\n  ]\n}\n"
+      (Telemetry.Json.of_float !fischer_old)
+      (Telemetry.Json.of_float !fischer_new)
+      (Telemetry.Json.of_float
+         (if !fischer_new > 0.0 then !fischer_old /. !fischer_new else 0.0))
+      budget_ok !mismatches
+      (String.concat ",\n"
+         (List.map (fun e -> "    " ^ e) (List.rev !entries)))
+  in
+  let oc = open_out "BENCH_flatcore.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "fischer family: %.0f allocated words (baseline %.0f, %.1fx reduction)\n\
+     wrote BENCH_flatcore.json\n"
+    !fischer_new !fischer_old
+    (if !fischer_new > 0.0 then !fischer_old /. !fischer_new else 0.0);
+  if !mismatches > 0 then begin
+    Printf.eprintf "flatcore: %d verdict mismatch(es) against baseline\n"
+      !mismatches;
+    exit 1
+  end;
+  if not budget_ok then begin
+    Printf.eprintf
+      "flatcore: fischer allocation budget exceeded (%.0f > %.0f / 2)\n"
+      !fischer_new !fischer_old;
+    exit 1
+  end
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match which with
@@ -1234,6 +1442,7 @@ let () =
   | "incremental" -> incremental_mode ()
   | "server" -> server_mode ()
   | "chaos" -> chaos_mode ()
+  | "flatcore" -> flatcore_mode ()
   | "all" ->
     table1 ();
     table2 ();

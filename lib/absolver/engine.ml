@@ -76,6 +76,8 @@ type run_stats = {
   mutable lp_asserted : int;
   mutable lp_retracted : int;
   mutable lp_reused : int;
+  mutable alloc_minor_words : float;
+  mutable alloc_major_words : float;
 }
 
 let mk_stats () =
@@ -103,7 +105,25 @@ let mk_stats () =
     lp_asserted = 0;
     lp_retracted = 0;
     lp_reused = 0;
+    alloc_minor_words = 0.0;
+    alloc_major_words = 0.0;
   }
+
+(* Allocation accounting around a solve. [minor_words] counts words
+   allocated in the minor heap; the direct-to-major share is
+   [major_words - promoted_words] (promotion would otherwise double-count
+   minor allocations that survived a collection). [Gc.quick_stat] reads
+   counters without walking the heap, so the probe itself is cheap. *)
+let alloc_snapshot () =
+  let g = Gc.quick_stat () in
+  (g.Gc.minor_words, g.Gc.major_words -. g.Gc.promoted_words)
+
+let absorb_alloc tel stats (minor0, major0) =
+  let minor1, major1 = alloc_snapshot () in
+  stats.alloc_minor_words <- minor1 -. minor0;
+  stats.alloc_major_words <- major1 -. major0;
+  Telemetry.observe tel "engine.alloc_words"
+    (stats.alloc_minor_words +. stats.alloc_major_words)
 
 (* New counters are appended after the original columns: tools (and
    eyeballs) parsing the historical prefix keep working. *)
@@ -119,6 +139,8 @@ let pp_run_stats fmt s =
     " lp-inc[hits=%d misses=%d evicted=%d asserted=%d retracted=%d reused=%d]"
     s.lp_cache_hits s.lp_cache_misses s.lp_cache_evictions s.lp_asserted
     s.lp_retracted s.lp_reused;
+  Format.fprintf fmt " alloc[minor=%.0fw major=%.0fw]" s.alloc_minor_words
+    s.alloc_major_words;
   match s.budget_exhausted with
   | None -> ()
   | Some e -> Format.fprintf fmt " budget-exhausted=%s" (Err.code e)
@@ -182,6 +204,8 @@ let run_stats_json s =
       ("lp_asserted", i s.lp_asserted);
       ("lp_retracted", i s.lp_retracted);
       ("lp_reused", i s.lp_reused);
+      ("alloc_minor_words", Telemetry.Json.of_float s.alloc_minor_words);
+      ("alloc_major_words", Telemetry.Json.of_float s.alloc_major_words);
       ( "budget_exhausted",
         match s.budget_exhausted with
         | None -> "null"
@@ -803,6 +827,7 @@ let solve ?(registry = Registry.default) ?(options = default_options) problem =
   let stats = mk_stats () in
   let t0 = Telemetry.Clock.now () in
   let p0 = Simplex.total_pivots () in
+  let a0 = alloc_snapshot () in
   let result =
     Telemetry.span tel "solve" ~attrs:(problem_attrs problem) (fun () ->
         guarded_result ~options ~stats (fun () ->
@@ -813,6 +838,7 @@ let solve ?(registry = Registry.default) ?(options = default_options) problem =
   in
   stats.simplex_pivots <- Simplex.total_pivots () - p0;
   stats.wall_seconds <- Telemetry.Clock.now () -. t0;
+  absorb_alloc tel stats a0;
   (result, stats)
 
 (* ------------------------------------------------------------------ *)
@@ -878,6 +904,7 @@ let all_models ?projection ?(registry = Registry.default)
   let stats = mk_stats () in
   let t0 = Telemetry.Clock.now () in
   let p0 = Simplex.total_pivots () in
+  let a0 = alloc_snapshot () in
   let acc = ref [] in
   let n = ref 0 in
   let result =
@@ -897,6 +924,7 @@ let all_models ?projection ?(registry = Registry.default)
   in
   stats.simplex_pivots <- Simplex.total_pivots () - p0;
   stats.wall_seconds <- Telemetry.Clock.now () -. t0;
+  absorb_alloc tel stats a0;
   match result with
   (* Anytime contract: when the budget is the reason the enumeration is
      incomplete, return the models found so far with the typed reason in
@@ -940,6 +968,7 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
     let nvars = Ab_problem.num_arith_vars problem in
     Telemetry.span options.telemetry "optimize" ~attrs:(problem_attrs problem)
       (fun () ->
+    let a0 = alloc_snapshot () in
     let hit_limit = ref false in
     let guarded =
       Budget.guard options.budget (fun () ->
@@ -1065,6 +1094,7 @@ let optimize ?(registry = Registry.default) ?(options = default_options)
     with Opt_stop o -> `Stopped o)
     in
     stats.budget_exhausted <- Budget.tripped options.budget;
+    absorb_alloc options.telemetry stats a0;
     match guarded with
     | Ok (`Stopped o) -> o
     | Error e -> (

@@ -114,6 +114,13 @@ type run_stats = {
   mutable lp_reused : int;
       (** Constraints kept asserted across consecutive queries — the
           warm-start savings the delta computation realized. *)
+  mutable alloc_minor_words : float;
+      (** Words allocated in the minor heap during the run
+          ([Gc.minor_words] delta). *)
+  mutable alloc_major_words : float;
+      (** Words allocated directly in the major heap during the run
+          ([Gc.major_words - promoted_words] delta, so minor allocations
+          that survived a collection are not double-counted). *)
 }
 
 val pp_run_stats : Format.formatter -> run_stats -> unit

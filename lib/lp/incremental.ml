@@ -30,6 +30,16 @@ type t = {
      cache and the returned models stay external. *)
   ext2int : (int, int) Hashtbl.t;
   int2ext : (int, int) Hashtbl.t;
+  (* Interned image of each constraint, memoized by its canonical key:
+     the engine re-linearizes the same atoms on every Boolean model, so
+     re-walking [intern_cons] per solve would rebuild identical
+     expressions thousands of times. Two constraints with equal keys are
+     interchangeable (see [cons_key]), so replaying the memo is exact. *)
+  interned : (string, Linexpr.cons) Hashtbl.t;
+  (* Scratch for [cons_key] and [apply_delta]; reused across solves so
+     the per-query bookkeeping stays off the allocator. *)
+  keybuf : Buffer.t;
+  needed : (string, int) Hashtbl.t;
   stats : stats;
 }
 
@@ -44,6 +54,9 @@ let create ?(budget = Budget.unlimited) ?(cache_capacity = 4096)
     stack = [];
     ext2int = Hashtbl.create 64;
     int2ext = Hashtbl.create 64;
+    interned = Hashtbl.create 64;
+    keybuf = Buffer.create 256;
+    needed = Hashtbl.create 64;
     stats = { solves = 0; asserted = 0; retracted = 0; reused = 0 };
   }
 
@@ -64,6 +77,14 @@ let intern_cons t (c : Linexpr.cons) =
       (Linexpr.coeffs c.expr)
   in
   { c with Linexpr.expr }
+
+let intern_memo t k c =
+  match Hashtbl.find_opt t.interned k with
+  | Some ic -> ic
+  | None ->
+    let ic = intern_cons t c in
+    Hashtbl.add t.interned k ic;
+    ic
 
 let extern_model t model =
   List.filter_map
@@ -97,8 +118,8 @@ let counters t =
    list, constant. Two constraints with equal keys are interchangeable on
    the stack, which is what lets the delta treat the inputs as a
    multiset. *)
-let cons_key (c : Linexpr.cons) =
-  let b = Buffer.create 48 in
+let cons_key b (c : Linexpr.cons) =
+  Buffer.clear b;
   Buffer.add_string b (string_of_int c.tag);
   Buffer.add_char b '|';
   Buffer.add_string b
@@ -191,7 +212,8 @@ let branch_and_bound t ~int_vars ~structural =
    offending frame already popped, so the session stays consistent). *)
 let apply_delta t ~keys ~constraints =
   let sx = t.simplex in
-  let needed = Hashtbl.create 16 in
+  let needed = t.needed in
+  Hashtbl.clear needed;
   List.iter
     (fun k ->
       Hashtbl.replace needed k
@@ -278,7 +300,7 @@ let solve t ?(int_vars = []) constraints =
         (fun (c : Linexpr.cons) -> not (Linexpr.is_constant c.expr))
         constraints
     in
-    let keys = List.map cons_key constraints in
+    let keys = List.map (cons_key t.keybuf) constraints in
     let cache_key =
       match List.sort_uniq compare int_vars with
       | [] -> keys
@@ -291,7 +313,7 @@ let solve t ?(int_vars = []) constraints =
     | None -> (
       match
         Faults.hit "lp.solve_system" t.budget;
-        let constraints = List.map (intern_cons t) constraints in
+        let constraints = List.map2 (intern_memo t) keys constraints in
         let int_vars = List.map (intern_var t) int_vars in
         match solve_uncached t ~int_vars ~keys ~constraints with
         | Simplex.Sat model -> Simplex.Sat (extern_model t model)

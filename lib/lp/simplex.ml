@@ -7,11 +7,51 @@ module Err = Absolver_resource.Absolver_error
 
 type bound = { value : DR.t; tag : int }
 
+(* CSR tableau row (DESIGN.md Sec. 16): column indices sorted ascending in
+   [idx.(0..len-1)] with the matching coefficients in [coef]. Coefficients
+   are never zero — every producer drops exact cancellations — and the
+   ascending order is load-bearing: iterating a row left to right visits
+   columns in exactly the order the previous [Q.t IM.t] representation
+   folded them, which is what keeps Bland's rule (and therefore the whole
+   pivot history and every conflict core) bit-for-bit identical. *)
+type row = {
+  idx : int array;
+  coef : Q.t array;
+  len : int;
+}
+
+(* Physical sentinel for "not basic". Never mutated, compared with [==]. *)
+let no_row = { idx = [||]; coef = [||]; len = 0 }
+
+(* Growable int stack for the per-column occurrence lists. *)
+type ivec = { mutable a : int array; mutable n : int }
+
+let iv_make () = { a = [||]; n = 0 }
+
+let iv_push v x =
+  if v.n = Array.length v.a then begin
+    let c = if v.n = 0 then 8 else 2 * v.n in
+    let b = Array.make c 0 in
+    Array.blit v.a 0 b 0 v.n;
+    v.a <- b
+  end;
+  v.a.(v.n) <- x;
+  v.n <- v.n + 1
+
 type t = {
   mutable nvars : int;
-  (* [rows.(v) = Some m] iff [v] is basic, with [v = sum m(j) * x_j] over
-     nonbasic variables. *)
-  mutable rows : Q.t IM.t option array;
+  (* [rows.(v) != no_row] iff [v] is basic, with [v = sum coef.(i) * x_(idx.(i))]
+     over nonbasic variables. *)
+  mutable rows : row array;
+  (* [occ.(j)] lists the basic variables whose rows may mention column [j]:
+     a superset with stale entries and duplicates, compacted lazily by
+     [occ_iter]. The invariant is one-sided — every live (row, column)
+     incidence is registered — so occurrence-driven traversals see exactly
+     the rows the old dense [for z = 0 to nvars-1] scans saw. *)
+  mutable occ : ivec array;
+  (* Per-variable generation stamps deduplicating one [occ_iter] pass. *)
+  mutable mark : int array;
+  mutable gen : int;
   mutable lower : bound option array;
   mutable upper : bound option array;
   mutable beta : DR.t array;
@@ -32,7 +72,10 @@ type result = Feasible | Infeasible of int list
 let create ?(budget = Budget.unlimited) () =
   {
     nvars = 0;
-    rows = Array.make 16 None;
+    rows = Array.make 16 no_row;
+    occ = Array.init 16 (fun _ -> iv_make ());
+    mark = Array.make 16 0;
+    gen = 0;
     lower = Array.make 16 None;
     upper = Array.make 16 None;
     beta = Array.make 16 DR.zero;
@@ -55,7 +98,10 @@ let grow t n =
       Array.blit a 0 b 0 cap;
       b
     in
-    t.rows <- ext t.rows None;
+    t.rows <- ext t.rows no_row;
+    t.occ <-
+      Array.init c (fun i -> if i < cap then t.occ.(i) else iv_make ());
+    t.mark <- ext t.mark 0;
     t.lower <- ext t.lower None;
     t.upper <- ext t.upper None;
     t.beta <- ext t.beta DR.zero
@@ -68,34 +114,103 @@ let new_var t =
   v
 
 let ensure_vars t n = while t.nvars < n do ignore (new_var t) done
-let is_basic t v = t.rows.(v) <> None
+let is_basic t v = t.rows.(v) != no_row
 let value t v = t.beta.(v)
 let num_pivots t = t.pivots
 
-(* Replace basic variables in a term map by their defining rows. *)
+(* Position of column [y] in [r], or -1. Binary search over the sorted
+   index array. *)
+let row_find r y =
+  let lo = ref 0 and hi = ref r.len in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) lsr 1 in
+    if r.idx.(mid) < y then lo := mid + 1 else hi := mid
+  done;
+  if !lo < r.len && r.idx.(!lo) = y then !lo else -1
+
+(* Record that basic variable [b] has (or may have gained) an entry in
+   every column of [r]. Over-registration is fine: [occ_iter] drops stale
+   and duplicate entries as it walks. *)
+let register_cols t b r =
+  for i = 0 to r.len - 1 do
+    iv_push t.occ.(r.idx.(i)) b
+  done
+
+(* Visit every basic variable [z] whose row currently contains column [y],
+   as [f z row position]. Compacts [occ.(y)] in place: duplicates (via the
+   generation stamp) and dead entries (no longer basic, or the row lost
+   the column) are dropped. [f] may replace rows and push into other
+   columns' occurrence lists, but must not add entries for column [y]. *)
+let occ_iter t y f =
+  let v = t.occ.(y) in
+  t.gen <- t.gen + 1;
+  let g = t.gen in
+  let w = ref 0 in
+  for i = 0 to v.n - 1 do
+    let z = v.a.(i) in
+    if t.mark.(z) <> g then begin
+      t.mark.(z) <- g;
+      let r = t.rows.(z) in
+      if r != no_row then begin
+        let p = row_find r y in
+        if p >= 0 then begin
+          v.a.(!w) <- z;
+          incr w;
+          f z r p
+        end
+      end
+    end
+  done;
+  v.n <- !w
+
+(* Replace basic variables in a term map by their defining rows. Cold
+   path (definition time only), so the sparse accumulator is a plain
+   int-keyed map; hot-loop row algebra below works on the flat arrays. *)
 let expand t terms =
   IM.fold
     (fun v q acc ->
-      match t.rows.(v) with
-      | None ->
+      let r = t.rows.(v) in
+      if r == no_row then
         IM.update v
           (fun cur ->
             let s = Q.add (Option.value ~default:Q.zero cur) q in
             if Q.is_zero s then None else Some s)
           acc
-      | Some row ->
-        IM.fold
-          (fun j c acc ->
+      else begin
+        let acc = ref acc in
+        for i = 0 to r.len - 1 do
+          let j = r.idx.(i) and c = r.coef.(i) in
+          acc :=
             IM.update j
               (fun cur ->
                 let s = Q.add (Option.value ~default:Q.zero cur) (Q.mul q c) in
                 if Q.is_zero s then None else Some s)
-              acc)
-          row acc)
+              !acc
+        done;
+        !acc
+      end)
     terms IM.empty
 
-let eval_row t row =
-  IM.fold (fun v q acc -> DR.add acc (DR.scale q t.beta.(v))) row DR.zero
+(* Freeze a term map into a CSR row ([IM.bindings] is ascending). *)
+let row_of_im m =
+  let n = IM.cardinal m in
+  let idx = Array.make n 0 in
+  let coef = Array.make n Q.zero in
+  let i = ref 0 in
+  IM.iter
+    (fun j c ->
+      idx.(!i) <- j;
+      coef.(!i) <- c;
+      incr i)
+    m;
+  { idx; coef; len = n }
+
+let eval_row t r =
+  let acc = ref DR.zero in
+  for i = 0 to r.len - 1 do
+    acc := DR.add !acc (DR.scale r.coef.(i) t.beta.(r.idx.(i)))
+  done;
+  !acc
 
 let canonical_key terms =
   let buf = Buffer.create 64 in
@@ -123,24 +238,21 @@ let define t expr =
     | Some s -> s
     | None ->
       let s = new_var t in
-      let row = expand t terms in
-      t.rows.(s) <- Some row;
+      let row = row_of_im (expand t terms) in
+      t.rows.(s) <- row;
+      register_cols t s row;
       t.beta.(s) <- eval_row t row;
       Hashtbl.add t.defs key s;
       s)
 
-(* Adjust a nonbasic variable and propagate through dependent rows. *)
+(* Adjust a nonbasic variable and propagate through dependent rows: only
+   the rows registered under column [x] are touched, where the previous
+   representation scanned every basic row. *)
 let update t x v =
   let theta = DR.sub v t.beta.(x) in
   t.beta.(x) <- v;
-  for b = 0 to t.nvars - 1 do
-    match t.rows.(b) with
-    | None -> ()
-    | Some row -> (
-      match IM.find_opt x row with
-      | None -> ()
-      | Some c -> t.beta.(b) <- DR.add t.beta.(b) (DR.scale c theta))
-  done
+  occ_iter t x (fun z r p ->
+      t.beta.(z) <- DR.add t.beta.(z) (DR.scale r.coef.(p) theta))
 
 let record t var kind old =
   match t.trail with
@@ -200,62 +312,98 @@ let assert_cons t (c : Linexpr.cons) =
 let global_pivots = Atomic.make 0
 let total_pivots () = Atomic.get global_pivots
 
+(* [r] minus its entry at position [p] (column being eliminated), plus
+   [c] times [ry]: a sorted two-way merge, dropping exact cancellations.
+   This is the inner loop of [pivot]; everything stays in flat arrays. *)
+let row_subst r p c ry =
+  let n1 = r.len and n2 = ry.len in
+  let idx = Array.make (n1 - 1 + n2) 0 in
+  let coef = Array.make (n1 - 1 + n2) Q.zero in
+  let w = ref 0 in
+  let put j q =
+    idx.(!w) <- j;
+    coef.(!w) <- q;
+    incr w
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < n1 || !j < n2 do
+    if !i = p then incr i
+    else begin
+      let ji = if !i < n1 then r.idx.(!i) else max_int in
+      let jj = if !j < n2 then ry.idx.(!j) else max_int in
+      if ji < jj then begin
+        put ji r.coef.(!i);
+        incr i
+      end
+      else if jj < ji then begin
+        put jj (Q.mul c ry.coef.(!j));
+        incr j
+      end
+      else begin
+        let s = Q.add r.coef.(!i) (Q.mul c ry.coef.(!j)) in
+        if not (Q.is_zero s) then put ji s;
+        incr i;
+        incr j
+      end
+    end
+  done;
+  { idx; coef; len = !w }
+
 (* Pivot basic x with nonbasic y (coefficient a = row(x)(y) <> 0). *)
 let pivot t x y =
   t.pivots <- t.pivots + 1;
   Atomic.incr global_pivots;
   Budget.tick t.budget;
-  let row_x = match t.rows.(x) with Some r -> r | None -> assert false in
-  let a = IM.find y row_x in
+  let row_x = t.rows.(x) in
+  let px = row_find row_x y in
+  let a = row_x.coef.(px) in
   let inv_a = Q.inv a in
-  (* y = (1/a) * x - sum_{j<>y} (a_j/a) * x_j *)
-  let row_y =
-    IM.fold
-      (fun j c acc ->
-        if j = y then acc else IM.add j (Q.neg (Q.mul c inv_a)) acc)
-      row_x
-      (IM.singleton x inv_a)
+  (* y = (1/a) * x - sum_{j<>y} (a_j/a) * x_j; x replaces y in the sorted
+     column order ([x] was basic, so it appears in no row, including this
+     one). *)
+  let n = row_x.len in
+  let idx = Array.make n 0 in
+  let coef = Array.make n Q.zero in
+  let w = ref 0 in
+  let placed = ref false in
+  let put j q =
+    idx.(!w) <- j;
+    coef.(!w) <- q;
+    incr w
   in
-  t.rows.(x) <- None;
-  t.rows.(y) <- Some row_y;
-  (* Substitute y in all other rows. *)
-  for z = 0 to t.nvars - 1 do
-    if z <> y then
-      match t.rows.(z) with
-      | None -> ()
-      | Some row -> (
-        match IM.find_opt y row with
-        | None -> ()
-        | Some c ->
-          let without_y = IM.remove y row in
-          let merged =
-            IM.fold
-              (fun j q acc ->
-                IM.update j
-                  (fun cur ->
-                    let s = Q.add (Option.value ~default:Q.zero cur) (Q.mul c q) in
-                    if Q.is_zero s then None else Some s)
-                  acc)
-              row_y without_y
-          in
-          t.rows.(z) <- Some merged)
-  done
+  for i = 0 to n - 1 do
+    let j = row_x.idx.(i) in
+    if j <> y then begin
+      if (not !placed) && x < j then begin
+        put x inv_a;
+        placed := true
+      end;
+      put j (Q.neg (Q.mul row_x.coef.(i) inv_a))
+    end
+  done;
+  if not !placed then put x inv_a;
+  let row_y = { idx; coef; len = n } in
+  t.rows.(x) <- no_row;
+  t.rows.(y) <- row_y;
+  register_cols t y row_y;
+  (* Substitute y in the rows that mention it — exactly the live entries
+     of occ.(y). *)
+  occ_iter t y (fun z r p ->
+      let c = r.coef.(p) in
+      t.rows.(z) <- row_subst r p c row_y;
+      register_cols t z row_y);
+  (* No row mentions y anymore (y is basic; row_y does not contain y). *)
+  t.occ.(y).n <- 0
 
 let pivot_and_update t x y v =
-  let row_x = match t.rows.(x) with Some r -> r | None -> assert false in
-  let a = IM.find y row_x in
+  let row_x = t.rows.(x) in
+  let a = row_x.coef.(row_find row_x y) in
   let theta = DR.scale (Q.inv a) (DR.sub v t.beta.(x)) in
   t.beta.(x) <- v;
   t.beta.(y) <- DR.add t.beta.(y) theta;
-  for z = 0 to t.nvars - 1 do
-    if z <> x then
-      match t.rows.(z) with
-      | None -> ()
-      | Some row -> (
-        match IM.find_opt y row with
-        | None -> ()
-        | Some c -> t.beta.(z) <- DR.add t.beta.(z) (DR.scale c theta))
-  done;
+  occ_iter t y (fun z r p ->
+      if z <> x then
+        t.beta.(z) <- DR.add t.beta.(z) (DR.scale r.coef.(p) theta));
   pivot t x y
 
 let below_lower t v =
@@ -293,68 +441,65 @@ let check_exact t =
     match violated with
     | None -> Feasible
     | Some x ->
-      let row = match t.rows.(x) with Some r -> r | None -> assert false in
+      let row = t.rows.(x) in
       if below_lower t x then begin
-        (* Need to increase x. *)
-        let pivot_var =
-          IM.fold
-            (fun y a acc ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                if
-                  (Q.sign a > 0 && can_increase t y)
-                  || (Q.sign a < 0 && can_decrease t y)
-                then Some y
-                else None)
-            row None
-        in
-        match pivot_var with
-        | Some y ->
+        (* Need to increase x: first admissible entering variable in
+           ascending column order (Bland). *)
+        let pivot_var = ref (-1) in
+        let i = ref 0 in
+        while !pivot_var < 0 && !i < row.len do
+          let y = row.idx.(!i) and a = row.coef.(!i) in
+          if
+            (Q.sign a > 0 && can_increase t y)
+            || (Q.sign a < 0 && can_decrease t y)
+          then pivot_var := y;
+          incr i
+        done;
+        if !pivot_var >= 0 then begin
           let target = (Option.get t.lower.(x)).value in
-          pivot_and_update t x y target;
+          pivot_and_update t x !pivot_var target;
           loop ()
-        | None ->
-          let conflict =
-            IM.fold
-              (fun y a acc ->
-                if Q.sign a > 0 then upper_tag t y :: acc
-                else lower_tag t y :: acc)
-              row
-              [ lower_tag t x ]
-          in
-          Infeasible (List.sort_uniq compare conflict)
+        end
+        else begin
+          let conflict = ref [ lower_tag t x ] in
+          for i = 0 to row.len - 1 do
+            let y = row.idx.(i) in
+            conflict :=
+              (if Q.sign row.coef.(i) > 0 then upper_tag t y
+               else lower_tag t y)
+              :: !conflict
+          done;
+          Infeasible (List.sort_uniq compare !conflict)
+        end
       end
       else begin
         (* Need to decrease x. *)
-        let pivot_var =
-          IM.fold
-            (fun y a acc ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                if
-                  (Q.sign a < 0 && can_increase t y)
-                  || (Q.sign a > 0 && can_decrease t y)
-                then Some y
-                else None)
-            row None
-        in
-        match pivot_var with
-        | Some y ->
+        let pivot_var = ref (-1) in
+        let i = ref 0 in
+        while !pivot_var < 0 && !i < row.len do
+          let y = row.idx.(!i) and a = row.coef.(!i) in
+          if
+            (Q.sign a < 0 && can_increase t y)
+            || (Q.sign a > 0 && can_decrease t y)
+          then pivot_var := y;
+          incr i
+        done;
+        if !pivot_var >= 0 then begin
           let target = (Option.get t.upper.(x)).value in
-          pivot_and_update t x y target;
+          pivot_and_update t x !pivot_var target;
           loop ()
-        | None ->
-          let conflict =
-            IM.fold
-              (fun y a acc ->
-                if Q.sign a > 0 then lower_tag t y :: acc
-                else upper_tag t y :: acc)
-              row
-              [ upper_tag t x ]
-          in
-          Infeasible (List.sort_uniq compare conflict)
+        end
+        else begin
+          let conflict = ref [ upper_tag t x ] in
+          for i = 0 to row.len - 1 do
+            let y = row.idx.(i) in
+            conflict :=
+              (if Q.sign row.coef.(i) > 0 then lower_tag t y
+               else upper_tag t y)
+              :: !conflict
+          done;
+          Infeasible (List.sort_uniq compare !conflict)
+        end
       end
   in
   loop ()
@@ -405,11 +550,13 @@ let float_guide t =
     let flo = Array.make n neg_infinity in
     let fhi = Array.make n infinity in
     for v = 0 to n - 1 do
-      (match t.rows.(v) with
-      | Some row ->
+      let r = t.rows.(v) in
+      if r != no_row then begin
         basic.(v) <- true;
-        IM.iter (fun j q -> fm.(v).(j) <- Q.to_float q) row
-      | None -> ());
+        for i = 0 to r.len - 1 do
+          fm.(v).(r.idx.(i)) <- Q.to_float r.coef.(i)
+        done
+      end;
       fbeta.(v) <- float_of_dr t.beta.(v);
       (match t.lower.(v) with
       | Some b -> flo.(v) <- float_of_dr b.value
@@ -504,32 +651,28 @@ let float_guide t =
 
 (* Replay one float-suggested pivot on the exact tableau, but only when
    the exact state still justifies it: x basic and violated in the
-   predicted direction, entering coefficient exactly nonzero. Replayed
-   pivots go through [pivot] and therefore tick the budget and the
-   process-wide pivot counters like any other pivot. *)
+   predicted direction, entering coefficient present (CSR rows never
+   store zeros). Replayed pivots go through [pivot] and therefore tick
+   the budget and the process-wide pivot counters like any other pivot. *)
 let replay_pivot t (x, y, kind) =
-  match t.rows.(x) with
-  | None -> ()
-  | Some row -> (
-    match IM.find_opt y row with
-    | None -> ()
-    | Some a when Q.is_zero a -> ()
-    | Some _ ->
-      let justified, target =
-        match kind with
-        | Lower -> (
-          match t.lower.(x) with
-          | Some b when DR.lt t.beta.(x) b.value -> (true, b.value)
-          | _ -> (false, DR.zero))
-        | Upper -> (
-          match t.upper.(x) with
-          | Some b when DR.lt b.value t.beta.(x) -> (true, b.value)
-          | _ -> (false, DR.zero))
-      in
-      if justified then begin
-        Atomic.incr global_float_replayed;
-        pivot_and_update t x y target
-      end)
+  let r = t.rows.(x) in
+  if r != no_row && row_find r y >= 0 then begin
+    let justified, target =
+      match kind with
+      | Lower -> (
+        match t.lower.(x) with
+        | Some b when DR.lt t.beta.(x) b.value -> (true, b.value)
+        | _ -> (false, DR.zero))
+      | Upper -> (
+        match t.upper.(x) with
+        | Some b when DR.lt b.value t.beta.(x) -> (true, b.value)
+        | _ -> (false, DR.zero))
+    in
+    if justified then begin
+      Atomic.incr global_float_replayed;
+      pivot_and_update t x y target
+    end
+  end
 
 (* An allocation-free pre-scan: warm-started checks are very often
    already feasible, and building the float shadow for them would cost
@@ -732,40 +875,41 @@ let maximize t objective =
   | Feasible ->
     let z = define t (Linexpr.drop_const objective) in
     (* [define] keeps beta consistent, but z may be nonbasic (objective is
-       a single variable): pivot it basic if it has a row; otherwise treat
-       the single variable directly through the same loop by noting that a
-       nonbasic z has the trivial row {z -> 1}. *)
-    let row_of_z () =
-      match t.rows.(z) with Some r -> r | None -> IM.singleton z Q.one
-    in
+       a single variable): when it has a row the entering scan walks it in
+       ascending column order (Bland); a nonbasic z behaves as the trivial
+       row {z -> 1}. *)
     let rec loop iterations =
       if iterations > 100_000 then O_unbounded (* defensive; Bland prevents this *)
       else begin
-        let row = row_of_z () in
         (* Entering variable: Bland's rule. *)
         let entering =
-          IM.fold
-            (fun y a acc ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                if y = z then None
-                else if Q.sign a > 0 && headroom_up t y <> Some DR.zero
-                        && (match headroom_up t y with Some h -> DR.compare h DR.zero > 0 | None -> true)
-                then Some (y, `Up, a)
-                else if Q.sign a < 0
-                        && (match headroom_down t y with Some h -> DR.compare h DR.zero > 0 | None -> true)
-                then Some (y, `Down, a)
-                else None)
-            row None
-        in
-        (* Nonbasic z: its own coefficient is 1, direction up. *)
-        let entering =
-          if t.rows.(z) = None then
+          if t.rows.(z) == no_row then
             match headroom_up t z with
             | Some h when DR.compare h DR.zero <= 0 -> None
             | _ -> Some (z, `Up, Q.one)
-          else entering
+          else begin
+            let row = t.rows.(z) in
+            let res = ref None in
+            let i = ref 0 in
+            while Option.is_none !res && !i < row.len do
+              let y = row.idx.(!i) and a = row.coef.(!i) in
+              (if y <> z then
+                 if
+                   Q.sign a > 0
+                   && (match headroom_up t y with
+                      | Some h -> DR.compare h DR.zero > 0
+                      | None -> true)
+                 then res := Some (y, `Up, a)
+                 else if
+                   Q.sign a < 0
+                   && (match headroom_down t y with
+                      | Some h -> DR.compare h DR.zero > 0
+                      | None -> true)
+                 then res := Some (y, `Down, a));
+              incr i
+            done;
+            !res
+          end
         in
         match entering with
         | None ->
@@ -780,17 +924,16 @@ let maximize t objective =
           done;
           let d = DR.concretize_delta !pairs in
           let model =
-            List.filter_map
-              (fun v ->
-                if t.rows.(v) = None || true then
-                  Some (v, DR.substitute d t.beta.(v))
-                else None)
+            List.map
+              (fun v -> (v, DR.substitute d t.beta.(v)))
               (List.init t.nvars Fun.id)
           in
           O_optimal (DR.add t.beta.(z) (DR.of_rational (Linexpr.const objective)), model)
         | Some (y, dir, obj_coeff) -> (
           (* Ratio test: how far can y move before its own bound or a basic
-             variable's bound blocks. *)
+             variable's bound blocks. The scan stays dense and ascending in
+             the basic index — identical tie-breaking to the previous
+             representation (ties replace only on strictly smaller limit). *)
           let own_limit =
             match dir with `Up -> headroom_up t y | `Down -> headroom_down t y
           in
@@ -809,7 +952,7 @@ let maximize t objective =
           (* The objective variable itself may be bounded (a hash-consed
              slack shared with a constraint): its upper bound blocks the
              increase like any basic bound. *)
-          (if t.rows.(z) <> None then
+          (if t.rows.(z) != no_row then
              match upper_value t z with
              | None -> ()
              | Some u ->
@@ -817,16 +960,19 @@ let maximize t objective =
                let room = DR.sub u t.beta.(z) in
                consider (Some (DR.scale (Q.inv a_abs) room)) z u);
           for b = 0 to t.nvars - 1 do
-            if b <> z && b <> y then
-              match t.rows.(b) with
-              | None -> ()
-              | Some rowb -> (
-                match IM.find_opt y rowb with
-                | None -> ()
-                | Some coeff ->
+            if b <> z && b <> y then begin
+              let rowb = t.rows.(b) in
+              if rowb != no_row then begin
+                let p = row_find rowb y in
+                if p >= 0 then begin
+                  let coeff = rowb.coef.(p) in
                   (* beta(b) changes by coeff * delta_y; delta_y is
                      positive for `Up, negative for `Down. *)
-                  let effective = match dir with `Up -> Q.sign coeff | `Down -> -Q.sign coeff in
+                  let effective =
+                    match dir with
+                    | `Up -> Q.sign coeff
+                    | `Down -> -Q.sign coeff
+                  in
                   if effective > 0 then begin
                     (* b increases: blocked by upper(b). *)
                     match upper_value t b with
@@ -843,7 +989,10 @@ let maximize t objective =
                       let room = DR.sub t.beta.(b) l in
                       let cl = DR.scale (Q.inv (Q.abs coeff)) room in
                       consider (Some cl) b l
-                  end)
+                  end
+                end
+              end
+            end
           done;
           match (!limit, !blocking) with
           | None, _ -> O_unbounded
@@ -854,14 +1003,8 @@ let maximize t objective =
               | `Up -> DR.add t.beta.(y) step
               | `Down -> DR.sub t.beta.(y) step
             in
-            if y = z && t.rows.(z) = None then begin
-              update t z target;
-              loop (iterations + 1)
-            end
-            else begin
-              update t y target;
-              loop (iterations + 1)
-            end
+            update t y target;
+            loop (iterations + 1)
           | Some _, Some (b, target) ->
             (* Basic b hits its bound first: pivot b out, y in. *)
             pivot_and_update t b y target;

@@ -11,13 +11,16 @@ type 'a t = {
   mutable evictions : int;
 }
 
+(* FNV-1a over the native int range, boxed to int64 once per key. The
+   63-bit truncation is irrelevant here: the signature only buckets
+   candidates (see the sorted-key comparison in [find]), and keeping the
+   accumulation in immediate ints means hashing allocates nothing per
+   character — this runs on every cache probe of the DPLL(T) hot loop. *)
 let default_hash s =
-  let prime = 0x100000001b3L and offset = 0xcbf29ce484222325L in
+  let prime = 0x100000001b3 and offset = 0x3bf29ce484222325 in
   let h = ref offset in
-  String.iter
-    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
-    s;
-  !h
+  String.iter (fun c -> h := (!h lxor Char.code c) * prime) s;
+  Int64.of_int !h
 
 let create ?(hash = default_hash) ?(capacity = 4096) () =
   {
@@ -39,12 +42,14 @@ let signature t keys =
 
 let find t keys =
   let sg = signature t keys in
-  let sorted = List.sort compare keys in
   match Hashtbl.find_opt t.buckets sg with
   | None ->
     t.misses <- t.misses + 1;
     None
   | Some entries -> (
+    (* Keys are sorted only once a bucket matches: most misses die on
+       the signature and never pay for the canonical ordering. *)
+    let sorted = List.sort compare keys in
     match List.find_opt (fun e -> e.key = sorted) entries with
     | Some e ->
       t.hits <- t.hits + 1;

@@ -6,7 +6,10 @@
     concrete positive value for [delta] small enough to satisfy every
     strict constraint is recovered with {!concretize_delta}. *)
 
-type t = { r : Rational.t; k : Rational.t }
+type t
+(** Abstract: the implementation inlines the rational-only case (zero
+    delta coefficient) into a flat single-field block, so values must be
+    built with {!make}/{!of_rational} and inspected with {!r}/{!k}. *)
 
 val make : Rational.t -> Rational.t -> t
 val of_rational : Rational.t -> t

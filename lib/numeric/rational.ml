@@ -1,50 +1,220 @@
 module B = Bigint
 
-type t = { num : B.t; den : B.t }
+(* Small-value-inlined rationals (DESIGN.md Sec. 16).
 
-let normalize num den =
+   A rational is stored flat as two native ints whenever its normalized
+   numerator and denominator both fit (anything but [min_int], i.e. 62
+   bits of magnitude): one 3-word [S] block instead of a record holding
+   two limb-array-backed {!Bigint}s.  Arithmetic on two [S] values runs
+   entirely in machine integers with explicit overflow checks and falls
+   back to the Bigint path only when a check trips; Bigint results are
+   demoted back through {!of_big}, so the representation is canonical —
+   a value fits the small case iff it is stored in it.  Canonicality is
+   load-bearing: structural equality, polymorphic compare and hashing
+   over containers of rationals (Linexpr maps, nlp expressions) remain
+   consistent across construction routes. *)
+
+type t =
+  | S of { n : int; d : int }
+      (* d > 0, gcd(|n|,d) = 1, neither component is min_int *)
+  | Big of { num : B.t; den : B.t }
+      (* normalized, and at least one component exceeds a native int *)
+
+let zero = S { n = 0; d = 1 }
+let one = S { n = 1; d = 1 }
+let minus_one = S { n = -1; d = 1 }
+
+(* Demote a normalized bigint pair into the small case when it fits. *)
+let of_big num den =
+  match (B.to_int_opt num, B.to_int_opt den) with
+  | Some n, Some d -> S { n; d }
+  | _ -> Big { num; den }
+
+let normalize_big num den =
   if B.is_zero den then raise Division_by_zero
-  else if B.is_zero num then { num = B.zero; den = B.one }
-  else if B.is_one den then { num; den }
+  else if B.is_zero num then zero
   else
-    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
-    let g = B.gcd num den in
-    if B.is_one g then { num; den }
-    else { num = B.div num g; den = B.div den g }
+    let num, den =
+      if B.sign den < 0 then (B.neg num, B.neg den) else (num, den)
+    in
+    if B.is_one den then of_big num den
+    else
+      let g = B.gcd num den in
+      if B.is_one g then of_big num den
+      else of_big (B.div num g) (B.div den g)
 
-let make num den = normalize num den
-let of_bigint n = { num = n; den = B.one }
-let of_int n = of_bigint (B.of_int n)
-let of_ints n d = normalize (B.of_int n) (B.of_int d)
-let zero = of_int 0
-let one = of_int 1
-let minus_one = of_int (-1)
-let num t = t.num
-let den t = t.den
-let sign t = B.sign t.num
-let is_zero t = B.is_zero t.num
-let is_integer t = B.is_one t.den
-let neg t = { t with num = B.neg t.num }
-let abs t = { t with num = B.abs t.num }
+let to_big = function
+  | S { n; d } -> (B.of_int n, B.of_int d)
+  | Big { num; den } -> (num, den)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-int helpers.  [min_int] doubles as the overflow sentinel:    *)
+(* it is never a valid small component (its magnitude needs 63 bits),   *)
+(* so any helper returning it sends the caller to the Bigint path.      *)
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let add_chk a b =
+  let s = a + b in
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then min_int else s
+
+let mul_chk a b =
+  if a = 0 || b = 0 then 0
+  else if a = min_int || b = min_int then min_int
+  else if b = -1 then -a
+  else
+    let p = a * b in
+    (* Exact overflow test: a wrapped product never divides back.  [b]
+       is neither 0 nor -1 here, so the division cannot trap. *)
+    if p / b = a then p else min_int
+
+(* d > 0, n <> min_int, not yet reduced. *)
+let small n d =
+  if n = 0 then zero
+  else
+    let g = gcd_int (Stdlib.abs n) d in
+    if g = 1 then S { n; d } else S { n = n / g; d = d / g }
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
+
+let make num den = normalize_big num den
+let of_bigint n = of_big n B.one
+
+let of_int n =
+  if n = min_int then Big { num = B.of_int n; den = B.one } else S { n; d = 1 }
+
+let of_ints n d =
+  if d = 0 then raise Division_by_zero
+  else if n = min_int || d = min_int then
+    normalize_big (B.of_int n) (B.of_int d)
+  else if d < 0 then small (-n) (-d)
+  else small n d
+
+(* ------------------------------------------------------------------ *)
+(* Observation.                                                        *)
+
+let num = function S { n; _ } -> B.of_int n | Big { num; _ } -> num
+let den = function S { d; _ } -> B.of_int d | Big { den; _ } -> den
+
+let sign = function
+  | S { n; _ } -> compare n 0
+  | Big { num; _ } -> B.sign num
+
+let is_zero = function S { n; _ } -> n = 0 | Big _ -> false
+let is_integer = function S { d; _ } -> d = 1 | Big { den; _ } -> B.is_one den
+
+let neg = function
+  | S { n; d } -> S { n = -n; d }
+  | Big { num; den } -> Big { num = B.neg num; den }
+
+let abs = function
+  | S { n; d } -> if n < 0 then S { n = -n; d } else S { n; d }
+  | Big { num; den } -> Big { num = B.abs num; den }
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic.                                                         *)
+
+let big_add a b =
+  let an, ad = to_big a and bn, bd = to_big b in
+  if B.equal ad bd then normalize_big (B.add an bn) ad
+  else normalize_big (B.add (B.mul an bd) (B.mul bn ad)) (B.mul ad bd)
 
 let add a b =
-  if B.equal a.den b.den then normalize (B.add a.num b.num) a.den
-  else normalize (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+  match (a, b) with
+  | S x, S y ->
+    if x.n = 0 then b
+    else if y.n = 0 then a
+    else if x.d = y.d then begin
+      let n = add_chk x.n y.n in
+      if n = min_int then big_add a b
+      else if n = 0 then zero
+      else
+        let g = gcd_int (Stdlib.abs n) x.d in
+        if g = 1 then S { n; d = x.d } else S { n = n / g; d = x.d / g }
+    end
+    else begin
+      (* Knuth 4.5.1: reduce through g0 = gcd of the denominators; when
+         g0 = 1 the result is already coprime, otherwise the remaining
+         common factor of t and the denominator divides g0. *)
+      let g0 = gcd_int x.d y.d in
+      let d1' = x.d / g0 and d2' = y.d / g0 in
+      let t1 = mul_chk x.n d2' and t2 = mul_chk y.n d1' in
+      if t1 = min_int || t2 = min_int then big_add a b
+      else
+        let t = add_chk t1 t2 in
+        if t = min_int then big_add a b
+        else if t = 0 then zero
+        else
+          let g1 = if g0 = 1 then 1 else gcd_int (Stdlib.abs t) g0 in
+          let d = mul_chk d1' (y.d / g1) in
+          if d = min_int then big_add a b else S { n = t / g1; d }
+    end
+  | _ -> big_add a b
 
 let sub a b = add a (neg b)
-let mul a b = normalize (B.mul a.num b.num) (B.mul a.den b.den)
-let div a b = normalize (B.mul a.num b.den) (B.mul a.den b.num)
 
-let inv t =
-  if is_zero t then raise Division_by_zero else normalize t.den t.num
+let big_mul a b =
+  let an, ad = to_big a and bn, bd = to_big b in
+  normalize_big (B.mul an bn) (B.mul ad bd)
 
-let mul_int t n = normalize (B.mul_int t.num n) t.den
+let mul a b =
+  match (a, b) with
+  | S x, S y ->
+    if x.n = 0 || y.n = 0 then zero
+    else begin
+      (* Cross-reduce before multiplying: the product of the reduced
+         parts is coprime by construction, no trailing gcd needed. *)
+      let g1 = gcd_int (Stdlib.abs x.n) y.d in
+      let g2 = gcd_int (Stdlib.abs y.n) x.d in
+      let n = mul_chk (x.n / g1) (y.n / g2) in
+      let d = mul_chk (x.d / g2) (y.d / g1) in
+      if n = min_int || d = min_int then big_mul a b else S { n; d }
+    end
+  | _ -> big_mul a b
+
+let inv = function
+  | S { n; _ } when n = 0 -> raise Division_by_zero
+  | S { n; d } -> if n < 0 then S { n = -d; d = -n } else S { n = d; d = n }
+  | Big { num; den } -> normalize_big den num
+
+let div a b =
+  match (a, b) with
+  | _, S { n = 0; _ } -> raise Division_by_zero
+  | S _, S _ -> mul a (inv b)
+  | _ ->
+    let an, ad = to_big a and bn, bd = to_big b in
+    normalize_big (B.mul an bd) (B.mul ad bn)
+
+let mul_int t i = mul t (of_int i)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison.                                                         *)
+
+let big_compare a b =
+  let an, ad = to_big a and bn, bd = to_big b in
+  (* Denominators are positive, so cross-multiplication preserves order. *)
+  B.compare (B.mul an bd) (B.mul bn ad)
 
 let compare a b =
-  (* Denominators are positive, so cross-multiplication preserves order. *)
-  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+  match (a, b) with
+  | S x, S y ->
+    if x.d = y.d then Int.compare x.n y.n
+    else
+      let sx = Stdlib.compare x.n 0 and sy = Stdlib.compare y.n 0 in
+      if sx <> sy then Int.compare sx sy
+      else
+        let l = mul_chk x.n y.d and r = mul_chk y.n x.d in
+        if l = min_int || r = min_int then big_compare a b
+        else Int.compare l r
+  | _ -> big_compare a b
 
-let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let equal a b =
+  match (a, b) with
+  | S x, S y -> x.n = y.n && x.d = y.d
+  | Big x, Big y -> B.equal x.num y.num && B.equal x.den y.den
+  | _ -> false (* canonical representation: cases never overlap *)
+
 let lt a b = compare a b < 0
 let leq a b = compare a b <= 0
 let gt a b = compare a b > 0
@@ -52,22 +222,42 @@ let geq a b = compare a b >= 0
 let min a b = if leq a b then a else b
 let max a b = if geq a b then a else b
 
-let floor t =
-  let q, r = B.divmod t.num t.den in
-  if B.sign r < 0 then B.pred q else q
+(* ------------------------------------------------------------------ *)
+(* Integer rounding.                                                   *)
 
-let ceil t =
-  let q, r = B.divmod t.num t.den in
-  if B.sign r > 0 then B.succ q else q
+let floor = function
+  | S { n; d } ->
+    let q = n / d in
+    B.of_int (if n < 0 && n mod d <> 0 then q - 1 else q)
+  | Big { num; den } ->
+    let q, r = B.divmod num den in
+    if B.sign r < 0 then B.pred q else q
+
+let ceil = function
+  | S { n; d } ->
+    let q = n / d in
+    B.of_int (if n > 0 && n mod d <> 0 then q + 1 else q)
+  | Big { num; den } ->
+    let q, r = B.divmod num den in
+    if B.sign r > 0 then B.succ q else q
 
 let pow t e =
-  if e >= 0 then { num = B.pow t.num e; den = B.pow t.den e }
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+  in
+  if e >= 0 then go one t e
   else if is_zero t then raise Division_by_zero
-  else
-    let p = { num = B.pow t.num (-e); den = B.pow t.den (-e) } in
-    normalize p.den p.num
+  else go one (inv t) (-e)
 
-let to_float t = B.to_float t.num /. B.to_float t.den
+(* ------------------------------------------------------------------ *)
+(* Conversions.                                                        *)
+
+let to_float = function
+  | S { n; d } -> float_of_int n /. float_of_int d
+  | Big { num; den } -> B.to_float num /. B.to_float den
 
 let of_float f =
   if not (Float.is_finite f) then
@@ -129,8 +319,12 @@ let of_decimal_string s =
     in
     if negated then neg v else v
 
-let to_string t =
-  if is_integer t then B.to_string t.num
-  else B.to_string t.num ^ "/" ^ B.to_string t.den
+let to_string = function
+  | S { n; d } ->
+    if d = 1 then string_of_int n
+    else string_of_int n ^ "/" ^ string_of_int d
+  | Big { num; den } ->
+    if B.is_one den then B.to_string num
+    else B.to_string num ^ "/" ^ B.to_string den
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -200,6 +200,67 @@ let subsumption_oversized s =
     s.cls;
   !clauses > subsumption_max_clauses || !lits > subsumption_max_lits
 
+(* How many literals of [lits] carry the stamp [ci] — the inner test of
+   both subsumption directions, written as a bare loop so the quadratic
+   candidate exploration allocates nothing. *)
+let rec count_stamped (stamp : int array) ci lits n =
+  match lits with
+  | [] -> n
+  | l :: tl -> count_stamped stamp ci tl (if stamp.(l) = ci then n + 1 else n)
+
+(* Forward subsumption: kill every candidate D ⊇ C among [cis]. A
+   top-level recursion over the occurrence list (like the probe loops)
+   so the quadratic candidate walk allocates nothing. *)
+let rec subsume_forward s (stamp : int array) ci len_c sig_c cis =
+  match cis with
+  | [] -> ()
+  | di :: tl ->
+    (if di <> ci then begin
+       let d = s.cls.(di) in
+       if
+         (not d.dead)
+         && sig_c land lnot d.sig_ = 0
+         && List.compare_length_with d.lits len_c >= 0
+       then if count_stamped stamp ci d.lits 0 = len_c then kill s d
+     end);
+    subsume_forward s stamp ci len_c sig_c tl
+
+(* Self-subsuming resolution on literal [l] of C: strengthen every
+   candidate D ⊇ (C \ {l}) ∪ {¬l} among [cis] by dropping ¬l. *)
+let rec strengthen_candidates s (stamp : int array) ci len_c sig_c l nl cis =
+  match cis with
+  | [] -> ()
+  | di :: tl ->
+    (if di <> ci then begin
+       let d = s.cls.(di) in
+       if
+         (not d.dead)
+         (* C \ {l} ⊆ D is necessary for the resolvent to subsume D;
+            bit l is forgiven since l itself need not occur in D. *)
+         && sig_c land lnot (d.sig_ lor sig_bit l) = 0
+         && List.compare_length_with d.lits len_c >= 0
+         && List.mem nl d.lits
+       then
+         if count_stamped stamp ci d.lits 0 = len_c - 1 then begin
+           d.lits <- List.filter (fun x -> x <> nl) d.lits;
+           d.sig_ <- compute_sig d.lits;
+           s.st.strengthened_literals <- s.st.strengthened_literals + 1;
+           match d.lits with
+           | [] -> raise Root_conflict
+           | [ u ] -> Queue.push u s.queue
+           | _ -> ()
+         end
+     end);
+    strengthen_candidates s stamp ci len_c sig_c l nl tl
+
+let rec strengthen_lits s stamp ci len_c sig_c lits =
+  match lits with
+  | [] -> ()
+  | l :: tl ->
+    let nl = Types.negate l in
+    strengthen_candidates s stamp ci len_c sig_c l nl s.occ.(nl);
+    strengthen_lits s stamp ci len_c sig_c tl
+
 let subsumption_pass_run ~budget s =
   let stamp = Array.make (2 * s.nvars) (-1) in
   let order =
@@ -216,63 +277,21 @@ let subsumption_pass_run ~budget s =
         let len_c = List.length c.lits in
         (* Forward subsumption through the literal with fewest occurrences. *)
         let best =
-          List.fold_left
-            (fun (bl, bn) l ->
+          let bl = ref (List.hd c.lits) in
+          let bn = ref (List.length s.occ.(!bl)) in
+          List.iter
+            (fun l ->
               let n = List.length s.occ.(l) in
-              if n < bn then (l, n) else (bl, bn))
-            (List.hd c.lits, List.length s.occ.(List.hd c.lits))
-            (List.tl c.lits)
-          |> fst
+              if n < !bn then begin
+                bl := l;
+                bn := n
+              end)
+            (List.tl c.lits);
+          !bl
         in
-        List.iter
-          (fun di ->
-            if di <> ci then begin
-              let d = s.cls.(di) in
-              if
-                (not d.dead)
-                && c.sig_ land lnot d.sig_ = 0
-                && List.compare_length_with d.lits len_c >= 0
-              then begin
-                let matched =
-                  List.length (List.filter (fun l -> stamp.(l) = ci) d.lits)
-                in
-                if matched = len_c then kill s d
-              end
-            end)
-          s.occ.(best);
+        subsume_forward s stamp ci len_c c.sig_ s.occ.(best);
         (* Self-subsuming resolution on every literal of C. *)
-        List.iter
-          (fun l ->
-            let nl = Types.negate l in
-            List.iter
-              (fun di ->
-                if di <> ci then begin
-                  let d = s.cls.(di) in
-                  if
-                    (not d.dead)
-                    (* C \ {l} ⊆ D is necessary for the resolvent to
-                       subsume D; bit l is forgiven since l itself need
-                       not occur in D. *)
-                    && c.sig_ land lnot (d.sig_ lor sig_bit l) = 0
-                    && List.compare_length_with d.lits len_c >= 0
-                    && List.mem nl d.lits
-                  then begin
-                    let matched =
-                      List.length (List.filter (fun x -> stamp.(x) = ci) d.lits)
-                    in
-                    if matched = len_c - 1 then begin
-                      d.lits <- List.filter (fun x -> x <> nl) d.lits;
-                      d.sig_ <- compute_sig d.lits;
-                      s.st.strengthened_literals <- s.st.strengthened_literals + 1;
-                      match d.lits with
-                      | [] -> raise Root_conflict
-                      | [ u ] -> Queue.push u s.queue
-                      | _ -> ()
-                    end
-                  end
-                end)
-              s.occ.(nl))
-          c.lits
+        strengthen_lits s stamp ci len_c c.sig_ c.lits
       end)
     order;
   propagate s
@@ -288,50 +307,75 @@ exception Probe_conflict
 (* The budget is polled only {e between} probes: a probe restores its
    trail before returning, and interrupting it mid-propagation would leave
    probe assumptions looking like root-level assignments. *)
+(* Scan a clause under the current (probe) assignment, with the outcome
+   encoded as an immediate int so the per-visit hot path allocates
+   nothing: [-2] the clause is satisfied, [-1] every literal is false,
+   [-3] two or more literals are unassigned, otherwise the sole
+   unassigned literal. [acc] threads the unassigned state ([-1] none
+   seen yet). *)
+let rec probe_scan_clause s lits acc =
+  match lits with
+  | [] -> acc
+  | x :: tl -> (
+    match lit_value s x with
+    | Types.V_true -> -2
+    | Types.V_false -> probe_scan_clause s tl acc
+    | Types.V_undef -> probe_scan_clause s tl (if acc = -1 then x else -3))
+
+let probe_push s (q : int array) qtail (trail : int array) ntrail l =
+  match lit_value s l with
+  | Types.V_true -> ()
+  | Types.V_false -> raise Probe_conflict
+  | Types.V_undef ->
+    s.assign.(Types.var_of l) <-
+      (if Types.is_pos l then Types.V_true else Types.V_false);
+    trail.(!ntrail) <- Types.var_of l;
+    incr ntrail;
+    q.(!qtail) <- l;
+    incr qtail
+
+let rec probe_scan_occ s visits q qtail trail ntrail cis =
+  match cis with
+  | [] -> ()
+  | ci :: tl ->
+    let c = s.cls.(ci) in
+    if not c.dead then begin
+      decr visits;
+      match probe_scan_clause s c.lits (-1) with
+      | -1 -> raise Probe_conflict
+      | -2 | -3 -> ()
+      | u -> probe_push s q qtail trail ntrail u
+    end;
+    probe_scan_occ s visits q qtail trail ntrail tl
+
 let probe_pass ~probe_limit ~visits ~budget s =
+  (* Scratch state shared by every probe: a flat FIFO ring for the
+     propagation queue and a flat trail (each variable enters either at
+     most once per probe, so [nvars] slots bound both). The probe loops
+     above are top-level recursions over immediates — one probe is up to
+     [visits] clause scans, and none of them allocates. *)
+  let q = Array.make (max 1 s.nvars) 0 in
+  let qhead = ref 0 and qtail = ref 0 in
+  let trail = Array.make (max 1 s.nvars) 0 in
+  let ntrail = ref 0 in
   let probe l =
-    let trail = ref [] in
-    let q = Queue.create () in
-    let push l =
-      match lit_value s l with
-      | Types.V_true -> ()
-      | Types.V_false -> raise Probe_conflict
-      | Types.V_undef ->
-        s.assign.(Types.var_of l) <-
-          (if Types.is_pos l then Types.V_true else Types.V_false);
-        trail := Types.var_of l :: !trail;
-        Queue.push l q
-    in
+    qhead := 0;
+    qtail := 0;
+    ntrail := 0;
     let ok =
       try
-        push l;
-        while not (Queue.is_empty q) do
-          let l = Queue.pop q in
-          List.iter
-            (fun ci ->
-              let c = s.cls.(ci) in
-              if not c.dead then begin
-                decr visits;
-                let sat = ref false and unassigned = ref [] in
-                List.iter
-                  (fun x ->
-                    match lit_value s x with
-                    | Types.V_true -> sat := true
-                    | Types.V_undef -> unassigned := x :: !unassigned
-                    | Types.V_false -> ())
-                  c.lits;
-                if not !sat then
-                  match !unassigned with
-                  | [] -> raise Probe_conflict
-                  | [ u ] -> push u
-                  | _ -> ()
-              end)
-            s.occ.(Types.negate l)
+        probe_push s q qtail trail ntrail l;
+        while !qhead < !qtail do
+          let l = q.(!qhead) in
+          incr qhead;
+          probe_scan_occ s visits q qtail trail ntrail s.occ.(Types.negate l)
         done;
         true
       with Probe_conflict -> false
     in
-    List.iter (fun v -> s.assign.(v) <- Types.V_undef) !trail;
+    for i = 0 to !ntrail - 1 do
+      s.assign.(trail.(i)) <- Types.V_undef
+    done;
     ok
   in
   let v = ref 0 in

@@ -27,12 +27,13 @@ type t = {
   mutable saved_phase : Bool.t array;
   mutable seen : Bool.t array;
   mutable heap_pos : int array; (* -1 when not in heap *)
-  (* Watches, indexed by literal: clauses in which this literal is watched.
-     [blockers] is kept in lockstep: blockers.(l) holds, per watched
-     clause, one literal whose truth satisfies the clause — checking it
-     avoids dereferencing the clause at all on most visits. *)
-  mutable watches : clause Vec.t array;
-  mutable blockers : int Vec.t array;
+  (* Watches, indexed by literal: clauses in which this literal is
+     watched, each entry paired with a blocking literal whose truth
+     satisfies the clause — checking it avoids dereferencing the clause
+     at all on most visits. Clause and blocker live in one flat merged
+     structure ({!Watches}); removed clauses are swept out eagerly at
+     reduction time, so propagation never sees a dead entry. *)
+  mutable watches : clause Watches.t array;
   (* Trail. *)
   trail : int Vec.t;
   trail_lim : int Vec.t;
@@ -62,8 +63,7 @@ let create ?theory () =
     saved_phase = Array.make 16 false;
     seen = Array.make 16 false;
     heap_pos = Array.make 16 (-1);
-    watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_clause ());
-    blockers = Array.init 32 (fun _ -> Vec.create ~dummy:0 ());
+    watches = Array.init 32 (fun _ -> Watches.create ~dummy:dummy_clause ());
     trail = Vec.create ~dummy:0 ();
     trail_lim = Vec.create ~dummy:0 ();
     qhead = 0;
@@ -163,12 +163,9 @@ let grow_to s n =
     s.saved_phase <- extend s.saved_phase s.default_phase;
     s.seen <- extend s.seen false;
     s.heap_pos <- extend s.heap_pos (-1);
-    let w = Array.init (2 * cap) (fun _ -> Vec.create ~dummy:dummy_clause ()) in
+    let w = Array.init (2 * cap) (fun _ -> Watches.create ~dummy:dummy_clause ()) in
     Array.blit s.watches 0 w 0 (Array.length s.watches);
-    s.watches <- w;
-    let b = Array.init (2 * cap) (fun _ -> Vec.create ~dummy:0 ()) in
-    Array.blit s.blockers 0 b 0 (Array.length s.blockers);
-    s.blockers <- b
+    s.watches <- w
   end
 
 let new_var s =
@@ -251,62 +248,53 @@ let cancel_until s lvl =
 
 let attach s c =
   assert (Array.length c.lits >= 2);
-  Vec.push s.watches.(c.lits.(0)) c;
-  Vec.push s.blockers.(c.lits.(0)) c.lits.(1);
-  Vec.push s.watches.(c.lits.(1)) c;
-  Vec.push s.blockers.(c.lits.(1)) c.lits.(0)
+  Watches.push s.watches.(c.lits.(0)) c c.lits.(1);
+  Watches.push s.watches.(c.lits.(1)) c c.lits.(0)
 
 exception Conflict of clause
 
 let propagate_lit s p =
-  (* p just became true; visit clauses watching ~p. *)
+  (* p just became true; visit clauses watching ~p. Every entry is live:
+     reduction sweeps removed clauses out of the lists eagerly, so there
+     is no dead-entry check on this path. *)
   let fl = p lxor 1 in
   let ws = s.watches.(fl) in
-  let bs = s.blockers.(fl) in
   let i = ref 0 in
-  while !i < Vec.size ws do
+  while !i < Watches.size ws do
     (* Blocking literal: if it is already true the clause is satisfied
        and need not be dereferenced at all. *)
-    if lit_value s (Vec.get bs !i) = V_true then begin
+    if lit_value s (Watches.blocker ws !i) = V_true then begin
       s.stats.blocked_visits <- s.stats.blocked_visits + 1;
       incr i
     end
     else begin
-      let c = Vec.get ws !i in
-      if c.removed then begin
-        Vec.swap_remove ws !i;
-        Vec.swap_remove bs !i
+      let c = Watches.clause ws !i in
+      (* Normalize: the false literal goes to position 1. *)
+      if c.lits.(0) = fl then begin
+        c.lits.(0) <- c.lits.(1);
+        c.lits.(1) <- fl
+      end;
+      if lit_value s c.lits.(0) = V_true then begin
+        Watches.set_blocker ws !i c.lits.(0);
+        incr i
       end
       else begin
-        (* Normalize: the false literal goes to position 1. *)
-        if c.lits.(0) = fl then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- fl
-        end;
-        if lit_value s c.lits.(0) = V_true then begin
-          Vec.set bs !i c.lits.(0);
-          incr i
+        (* Look for a new literal to watch. *)
+        let n = Array.length c.lits in
+        let rec find j = if j >= n then -1 else if lit_value s c.lits.(j) <> V_false then j else find (j + 1) in
+        let j = find 2 in
+        if j >= 0 then begin
+          c.lits.(1) <- c.lits.(j);
+          c.lits.(j) <- fl;
+          Watches.push s.watches.(c.lits.(1)) c c.lits.(0);
+          Watches.swap_remove ws !i
         end
+        else if lit_value s c.lits.(0) = V_false then raise (Conflict c)
         else begin
-          (* Look for a new literal to watch. *)
-          let n = Array.length c.lits in
-          let rec find j = if j >= n then -1 else if lit_value s c.lits.(j) <> V_false then j else find (j + 1) in
-          let j = find 2 in
-          if j >= 0 then begin
-            c.lits.(1) <- c.lits.(j);
-            c.lits.(j) <- fl;
-            Vec.push s.watches.(c.lits.(1)) c;
-            Vec.push s.blockers.(c.lits.(1)) c.lits.(0);
-            Vec.swap_remove ws !i;
-            Vec.swap_remove bs !i
-          end
-          else if lit_value s c.lits.(0) = V_false then raise (Conflict c)
-          else begin
-            s.stats.propagations <- s.stats.propagations + 1;
-            enqueue s c.lits.(0) c;
-            Vec.set bs !i c.lits.(0);
-            incr i
-          end
+          s.stats.propagations <- s.stats.propagations + 1;
+          enqueue s c.lits.(0) c;
+          Watches.set_blocker ws !i c.lits.(0);
+          incr i
         end
       end
     end
@@ -479,7 +467,15 @@ let record_learnt s lits =
 
 let locked s c = Array.length c.lits > 0 && s.reason.(c.lits.(0) lsr 1) == c
 
-let detach_lazily c = c.removed <- true
+(* Eager detach: drop the clause from both watcher lists right away. The
+   two watched literals are always [lits.(0)] and [lits.(1)] (attach
+   establishes this and propagation preserves it), so the sweep is two
+   linear scans — paid once per reduction instead of leaving dead
+   entries for every future propagation over those lists to skip. *)
+let detach s c =
+  c.removed <- true;
+  Watches.remove_clause s.watches.(c.lits.(0)) c;
+  Watches.remove_clause s.watches.(c.lits.(1)) c
 
 let reduce_db s =
   s.stats.reductions <- s.stats.reductions + 1;
@@ -489,12 +485,19 @@ let reduce_db s =
   let limit = n / 2 in
   for i = 0 to n - 1 do
     let c = Vec.get s.learnts i in
-    if (i < limit && (not (locked s c)) && Array.length c.lits > 2) && not c.removed
-    then detach_lazily c
+    if i < limit && (not (locked s c)) && Array.length c.lits > 2
+    then detach s c
     else Vec.push keep c
   done;
   Vec.clear s.learnts;
-  Vec.iter (fun c -> Vec.push s.learnts c) keep
+  (* The database just halved: return over-grown capacity before the
+     kept clauses are pushed back, and sweep watcher lists the detach
+     loop emptied out. *)
+  Vec.compact s.learnts;
+  Vec.iter (fun c -> Vec.push s.learnts c) keep;
+  for l = 0 to (2 * s.nvars) - 1 do
+    Watches.compact s.watches.(l)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Search.                                                             *)

@@ -15,6 +15,45 @@ let of_dimacs n =
 
 let pp_lit fmt l = Format.fprintf fmt "%d" (to_dimacs l)
 
+(* Unboxed views of the same encodings (DESIGN.md Sec. 16): [t = int]
+   with [@@immediate] asserts at the type level that values never box,
+   so arrays of them are flat and comparisons never call the polymorphic
+   runtime path. The plain aliases above remain the primary vocabulary;
+   these modules serve code that wants the operations bundled with the
+   type (watch lists, future typed containers). *)
+module Var = struct
+  type t = var [@@immediate]
+
+  let of_int (v : int) : t =
+    if v < 0 then invalid_arg "Types.Var.of_int: negative" else v
+
+  let to_int (v : t) : int = v
+  let equal : t -> t -> bool = Int.equal
+  let compare : t -> t -> int = Int.compare
+  let undef : t = -1
+  let pp fmt (v : t) = Format.fprintf fmt "v%d" v
+end
+
+module Lit = struct
+  type t = lit [@@immediate]
+
+  let make (v : Var.t) ~positive : t = if positive then pos v else neg_of_var v
+  let of_var = pos
+  let negate = negate
+  let var = var_of
+  let is_pos = is_pos
+  let to_int (l : t) : int = l
+  let of_int (l : int) : t =
+    if l < 0 then invalid_arg "Types.Lit.of_int: negative" else l
+
+  let equal : t -> t -> bool = Int.equal
+  let compare : t -> t -> int = Int.compare
+  let undef : t = -1
+  let to_dimacs = to_dimacs
+  let of_dimacs = of_dimacs
+  let pp = pp_lit
+end
+
 type value = V_true | V_false | V_undef
 
 let value_negate = function

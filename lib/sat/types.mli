@@ -21,6 +21,49 @@ val of_dimacs : int -> lit
 
 val pp_lit : Format.formatter -> lit -> unit
 
+(** Unboxed module views of the same encodings. [t] is an [int] alias and
+    [\[@@immediate\]] makes the unboxed representation a checked part of
+    the interface: arrays of these are flat, equality never boxes. *)
+module Var : sig
+  type t = var [@@immediate]
+
+  val of_int : int -> t
+  (** @raise Invalid_argument on negatives. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val undef : t
+  (** A sentinel outside the valid range (compares unequal to every real
+      variable). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Lit : sig
+  type t = lit [@@immediate]
+
+  val make : Var.t -> positive:bool -> t
+  val of_var : Var.t -> t
+  (** The positive literal. *)
+
+  val negate : t -> t
+  val var : t -> Var.t
+  val is_pos : t -> bool
+  val to_int : t -> int
+
+  val of_int : int -> t
+  (** @raise Invalid_argument on negatives. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val undef : t
+  val to_dimacs : t -> int
+  val of_dimacs : int -> t
+  val pp : Format.formatter -> t -> unit
+end
+
 (** Three-valued assignment results. *)
 type value = V_true | V_false | V_undef
 

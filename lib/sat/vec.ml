@@ -39,6 +39,14 @@ let clear v =
   Array.fill v.data 0 v.size v.dummy;
   v.size <- 0
 
+let compact v =
+  let cap = Array.length v.data in
+  if cap > 16 && v.size * 4 < cap then begin
+    let data = Array.make (max 16 (2 * v.size)) v.dummy in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end
+
 let shrink v n =
   assert (n >= 0 && n <= v.size);
   Array.fill v.data n (v.size - n) v.dummy;

@@ -14,6 +14,11 @@ val clear : 'a t -> unit
 val shrink : 'a t -> int -> unit
 (** [shrink v n] keeps the first [n] elements. *)
 
+val compact : 'a t -> unit
+(** Shrink the backing array when the vector occupies less than a quarter
+    of its capacity — for call sites that clear or halve a vector that
+    once grew large (e.g. the learnt-clause database on reduction). *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_list : 'a t -> 'a list

@@ -22,4 +22,5 @@ let () =
       ("integration", Test_integration.suite);
       ("extra", Test_extra.suite);
       ("proof-diagnosis", Test_proof_diagnosis.suite);
+      ("flatcore", Test_flatcore.suite);
     ]
