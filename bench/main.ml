@@ -23,6 +23,9 @@
                                             fault injector, plus the half-open
                                             reclaim time, written to
                                             BENCH_chaos.json
+     dune exec bench/main.exe relax      -- branch-and-prune with the linear
+                                            relaxation layer on vs off,
+                                            written to BENCH_relax.json
 
    Absolute times are not expected to match a 2007 notebook; the shapes
    (who wins, rough factors, where solvers reject or abort) are. *)
@@ -1429,6 +1432,227 @@ let flatcore_mode () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Relax mode: the branch-and-prune linear-relaxation layer            *)
+(* (lib/relax) on vs off, dumped as BENCH_relax.json. The headline     *)
+(* figure is node reduction — how many fewer branch-and-prune nodes    *)
+(* the search needs to reach the same verdict under the same node cap  *)
+(* — with the wall-time delta reported next to it (each LP-backed node *)
+(* costs more than an interval-only node; the relaxation trades        *)
+(* per-node cost for tree size). Gate: >= 2x node reduction on the     *)
+(* car-steering slice, verdicts equal everywhere.                      *)
+
+(* The headline steering measurement runs branch-and-prune directly on
+   the model's full constraint conjunction over the "critical slice" of
+   the sensor space: every sensor range shrunk to its central quarter —
+   the plausible-driving region the monitor cascade targets — where the
+   conjunction is infeasible and the search must prove it. The sampler
+   is off (a refutation cannot be sampled) and OBBT runs at every node
+   over all variables, so the comparison isolates what the relaxation
+   layer contributes to the size of the refutation tree. *)
+let steering_slice () =
+  let p = M.Steering.problem () in
+  let n = A.Ab_problem.num_arith_vars p in
+  let box = Absolver_nlp.Box.create n in
+  List.iter
+    (fun (v, (lo, hi)) ->
+      let lo = match lo with Some q -> Q.to_float q | None -> -1e6
+      and hi = match hi with Some q -> Q.to_float q | None -> 1e6 in
+      let m = (lo +. hi) /. 2.0 and w = (hi -. lo) /. 2.0 in
+      box.(v) <-
+        Absolver_numeric.Interval.make (m -. (w *. 0.25)) (m +. (w *. 0.25)))
+    (A.Ab_problem.bounds p);
+  let rels =
+    List.map (fun (d : A.Ab_problem.def) -> d.rel) (A.Ab_problem.defs p)
+  in
+  (n, box, rels)
+
+let steering_slice_config nvars =
+  {
+    BP.default_config with
+    BP.max_nodes = 50_000;
+    samples_per_node = 0;
+    root_samples = 0;
+    relax_obbt_depth = max_int;
+    relax_obbt_vars = nvars;
+  }
+
+(* sphere_cap_unsat: ball of radius 1 cut by a plane outside it — every
+   Boolean model forces an empty intersection, and the linear relaxation
+   of the quadratic sees it immediately while plain interval splitting
+   has to shave the box down. *)
+let sphere_cap_problem () =
+  let text =
+    {|p cnf 1 1
+1 0
+c def real 1 x * x + y * y + z * z <= 1
+c def real 1 x + y + z >= 2
+c bound x -2 2
+c bound y -2 2
+c bound z -2 2
+|}
+  in
+  match A.Dimacs_ext.parse_string text with
+  | Ok p -> p
+  | Error e -> failwith ("sphere_cap: " ^ e)
+
+let relax_mode () =
+  print_endline
+    "== Linear relaxation: LP cuts ahead of branch-and-prune ============";
+  Printf.printf "%-22s %-9s %8s %8s %7s %9s %9s %7s\n" "Benchmark" "verdict"
+    "nodes+" "nodes-" "redux" "time+" "time-" "pruned";
+  let entries = ref [] in
+  let mismatches = ref 0 in
+  let steering_reduction = ref 0.0 in
+  let case ~name ?(registry = A.Registry.default) ?(options = A.Engine.default_options)
+      mk =
+    let run relax =
+      time (fun () ->
+          A.Engine.solve ~registry
+            ~options:{ options with A.Engine.use_bp_relaxation = relax }
+            (mk ()))
+    in
+    let (r_on, st_on), t_on = run true in
+    let (r_off, st_off), t_off = run false in
+    let v_on = engine_verdict r_on and v_off = engine_verdict r_off in
+    if v_on <> v_off then begin
+      incr mismatches;
+      Printf.printf "!! %s: verdict differs (relax on %s, off %s)\n" name v_on
+        v_off
+    end;
+    let n_on = st_on.A.Engine.bp_nodes and n_off = st_off.A.Engine.bp_nodes in
+    let reduction =
+      if n_on > 0 then float_of_int n_off /. float_of_int n_on else 0.0
+    in
+    if name = "car_steering" then steering_reduction := reduction;
+    Printf.printf "%-22s %-9s %8d %8d %6.1fx %9s %9s %7d\n" name v_on n_on
+      n_off reduction (fmt_time t_on) (fmt_time t_off)
+      st_on.A.Engine.relax_nodes_pruned;
+    flush stdout;
+    entries :=
+      Telemetry.Json.obj
+        [
+          ("name", Printf.sprintf "%S" name);
+          ("verdict", Printf.sprintf "%S" v_on);
+          ("verdict_relax_off", Printf.sprintf "%S" v_off);
+          ( "relax_on",
+            Telemetry.Json.obj
+              [
+                ("bp_nodes", string_of_int n_on);
+                ("seconds", Telemetry.Json.of_float t_on);
+                ("cuts_asserted", string_of_int st_on.A.Engine.relax_cuts_asserted);
+                ("lp_checks", string_of_int st_on.A.Engine.relax_lp_checks);
+                ("nodes_pruned", string_of_int st_on.A.Engine.relax_nodes_pruned);
+                ( "bounds_tightened",
+                  string_of_int st_on.A.Engine.relax_bounds_tightened );
+              ] );
+          ( "relax_off",
+            Telemetry.Json.obj
+              [
+                ("bp_nodes", string_of_int n_off);
+                ("seconds", Telemetry.Json.of_float t_off);
+              ] );
+          ("node_reduction", Telemetry.Json.of_float reduction);
+          ( "wall_time_delta_seconds",
+            Telemetry.Json.of_float (t_on -. t_off) );
+        ]
+      :: !entries
+  in
+  let bp_case ~name mk_instance =
+    let nvars, box, rels = mk_instance () in
+    let config = steering_slice_config nvars in
+    let run relax =
+      let oracle =
+        if relax then
+          Some (Absolver_relax.Relax.oracle ~config ~nvars rels)
+        else None
+      in
+      time (fun () ->
+          BP.solve ~config ?relax:oracle ~nvars
+            ~box:(Absolver_nlp.Box.copy box) rels)
+    in
+    let (v_on, st_on), t_on = run true in
+    let (v_off, st_off), t_off = run false in
+    let outcome = function
+      | BP.Sat _ -> "sat"
+      | BP.Unsat -> "unsat"
+      | BP.Approx_sat _ -> "approx"
+      | BP.Unknown -> "unknown"
+    in
+    let s_on = outcome v_on and s_off = outcome v_off in
+    if s_on <> s_off then begin
+      incr mismatches;
+      Printf.printf "!! %s: verdict differs (relax on %s, off %s)\n" name s_on
+        s_off
+    end;
+    let n_on = st_on.BP.nodes and n_off = st_off.BP.nodes in
+    let reduction =
+      if n_on > 0 then float_of_int n_off /. float_of_int n_on else 0.0
+    in
+    if name = "car_steering" then steering_reduction := reduction;
+    Printf.printf "%-22s %-9s %8d %8d %6.1fx %9s %9s %7d\n" name s_on n_on
+      n_off reduction (fmt_time t_on) (fmt_time t_off) st_on.BP.relax_pruned;
+    flush stdout;
+    entries :=
+      Telemetry.Json.obj
+        [
+          ("name", Printf.sprintf "%S" name);
+          ("verdict", Printf.sprintf "%S" s_on);
+          ("verdict_relax_off", Printf.sprintf "%S" s_off);
+          ( "relax_on",
+            Telemetry.Json.obj
+              [
+                ("bp_nodes", string_of_int n_on);
+                ("seconds", Telemetry.Json.of_float t_on);
+                ("cuts_asserted", string_of_int st_on.BP.relax_cuts);
+                ("lp_checks", string_of_int st_on.BP.relax_lp_checks);
+                ("nodes_pruned", string_of_int st_on.BP.relax_pruned);
+                ("bounds_tightened", string_of_int st_on.BP.relax_tightened);
+              ] );
+          ( "relax_off",
+            Telemetry.Json.obj
+              [
+                ("bp_nodes", string_of_int n_off);
+                ("seconds", Telemetry.Json.of_float t_off);
+              ] );
+          ("node_reduction", Telemetry.Json.of_float reduction);
+          ("wall_time_delta_seconds", Telemetry.Json.of_float (t_on -. t_off));
+        ]
+      :: !entries
+  in
+  bp_case ~name:"car_steering" steering_slice;
+  case ~name:"nonlinear_unsat" nonlinear_unsat_problem;
+  case ~name:"sphere_cap_unsat" sphere_cap_problem;
+  case ~name:"esat_n11_m8" esat_problem;
+  case ~name:"div_operator" div_operator_problem;
+  let gate_ok = !steering_reduction >= 2.0 && !mismatches = 0 in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"branch-and-prune linear relaxation (lib/relax)\",\n\
+      \  \"steering_node_reduction\": %s,\n\
+      \  \"gate\": \"car_steering node_reduction >= 2.0, verdicts equal\",\n\
+      \  \"gate_ok\": %b,\n\
+      \  \"verdict_mismatches\": %d,\n\
+      \  \"cases\": [\n%s\n  ]\n}\n"
+      (Telemetry.Json.of_float !steering_reduction)
+      gate_ok !mismatches
+      (String.concat ",\n"
+         (List.map (fun e -> "    " ^ e) (List.rev !entries)))
+  in
+  let oc = open_out "BENCH_relax.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "car steering: %.1fx node reduction\nwrote BENCH_relax.json\n"
+    !steering_reduction;
+  if not gate_ok then begin
+    Printf.eprintf
+      "relax: gate failed (steering reduction %.2fx, %d verdict mismatches)\n"
+      !steering_reduction !mismatches;
+    exit 1
+  end
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match which with
@@ -1443,6 +1667,7 @@ let () =
   | "server" -> server_mode ()
   | "chaos" -> chaos_mode ()
   | "flatcore" -> flatcore_mode ()
+  | "relax" -> relax_mode ()
   | "all" ->
     table1 ();
     table2 ();
@@ -1451,6 +1676,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown benchmark %S (expected \
-       table1|table2|table3|ablations|micro|json|parallel|incremental|server|chaos|all)\n"
+       table1|table2|table3|ablations|micro|json|parallel|incremental|server|chaos|flatcore|relax|all)\n"
       other;
     exit 2

@@ -70,6 +70,14 @@ let solve_cmd =
                  linear check solves from scratch. Verdicts are identical \
                  either way.")
   in
+  let no_relax =
+    Arg.(value & flag & info [ "no-relax" ]
+           ~doc:"Disable the branch-and-prune linear-relaxation layer \
+                 (LP cuts from sound linear enclosures of the nonlinear \
+                 atoms, octagon screening, optimization-based bounds \
+                 tightening); the nonlinear search falls back to pure \
+                 interval contraction. Verdicts are identical either way.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print statistics.") in
   let stats_flag =
     Arg.(value & flag & info [ "stats" ]
@@ -126,8 +134,8 @@ let solve_cmd =
                  and cancels the losers.")
   in
   let run file all_models limit bool_solver minimize no_presolve no_incremental
-      verbose stats_flag stats_json trace metrics_file timeout max_steps
-      mem_budget jobs portfolio =
+      no_relax verbose stats_flag stats_json trace metrics_file timeout
+      max_steps mem_budget jobs portfolio =
     match (read_problem file, registry_of_name bool_solver) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -161,6 +169,7 @@ let solve_cmd =
           A.Engine.minimize_conflicts = minimize;
           use_presolve = not no_presolve;
           use_incremental = not no_incremental;
+          use_bp_relaxation = not no_relax;
           telemetry = tel;
           budget;
         }
@@ -256,9 +265,9 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Decide an AB-problem (extended DIMACS).")
     Term.(
       const run $ file $ all_models $ limit $ bool_solver $ minimize
-      $ no_presolve $ no_incremental $ verbose $ stats_flag $ stats_json
-      $ trace $ metrics_file $ timeout $ max_steps $ mem_budget $ jobs
-      $ portfolio)
+      $ no_presolve $ no_incremental $ no_relax $ verbose $ stats_flag
+      $ stats_json $ trace $ metrics_file $ timeout $ max_steps $ mem_budget
+      $ jobs $ portfolio)
 
 (* ---- convert ---- *)
 

@@ -24,6 +24,7 @@ type options = {
   max_unknown_models : int;
   default_phase : bool;
   use_linear_relaxation : bool;
+  use_bp_relaxation : bool;
   use_presolve : bool;
   use_incremental : bool;
   telemetry : Telemetry.t;
@@ -39,6 +40,7 @@ let default_options =
     max_unknown_models = 500;
     default_phase = true;
     use_linear_relaxation = true;
+    use_bp_relaxation = true;
     use_presolve = true;
     use_incremental = true;
     telemetry = Telemetry.disabled;
@@ -78,6 +80,12 @@ type run_stats = {
   mutable lp_reused : int;
   mutable alloc_minor_words : float;
   mutable alloc_major_words : float;
+  mutable bp_nodes : int;
+  mutable bp_prunings : int;
+  mutable relax_cuts_asserted : int;
+  mutable relax_lp_checks : int;
+  mutable relax_nodes_pruned : int;
+  mutable relax_bounds_tightened : int;
 }
 
 let mk_stats () =
@@ -107,6 +115,12 @@ let mk_stats () =
     lp_reused = 0;
     alloc_minor_words = 0.0;
     alloc_major_words = 0.0;
+    bp_nodes = 0;
+    bp_prunings = 0;
+    relax_cuts_asserted = 0;
+    relax_lp_checks = 0;
+    relax_nodes_pruned = 0;
+    relax_bounds_tightened = 0;
   }
 
 (* Allocation accounting around a solve. [minor_words] counts words
@@ -141,6 +155,10 @@ let pp_run_stats fmt s =
     s.lp_retracted s.lp_reused;
   Format.fprintf fmt " alloc[minor=%.0fw major=%.0fw]" s.alloc_minor_words
     s.alloc_major_words;
+  Format.fprintf fmt
+    " bp[nodes=%d prunings=%d] relax[cuts=%d lp=%d pruned=%d tightened=%d]"
+    s.bp_nodes s.bp_prunings s.relax_cuts_asserted s.relax_lp_checks
+    s.relax_nodes_pruned s.relax_bounds_tightened;
   match s.budget_exhausted with
   | None -> ()
   | Some e -> Format.fprintf fmt " budget-exhausted=%s" (Err.code e)
@@ -206,6 +224,12 @@ let run_stats_json s =
       ("lp_reused", i s.lp_reused);
       ("alloc_minor_words", Telemetry.Json.of_float s.alloc_minor_words);
       ("alloc_major_words", Telemetry.Json.of_float s.alloc_major_words);
+      ("bp_nodes", i s.bp_nodes);
+      ("bp_prunings", i s.bp_prunings);
+      ("relax_cuts_asserted", i s.relax_cuts_asserted);
+      ("relax_lp_checks", i s.relax_lp_checks);
+      ("relax_nodes_pruned", i s.relax_nodes_pruned);
+      ("relax_bounds_tightened", i s.relax_bounds_tightened);
       ( "budget_exhausted",
         match s.budget_exhausted with
         | None -> "null"
@@ -435,12 +459,17 @@ let check_model ~registry ~options ~stats ~pre ~lsolve problem
           let box = Box.copy pre.Preprocess.box in
           (* The paper's solver-list semantics: try each registered solver
              until one produces a decent result. *)
-          let rec try_solvers = function
-            | [] -> Registry.N_unknown
+          let rec try_solvers acc = function
+            | [] -> (Registry.N_unknown, acc)
             | (s : Registry.nonlinear_solver) :: rest -> (
-              match s.Registry.ns_solve ~budget ~telemetry:tel ~nvars ~box rels with
-              | Registry.N_unknown -> try_solvers rest
-              | verdict -> verdict)
+              let v, st =
+                s.Registry.ns_solve ~relax:options.use_bp_relaxation ~budget
+                  ~telemetry:tel ~nvars ~box rels
+              in
+              let acc = Branch_prune.merge_stats acc st in
+              match v with
+              | Registry.N_unknown -> try_solvers acc rest
+              | verdict -> (verdict, acc))
           in
           let nl_vars =
             List.concat_map (fun (r : Expr.rel) -> Expr.vars r.Expr.expr) nonlinear
@@ -529,7 +558,10 @@ let check_model ~registry ~options ~stats ~pre ~lsolve problem
                 and pr0 = Branch_prune.total_prunings ()
                 and h0 = Hc4.total_revisions ()
                 and w0 = Newton.total_steps () in
-                let v = try_solvers registry.Registry.nonlinear in
+                let v, bp =
+                  try_solvers Branch_prune.empty_stats
+                    registry.Registry.nonlinear
+                in
                 Telemetry.add tel "nlp.nodes" (Branch_prune.total_nodes () - n0);
                 Telemetry.add tel "nlp.prunings"
                   (Branch_prune.total_prunings () - pr0);
@@ -537,6 +569,31 @@ let check_model ~registry ~options ~stats ~pre ~lsolve problem
                   (Hc4.total_revisions () - h0);
                 Telemetry.add tel "nlp.newton_steps"
                   (Newton.total_steps () - w0);
+                (* Per-solve search + relaxation counters: the run record
+                   aggregates the per-call stats (never the process-wide
+                   totals, which conflate concurrent solves). *)
+                stats.bp_nodes <- stats.bp_nodes + bp.Branch_prune.nodes;
+                stats.bp_prunings <- stats.bp_prunings + bp.Branch_prune.prunings;
+                stats.relax_cuts_asserted <-
+                  stats.relax_cuts_asserted + bp.Branch_prune.relax_cuts;
+                stats.relax_lp_checks <-
+                  stats.relax_lp_checks + bp.Branch_prune.relax_lp_checks;
+                stats.relax_nodes_pruned <-
+                  stats.relax_nodes_pruned + bp.Branch_prune.relax_pruned;
+                stats.relax_bounds_tightened <-
+                  stats.relax_bounds_tightened + bp.Branch_prune.relax_tightened;
+                Telemetry.add tel "nlp.relax.cuts_asserted"
+                  bp.Branch_prune.relax_cuts;
+                Telemetry.add tel "nlp.relax.lp_checks"
+                  bp.Branch_prune.relax_lp_checks;
+                Telemetry.add tel "nlp.relax.nodes_pruned"
+                  bp.Branch_prune.relax_pruned;
+                Telemetry.add tel "nlp.relax.oct_pruned"
+                  bp.Branch_prune.relax_oct_pruned;
+                Telemetry.add tel "nlp.relax.bounds_tightened"
+                  bp.Branch_prune.relax_tightened;
+                Telemetry.add tel "nlp.relax.obbt_opts"
+                  bp.Branch_prune.relax_obbt;
                 v)
           in
           match nl_verdict with

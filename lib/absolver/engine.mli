@@ -32,6 +32,16 @@ type options = {
           maximal nonlinear subterms with interval-bounded auxiliary
           variables: blatantly contradictory delta-valuations then die in
           the cheap solver with small cores (ablation switch). *)
+  use_bp_relaxation : bool;
+      (** Consult the branch-and-prune linear-relaxation layer
+          ([Absolver_relax]): sound linear enclosures of the nonlinear
+          atoms are asserted into a warm, search-path-scoped LP session —
+          LP infeasibility prunes nodes before interval contraction runs,
+          an octagon middle tier screens [+-x +- y <= c] cuts before any
+          pivot, and near-root LP optima tighten variable bounds (OBBT).
+          On by default; off ([CLI --no-relax]) restores the pure
+          interval search (ablation switch). Verdict-equivalent either
+          way. *)
   use_presolve : bool;
       (** Run the {!Preprocess} layer (SAT inprocessing, LP presolve,
           interval propagation) before search. On by default; off restores
@@ -121,6 +131,23 @@ type run_stats = {
       (** Words allocated directly in the major heap during the run
           ([Gc.major_words - promoted_words] delta, so minor allocations
           that survived a collection are not double-counted). *)
+  mutable bp_nodes : int;
+      (** Branch-and-prune nodes explored by this run's nonlinear checks
+          (per-solve figures, never the process-wide totals). *)
+  mutable bp_prunings : int;
+      (** Boxes discarded by the branch-and-prune searches (any cause:
+          interval certificate, relaxation, empty contraction). *)
+  mutable relax_cuts_asserted : int;
+      (** Linear cuts the relaxation layer asserted into its scoped LP
+          sessions. Zero when [use_bp_relaxation] is off. *)
+  mutable relax_lp_checks : int;
+      (** LP feasibility checks run by the relaxation layer. *)
+  mutable relax_nodes_pruned : int;
+      (** Nodes refuted by the relaxation (octagon or LP) before any
+          interval contraction ran. *)
+  mutable relax_bounds_tightened : int;
+      (** Variable bounds tightened by the relaxation layer (octagon
+          closure + OBBT). *)
 }
 
 val pp_run_stats : Format.formatter -> run_stats -> unit

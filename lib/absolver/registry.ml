@@ -38,12 +38,13 @@ type nonlinear_verdict =
 type nonlinear_solver = {
   ns_name : string;
   ns_solve :
+    relax:bool ->
     budget:Budget.t ->
     telemetry:Absolver_telemetry.Telemetry.t ->
     nvars:int ->
     box:Absolver_nlp.Box.t ->
     Expr.rel list ->
-    nonlinear_verdict;
+    nonlinear_verdict * Branch_prune.stats;
 }
 
 type t = {
@@ -138,14 +139,24 @@ let branch_prune_solver ?(config = Branch_prune.default_config) ?(jobs = 1) () =
       (if jobs <= 1 then "branch-and-prune (IPOPT-like)"
        else Printf.sprintf "branch-and-prune (IPOPT-like, %d jobs)" jobs);
     ns_solve =
-      (fun ~budget ~telemetry ~nvars ~box rels ->
-        match
-          Branch_prune.solve ~config ~budget ~telemetry ~jobs ~nvars ~box rels
-        with
-        | Branch_prune.Sat p, _ -> N_sat p
-        | Branch_prune.Approx_sat p, _ -> N_approx p
-        | Branch_prune.Unsat, _ -> N_unsat
-        | Branch_prune.Unknown, _ -> N_unknown);
+      (fun ~relax ~budget ~telemetry ~nvars ~box rels ->
+        let oracle =
+          if relax && config.Branch_prune.use_relax then
+            Some (Absolver_relax.Relax.oracle ~telemetry ~config ~nvars rels)
+          else None
+        in
+        let verdict, stats =
+          Branch_prune.solve ?relax:oracle ~config ~budget ~telemetry ~jobs
+            ~nvars ~box rels
+        in
+        let v =
+          match verdict with
+          | Branch_prune.Sat p -> N_sat p
+          | Branch_prune.Approx_sat p -> N_approx p
+          | Branch_prune.Unsat -> N_unsat
+          | Branch_prune.Unknown -> N_unknown
+        in
+        (v, stats));
   }
 
 let default =

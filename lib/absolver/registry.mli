@@ -62,18 +62,27 @@ type nonlinear_verdict =
 type nonlinear_solver = {
   ns_name : string;
   ns_solve :
+    relax:bool ->
     budget:Absolver_resource.Budget.t ->
     telemetry:Absolver_telemetry.Telemetry.t ->
     nvars:int ->
     box:Absolver_nlp.Box.t ->
     Expr.rel list ->
-    nonlinear_verdict;
+    nonlinear_verdict * Absolver_nlp.Branch_prune.stats;
 }
 (** [telemetry] is the engine's handle with the [nonlinear_check] span
     open; oracles that fan out over domains fork it per worker so a
     traced run stays one connected span tree (and may record their own
     histograms, e.g. [nlp.bp_depth]). A solver free of instrumentation
-    just ignores it. *)
+    just ignores it.
+
+    [relax] is the engine's linear-relaxation switch
+    ([use_bp_relaxation] / [--no-relax]): when false the solver must not
+    consult an LP relaxation even if its own config enables one.  The
+    returned {!Absolver_nlp.Branch_prune.stats} carries per-solve search
+    and relaxation counters for the engine's run statistics; a solver
+    without such instrumentation returns
+    {!Absolver_nlp.Branch_prune.empty_stats}. *)
 
 type t = {
   boolean : bool_solver list;

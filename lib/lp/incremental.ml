@@ -41,6 +41,9 @@ type t = {
   keybuf : Buffer.t;
   needed : (string, int) Hashtbl.t;
   stats : stats;
+  (* Open cut scopes (see the scoped-cut API below): one simplex trail
+     frame per scope, layered on top of the assertion stack. *)
+  mutable scopes : int;
 }
 
 let create ?(budget = Budget.unlimited) ?(cache_capacity = 4096)
@@ -58,6 +61,7 @@ let create ?(budget = Budget.unlimited) ?(cache_capacity = 4096)
     keybuf = Buffer.create 256;
     needed = Hashtbl.create 64;
     stats = { solves = 0; asserted = 0; retracted = 0; reused = 0 };
+    scopes = 0;
   }
 
 let intern_var t v =
@@ -113,6 +117,63 @@ let counters t =
     ("lp.inc.retracted", t.stats.retracted);
     ("lp.inc.reused", t.stats.reused);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Scoped cuts                                                         *)
+(*                                                                     *)
+(* The branch-and-prune relaxation layer asserts per-node cut rows that *)
+(* must retract exactly with the search path: checkpoint on branch,     *)
+(* rollback on backtrack.  Each scope is one simplex trail frame, so a  *)
+(* pop retracts the scope's bounds while keeping the pivots (warm       *)
+(* start) — the same delta mechanics [apply_delta] uses, exposed to a   *)
+(* caller that manages its own path discipline.  Scoped rows use        *)
+(* [intern_cons], not the [interned] memo: cut constants vary per box,  *)
+(* so memoizing them would grow the table without reuse (the tableau's  *)
+(* own slack-row sharing by coefficient vector still applies).          *)
+(* ------------------------------------------------------------------ *)
+
+let open_scopes t = t.scopes
+
+let scope_push t =
+  Simplex.push t.simplex;
+  t.scopes <- t.scopes + 1
+
+let scope_pop t =
+  if t.scopes <= 0 then invalid_arg "Incremental.scope_pop: no open scope";
+  Simplex.pop t.simplex;
+  t.scopes <- t.scopes - 1
+
+let scope_assert t (c : Linexpr.cons) =
+  if t.scopes <= 0 then invalid_arg "Incremental.scope_assert: no open scope";
+  t.stats.asserted <- t.stats.asserted + 1;
+  match Simplex.assert_cons t.simplex (intern_cons t c) with
+  | Simplex.Feasible -> true
+  | Simplex.Infeasible _ -> false
+
+let scope_check t =
+  match Simplex.check t.simplex with
+  | Simplex.Feasible -> true
+  | Simplex.Infeasible _ -> false
+
+type scope_opt = Opt_value of DR.t | Opt_unbounded | Opt_infeasible
+
+let scope_objective t le =
+  List.fold_left
+    (fun acc (v, q) -> Linexpr.add_term acc q (intern_var t v))
+    (Linexpr.constant (Linexpr.const le))
+    (Linexpr.coeffs le)
+
+let scope_maximize t le =
+  match Simplex.maximize t.simplex (scope_objective t le) with
+  | Simplex.O_optimal (d, _) -> Opt_value d
+  | Simplex.O_unbounded -> Opt_unbounded
+  | Simplex.O_infeasible _ -> Opt_infeasible
+
+let scope_minimize t le =
+  match Simplex.minimize_obj t.simplex (scope_objective t le) with
+  | Simplex.O_optimal (d, _) -> Opt_value d
+  | Simplex.O_unbounded -> Opt_unbounded
+  | Simplex.O_infeasible _ -> Opt_infeasible
 
 (* Canonical identity of a constraint: tag, relation, sorted coefficient
    list, constant. Two constraints with equal keys are interchangeable on
@@ -284,6 +345,8 @@ let solve_uncached t ~int_vars ~keys ~constraints =
       Simplex.Unknown e)
 
 let solve t ?(int_vars = []) constraints =
+  if t.scopes > 0 then
+    invalid_arg "Incremental.solve: cut scopes are open (pop them first)";
   t.stats.solves <- t.stats.solves + 1;
   (* Constant constraints never reach the tableau (as in solve_system). *)
   let const_conflict =

@@ -55,3 +55,46 @@ val stats : t -> stats
 val counters : t -> (string * int) list
 (** Session counters in telemetry form: solves, cache hits / misses /
     evictions, asserted / retracted / reused constraints. *)
+
+(** {1 Scoped cuts}
+
+    Path-scoped assertion for the branch-and-prune relaxation layer:
+    cut rows asserted inside a scope are retracted exactly when the
+    scope pops (checkpoint on branch, rollback on backtrack — one
+    simplex trail frame per scope, pivots kept across pops so every
+    check warm-starts). The caller owns the path discipline: {!solve}
+    raises [Invalid_argument] while scopes are open, so a session is
+    either in stack mode or in scope mode at any time. *)
+
+val scope_push : t -> unit
+(** Open a new cut scope (innermost). *)
+
+val scope_pop : t -> unit
+(** Retract every cut of the innermost scope, keeping pivots.
+    @raise Invalid_argument when no scope is open. *)
+
+val open_scopes : t -> int
+
+val scope_assert : t -> Linexpr.cons -> bool
+(** Assert a cut into the innermost scope. [false] means the cut
+    immediately conflicts with bounds asserted so far (the system is
+    infeasible); the session stays consistent either way.
+    @raise Invalid_argument when no scope is open. *)
+
+val scope_check : t -> bool
+(** Run the simplex to a verdict over everything currently asserted
+    ([true] = feasible). Sound and complete — the verdict depends only
+    on the asserted rows, never on warm-start state.
+    @raise Absolver_resource.Budget.Exhausted if the session's budget
+    trips mid-pivot (the tableau is left consistent; the caller of the
+    scoped API owns the budget boundary). *)
+
+type scope_opt = Opt_value of Absolver_numeric.Delta_rational.t | Opt_unbounded | Opt_infeasible
+
+val scope_maximize : t -> Linexpr.t -> scope_opt
+val scope_minimize : t -> Linexpr.t -> scope_opt
+(** Optimize an (affine) objective in {e external} variables over the
+    currently asserted rows; used for optimization-based bounds
+    tightening. Exact; the optimum value's rational part is a sound
+    outer bound even when a strict row leaves a delta component.
+    @raise Absolver_resource.Budget.Exhausted as {!scope_check}. *)

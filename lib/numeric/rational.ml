@@ -115,10 +115,27 @@ let abs = function
 (* ------------------------------------------------------------------ *)
 (* Arithmetic.                                                         *)
 
+(* Knuth 4.5.1 at the bigint level: reduce through the gcd of the
+   denominators first.  The expensive case to avoid is a gcd of
+   double-width products — [g0] and [g1] only ever see operand-width
+   values ([g1] divides [g0]), where {!B.gcd}'s native fast path
+   usually applies. *)
 let big_add a b =
   let an, ad = to_big a and bn, bd = to_big b in
   if B.equal ad bd then normalize_big (B.add an bn) ad
-  else normalize_big (B.add (B.mul an bd) (B.mul bn ad)) (B.mul ad bd)
+  else
+    let g0 = B.gcd ad bd in
+    if B.is_one g0 then
+      (* coprime denominators: the sum is already in lowest terms *)
+      of_big (B.add (B.mul an bd) (B.mul bn ad)) (B.mul ad bd)
+    else
+      let ad' = B.div ad g0 and bd' = B.div bd g0 in
+      let t = B.add (B.mul an bd') (B.mul bn ad') in
+      if B.is_zero t then zero
+      else
+        let g1 = B.gcd t g0 in
+        if B.is_one g1 then of_big t (B.mul ad' bd)
+        else of_big (B.div t g1) (B.mul ad' (B.div bd g1))
 
 let add a b =
   match (a, b) with
@@ -154,22 +171,39 @@ let add a b =
 
 let sub a b = add a (neg b)
 
+(* Cross-reduce before multiplying: with canonical operands the product
+   of the reduced parts is coprime by construction, so no gcd of the
+   double-width products is ever needed — the two gcds below only see
+   operand-width values. *)
 let big_mul a b =
   let an, ad = to_big a and bn, bd = to_big b in
-  normalize_big (B.mul an bn) (B.mul ad bd)
+  if B.is_zero an || B.is_zero bn then zero
+  else
+    let g1 = B.gcd an bd and g2 = B.gcd bn ad in
+    let an = if B.is_one g1 then an else B.div an g1
+    and bd = if B.is_one g1 then bd else B.div bd g1
+    and bn = if B.is_one g2 then bn else B.div bn g2
+    and ad = if B.is_one g2 then ad else B.div ad g2 in
+    of_big (B.mul an bn) (B.mul ad bd)
 
 let mul a b =
   match (a, b) with
   | S x, S y ->
     if x.n = 0 || y.n = 0 then zero
     else begin
-      (* Cross-reduce before multiplying: the product of the reduced
-         parts is coprime by construction, no trailing gcd needed. *)
       let g1 = gcd_int (Stdlib.abs x.n) y.d in
       let g2 = gcd_int (Stdlib.abs y.n) x.d in
-      let n = mul_chk (x.n / g1) (y.n / g2) in
-      let d = mul_chk (x.d / g2) (y.d / g1) in
-      if n = min_int || d = min_int then big_mul a b else S { n; d }
+      let n1 = x.n / g1 and n2 = y.n / g2 in
+      let d1 = x.d / g2 and d2 = y.d / g1 in
+      let n = mul_chk n1 n2 in
+      let d = mul_chk d1 d2 in
+      if n = min_int || d = min_int then
+        (* overflow: the reduced parts are already pairwise coprime, so
+           multiply at bigint width and skip normalization entirely *)
+        of_big
+          (B.mul (B.of_int n1) (B.of_int n2))
+          (B.mul (B.of_int d1) (B.of_int d2))
+      else S { n; d }
     end
   | _ -> big_mul a b
 
@@ -264,13 +298,21 @@ let of_float f =
     invalid_arg "Rational.of_float: not a finite float";
   if f = 0.0 then zero
   else begin
-    (* f = m * 2^(e - 53) with m a 53-bit integer: exact by construction. *)
+    (* f = m * 2^(e - 53) with m a 53-bit integer: exact by construction.
+       Stripping the mantissa's trailing zeros makes the pair coprime up
+       front (odd numerator, power-of-two denominator), so no gcd runs
+       and small magnitudes stay on the inlined representation. *)
     let m, e = Float.frexp f in
-    let m53 = Int64.of_float (Float.ldexp m 53) in
-    let mant = B.of_string (Int64.to_string m53) in
-    let shift = e - 53 in
-    if shift >= 0 then of_bigint (B.shift_left mant shift)
-    else make mant (B.shift_left B.one (-shift))
+    let m53 = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+    let rec tz n k = if n land 1 = 0 then tz (n asr 1) (k + 1) else k in
+    let t = tz (Stdlib.abs m53) 0 in
+    let m' = m53 asr t in
+    let shift = e - 53 + t in
+    if shift >= 0 then
+      if shift <= 8 then S { n = m' lsl shift; d = 1 }
+      else of_bigint (B.shift_left (B.of_int m') shift)
+    else if -shift <= 61 then S { n = m'; d = 1 lsl -shift }
+    else Big { num = B.of_int m'; den = B.shift_left B.one (-shift) }
   end
 
 let of_decimal_string s =

@@ -1,0 +1,30 @@
+(** Octagon (difference-bound-matrix) domain over exact rationals.
+
+    The relaxation layer's middle tier: [+-x +- y <= c] rows harvested
+    from the linear cuts are closed by Floyd–Warshall plus the octagonal
+    strengthening step, refuting a box (negative diagonal) or tightening
+    unary bounds without running a single simplex pivot. Cubic in the
+    literal count [2n], which is cheap at branch-and-prune dimensions. *)
+
+module Q = Absolver_numeric.Rational
+
+type t
+
+val create : int -> t
+(** [create n]: the unconstrained octagon over variables [0 .. n-1]. *)
+
+val add1 : t -> int -> pos:bool -> Q.t -> unit
+(** [add1 t v ~pos c]: assert [x_v <= c] ([pos]) or [-x_v <= c]. *)
+
+val add2 : t -> int -> upos:bool -> int -> vpos:bool -> Q.t -> unit
+(** [add2 t u ~upos v ~vpos c]: assert [s_u*x_u + s_v*x_v <= c] where a
+    sign is [+1] when the flag is true. Requires [u <> v] (a caller
+    asserting [u = v] should fold the coefficients into {!add1}). *)
+
+val close : t -> bool
+(** Shortest-path closure; [false] means the constraint system is
+    infeasible (a negative cycle). Bounds read by {!bounds} are only
+    meaningful after a closure that returned [true]. *)
+
+val bounds : t -> int -> Q.t option * Q.t option
+(** [(lo, hi)] bounds on a variable implied by the closed octagon. *)

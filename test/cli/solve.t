@@ -112,3 +112,48 @@ The circuit renderer emits GraphViz.
   $ ../../bin/absolver_cli.exe circuit fig2.cnf | head -2
   digraph circuit {
     rankdir=LR;
+
+The linear-relaxation layer sits in front of nonlinear branch-and-prune:
+LP-infeasible boxes are pruned before interval contraction runs. The
+ball-vs-plane problem below is refuted either way; --no-relax disables
+the layer (restoring the pure interval search) and zeroes its counters.
+
+  $ cat > ball.cnf <<'END'
+  > p cnf 1 1
+  > 1 0
+  > c def real 1 x * x + y * y <= 1
+  > c def real 1 x + y >= 2
+  > c bound x -2 2
+  > c bound y -2 2
+  > END
+  $ ../../bin/absolver_cli.exe solve ball.cnf
+  unsat
+  [20]
+  $ ../../bin/absolver_cli.exe solve ball.cnf --no-relax
+  unsat
+  [20]
+
+--stats reports the relaxation counters next to the branch-and-prune
+node counts, and --stats-json carries them as run_stats fields.
+
+  $ ../../bin/absolver_cli.exe solve ball.cnf --stats 2>&1 | grep -o 'relax\[cuts=[0-9]*' | sed 's/=[0-9]*/=N/'
+  relax[cuts=N
+  $ ../../bin/absolver_cli.exe solve ball.cnf --stats-json ball.json; echo "exit $?"
+  unsat
+  exit 20
+  $ grep -o '"relax_cuts_asserted"' ball.json
+  "relax_cuts_asserted"
+  $ grep -o '"relax_nodes_pruned"' ball.json
+  "relax_nodes_pruned"
+  $ grep -o '"relax_bounds_tightened"' ball.json
+  "relax_bounds_tightened"
+
+With --no-relax the counters stay at zero.
+
+  $ ../../bin/absolver_cli.exe solve ball.cnf --no-relax --stats-json noball.json
+  unsat
+  [20]
+  $ grep -o '"relax_cuts_asserted":0' noball.json
+  "relax_cuts_asserted":0
+  $ grep -o '"relax_lp_checks":0' noball.json
+  "relax_lp_checks":0

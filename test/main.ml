@@ -23,4 +23,5 @@ let () =
       ("extra", Test_extra.suite);
       ("proof-diagnosis", Test_proof_diagnosis.suite);
       ("flatcore", Test_flatcore.suite);
+      ("relax", Test_relax.suite);
     ]

@@ -31,9 +31,9 @@ let test_nonlinear_solver_fallback () =
     {
       A.Registry.ns_name = "always-unknown";
       ns_solve =
-        (fun ~budget:_ ~telemetry:_ ~nvars:_ ~box:_ _ ->
+        (fun ~relax:_ ~budget:_ ~telemetry:_ ~nvars:_ ~box:_ _ ->
           incr gave_up_calls;
-          A.Registry.N_unknown);
+          (A.Registry.N_unknown, Absolver_nlp.Branch_prune.empty_stats));
     }
   in
   let registry =
@@ -55,7 +55,9 @@ let test_nonlinear_all_solvers_fail () =
   let give_up =
     {
       A.Registry.ns_name = "always-unknown";
-      ns_solve = (fun ~budget:_ ~telemetry:_ ~nvars:_ ~box:_ _ -> A.Registry.N_unknown);
+      ns_solve =
+        (fun ~relax:_ ~budget:_ ~telemetry:_ ~nvars:_ ~box:_ _ ->
+          (A.Registry.N_unknown, Absolver_nlp.Branch_prune.empty_stats));
     }
   in
   let registry = { A.Registry.default with A.Registry.nonlinear = [ give_up ] } in
